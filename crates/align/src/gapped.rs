@@ -1,0 +1,633 @@
+//! Gapped X-drop extension (paper section 2.3).
+//!
+//! Step 3 of ORIS grows each surviving HSP into a gapped alignment:
+//! "alignments are constructed starting from the middle of an HSP and
+//! performing an extension on both extremities by dynamic programming
+//! techniques. The extension is controlled by an XDROP value."
+//!
+//! This module implements the NCBI-style adaptive-band X-drop DP with
+//! affine gaps and full traceback:
+//!
+//! * the DP advances row by row (one row per consumed character of
+//!   sequence 1), keeping only the *live band* of columns whose best state
+//!   value is within `xdrop` of the best score seen so far;
+//! * the band adapts — it can drift, widen along gap chains and shrink as
+//!   cells die — so the cost is proportional to the alignment's "score
+//!   corridor", not to the product of the extension lengths;
+//! * a hard `max_cells` cap bounds memory on pathological inputs.
+//!
+//! Left extensions run the same forward DP on reversed tapes; the
+//! two-sided entry point [`extend_gapped_both`] merges both halves around
+//! the HSP midpoint exactly as step 3 does.
+
+use oris_seqio::alphabet::SENTINEL;
+
+use crate::cigar::AlignOp;
+use crate::scoring::ScoringScheme;
+
+const NEG: i32 = i32::MIN / 4;
+
+// Traceback encoding: bits 0..2 = H source, bit 3 = E source, bit 4 = F source.
+const TB_H_FROM_H: u8 = 0;
+const TB_H_FROM_E: u8 = 1;
+const TB_H_FROM_F: u8 = 2;
+const TB_H_START: u8 = 3;
+const TB_H_DEAD: u8 = 7;
+const TB_H_MASK: u8 = 0b111;
+const TB_E_EXTEND: u8 = 1 << 3;
+const TB_F_EXTEND: u8 = 1 << 4;
+
+/// Parameters of the gapped extension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GappedParams {
+    /// Scoring scheme (affine gaps).
+    pub scheme: ScoringScheme,
+    /// X-drop threshold (positive).
+    pub xdrop: i32,
+    /// Maximum characters consumed per tape in each direction.
+    pub max_span: usize,
+    /// Hard cap on DP cells computed per direction (memory guard).
+    pub max_cells: usize,
+}
+
+impl Default for GappedParams {
+    fn default() -> Self {
+        GappedParams {
+            scheme: ScoringScheme::blastn(),
+            xdrop: 25,
+            max_span: 1 << 20,
+            max_cells: 1 << 24,
+        }
+    }
+}
+
+/// One-directional gapped extension result.
+///
+/// The alignment consumes `len1` characters of tape 1 and `len2` of tape 2,
+/// with `ops` listed from the extension origin outward.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GappedExtension {
+    /// Best path score (0 for the empty extension).
+    pub score: i32,
+    /// Characters consumed on sequence 1.
+    pub len1: usize,
+    /// Characters consumed on sequence 2.
+    pub len2: usize,
+    /// Alignment operations from the origin outward.
+    pub ops: Vec<AlignOp>,
+}
+
+impl GappedExtension {
+    /// The empty extension.
+    pub fn empty() -> GappedExtension {
+        GappedExtension {
+            score: 0,
+            len1: 0,
+            len2: 0,
+            ops: Vec::new(),
+        }
+    }
+}
+
+/// Copies the extension tape starting at `origin` in direction `dir`
+/// (`+1` right, `-1` left), stopping at a sentinel, the array bounds or
+/// `max_span` characters.
+///
+/// Callers pass an adaptive `max_span` (see [`extend_gapped_right`]):
+/// copying to the next sentinel unconditionally would move whole
+/// chromosome tails per extension, while the X-drop band typically dies
+/// within a few hundred columns.
+fn materialize(d: &[u8], origin: usize, dir: i64, max_span: usize) -> Vec<u8> {
+    let mut out = Vec::new();
+    let mut pos = origin as i64;
+    while out.len() < max_span && pos >= 0 && (pos as usize) < d.len() {
+        let c = d[pos as usize];
+        if c == SENTINEL {
+            break;
+        }
+        out.push(c);
+        pos += dir;
+    }
+    out
+}
+
+/// Forward X-drop DP over two sentinel-free tapes.
+///
+/// Traceback bytes for all rows live in one contiguous pool (`tb_pool`)
+/// with per-row `(lo, offset, len)` descriptors, and the three working
+/// state vectors are double-buffered — the loop performs no per-row
+/// allocations, which matters because step 3 runs this DP once per
+/// surviving HSP.
+/// Returns the extension plus a `hit_end` flag: `true` when the live band
+/// reached the end of either tape, i.e. a longer tape *could* change the
+/// result (used by the adaptive-growth wrappers).
+fn xdrop_dp(t1: &[u8], t2: &[u8], params: &GappedParams) -> (GappedExtension, bool) {
+    let scheme = &params.scheme;
+    let (open, ext) = (scheme.gap_open, scheme.gap_extend);
+    let n1 = t1.len();
+    let n2 = t2.len();
+
+    let mut best = 0i32;
+    let mut best_i = 0usize;
+    let mut best_j = 0usize;
+
+    // Previous row working band: columns [plo, plo + ph.len()).
+    let mut plo = 0usize;
+    let mut ph: Vec<i32> = vec![0];
+    let mut pe: Vec<i32> = vec![NEG];
+    let mut pf: Vec<i32> = vec![NEG];
+
+    // Traceback storage: one pool, one (lo, offset, len) descriptor per row.
+    let mut tb_pool: Vec<u8> = Vec::with_capacity(256);
+    let mut tb_rows: Vec<(usize, usize, usize)> = Vec::with_capacity(64);
+
+    // Row 0: origin cell plus the leading-gap E chain.
+    {
+        tb_pool.push(TB_H_START);
+        let mut j = 1usize;
+        while j <= n2 {
+            let e_open = ph[j - 1] + open + ext;
+            let e_ext = pe[j - 1] + ext;
+            let (e, ebit) = if e_open >= e_ext {
+                (e_open, 0u8)
+            } else {
+                (e_ext, TB_E_EXTEND)
+            };
+            if e < best - params.xdrop {
+                break;
+            }
+            ph.push(NEG);
+            pe.push(e);
+            pf.push(NEG);
+            tb_pool.push(TB_H_DEAD | ebit);
+            j += 1;
+        }
+        tb_rows.push((0, 0, tb_pool.len()));
+    }
+
+    let mut cells = ph.len();
+    let mut hit_end = ph.len() == n2 + 1; // row-0 E chain reached the tape end
+    let mut ran_all_rows = n1 == 0;
+    // Double buffers for the current row.
+    let mut h: Vec<i32> = Vec::with_capacity(ph.len() + 2);
+    let mut e: Vec<i32> = Vec::with_capacity(ph.len() + 2);
+    let mut f: Vec<i32> = Vec::with_capacity(ph.len() + 2);
+
+    for i in 1..=n1 {
+        let phi = plo + ph.len() - 1; // last column of previous band
+        let lo = plo;
+        let c1 = t1[i - 1];
+
+        h.clear();
+        e.clear();
+        f.clear();
+        let tb_offset = tb_pool.len();
+
+        let mut first_live: Option<usize> = None;
+        let mut last_live = 0usize;
+
+        let prev = |j: usize| -> Option<usize> {
+            if j >= plo && j <= phi {
+                Some(j - plo)
+            } else {
+                None
+            }
+        };
+
+        let mut j = lo;
+        while j <= n2 {
+            // H: diagonal move from (i-1, j-1).
+            let (hv, hsrc) = if j >= 1 {
+                match prev(j - 1) {
+                    Some(pi) => {
+                        let (dv, dsrc) = {
+                            let mut v = ph[pi];
+                            let mut s = TB_H_FROM_H;
+                            if pe[pi] > v {
+                                v = pe[pi];
+                                s = TB_H_FROM_E;
+                            }
+                            if pf[pi] > v {
+                                v = pf[pi];
+                                s = TB_H_FROM_F;
+                            }
+                            (v, s)
+                        };
+                        if dv <= NEG / 2 {
+                            (NEG, TB_H_DEAD)
+                        } else {
+                            (dv + scheme.pair(c1, t2[j - 1]), dsrc)
+                        }
+                    }
+                    None => (NEG, TB_H_DEAD),
+                }
+            } else {
+                (NEG, TB_H_DEAD)
+            };
+
+            // F: vertical move from (i-1, j).
+            let (fv, fbit) = match prev(j) {
+                Some(pi) => {
+                    let f_open = ph[pi] + open + ext;
+                    let f_ext = pf[pi] + ext;
+                    if f_open >= f_ext {
+                        (f_open, 0u8)
+                    } else {
+                        (f_ext, TB_F_EXTEND)
+                    }
+                }
+                None => (NEG, 0u8),
+            };
+
+            // E: horizontal move from (i, j-1) in the current row.
+            let (ev, ebit) = if j > lo && !h.is_empty() {
+                let cur = h.len() - 1;
+                let e_open = h[cur] + open + ext;
+                let e_ext = e[cur] + ext;
+                if e_open >= e_ext {
+                    (e_open, 0u8)
+                } else {
+                    (e_ext, TB_E_EXTEND)
+                }
+            } else {
+                (NEG, 0u8)
+            };
+
+            let val = hv.max(ev).max(fv);
+            let cutoff = best - params.xdrop;
+            if val < cutoff {
+                // Dead cell.
+                if j > phi + 1 {
+                    // Beyond the previous band only the E chain can live;
+                    // once it dies the row is finished.
+                    break;
+                }
+                h.push(NEG);
+                e.push(NEG);
+                f.push(NEG);
+                tb_pool.push(TB_H_DEAD);
+            } else {
+                if first_live.is_none() {
+                    first_live = Some(j);
+                }
+                last_live = j;
+                if hv > best {
+                    best = hv;
+                    best_i = i;
+                    best_j = j;
+                }
+                h.push(hv);
+                e.push(ev);
+                f.push(fv);
+                tb_pool.push(hsrc | ebit | fbit);
+            }
+            j += 1;
+        }
+
+        cells += h.len();
+        tb_rows.push((lo, tb_offset, tb_pool.len() - tb_offset));
+        if last_live >= n2 && first_live.is_some() {
+            hit_end = true; // band touched the last column
+        }
+        if i == n1 && first_live.is_some() {
+            ran_all_rows = true; // band alive on the final row
+        }
+
+        let Some(fl) = first_live else { break };
+        // Trim the working band to the live region for the next row.
+        let a = fl - lo;
+        let b = last_live - lo + 1;
+        if a > 0 || b < h.len() {
+            h.truncate(b);
+            e.truncate(b);
+            f.truncate(b);
+            h.drain(..a);
+            e.drain(..a);
+            f.drain(..a);
+        }
+        plo = fl;
+        std::mem::swap(&mut ph, &mut h);
+        std::mem::swap(&mut pe, &mut e);
+        std::mem::swap(&mut pf, &mut f);
+
+        if cells > params.max_cells {
+            break;
+        }
+    }
+
+    // Traceback from the best H cell.
+    let mut ops: Vec<AlignOp> = Vec::new();
+    let (mut i, mut j) = (best_i, best_j);
+    // 0 = H, 1 = E, 2 = F
+    let mut state = 0u8;
+    while !(i == 0 && j == 0 && state == 0) {
+        let (row_lo, offset, len) = tb_rows[i];
+        debug_assert!(j >= row_lo && j - row_lo < len, "traceback out of band");
+        let byte = tb_pool[offset + (j - row_lo)];
+        match state {
+            0 => {
+                let src = byte & TB_H_MASK;
+                debug_assert_ne!(src, TB_H_DEAD, "traceback hit a dead cell");
+                if src == TB_H_START {
+                    break;
+                }
+                let op = if scheme.is_match(t1[i - 1], t2[j - 1]) {
+                    AlignOp::Match
+                } else {
+                    AlignOp::Mismatch
+                };
+                ops.push(op);
+                i -= 1;
+                j -= 1;
+                state = match src {
+                    TB_H_FROM_H => 0,
+                    TB_H_FROM_E => 1,
+                    _ => 2,
+                };
+            }
+            1 => {
+                ops.push(AlignOp::Del);
+                let from_ext = byte & TB_E_EXTEND != 0;
+                j -= 1;
+                state = if from_ext { 1 } else { 0 };
+            }
+            _ => {
+                ops.push(AlignOp::Ins);
+                let from_ext = byte & TB_F_EXTEND != 0;
+                i -= 1;
+                state = if from_ext { 2 } else { 0 };
+            }
+        }
+    }
+    ops.reverse();
+
+    (
+        GappedExtension {
+            score: best,
+            len1: best_i,
+            len2: best_j,
+            ops,
+        },
+        hit_end || ran_all_rows,
+    )
+}
+
+/// Runs the DP with adaptively grown tapes: start at 4 kB and enlarge
+/// only when the live band actually reached a tape end. Alignments are
+/// typically a few hundred columns, so this avoids copying chromosome
+/// tails per extension while remaining exact for arbitrarily long ones.
+fn xdrop_dp_adaptive(
+    d1: &[u8],
+    d2: &[u8],
+    o1: usize,
+    o2: usize,
+    dir: i64,
+    params: &GappedParams,
+) -> GappedExtension {
+    let mut cap = 4096usize;
+    loop {
+        let t1 = materialize(d1, o1, dir, cap.min(params.max_span));
+        let t2 = materialize(d2, o2, dir, cap.min(params.max_span));
+        let truncated = t1.len() == cap || t2.len() == cap;
+        let (out, hit_end) = xdrop_dp(&t1, &t2, params);
+        if !(hit_end && truncated) || cap >= params.max_span {
+            return out;
+        }
+        cap *= 8;
+    }
+}
+
+/// Extends rightward from `(o1, o2)`: the first aligned pair considered is
+/// `d1[o1]` / `d2[o2]`.
+pub fn extend_gapped_right(
+    d1: &[u8],
+    d2: &[u8],
+    o1: usize,
+    o2: usize,
+    params: &GappedParams,
+) -> GappedExtension {
+    xdrop_dp_adaptive(d1, d2, o1, o2, 1, params)
+}
+
+/// Extends leftward from `(o1, o2)`: the first aligned pair considered is
+/// `d1[o1]` / `d2[o2]`, walking toward lower positions. Ops come back in
+/// left-to-right (original) order.
+pub fn extend_gapped_left(
+    d1: &[u8],
+    d2: &[u8],
+    o1: usize,
+    o2: usize,
+    params: &GappedParams,
+) -> GappedExtension {
+    let mut out = xdrop_dp_adaptive(d1, d2, o1, o2, -1, params);
+    out.ops.reverse();
+    out
+}
+
+/// Two-sided gapped extension around the midpoint pair `(m1, m2)` — the
+/// step-3 operation. The right half starts at `(m1, m2)` inclusive; the
+/// left half starts at `(m1-1, m2-1)`.
+///
+/// Returns the merged extension plus the global start coordinates
+/// `(start1, start2)` of the alignment on each array.
+pub fn extend_gapped_both(
+    d1: &[u8],
+    d2: &[u8],
+    m1: usize,
+    m2: usize,
+    params: &GappedParams,
+) -> (GappedExtension, usize, usize) {
+    let right = extend_gapped_right(d1, d2, m1, m2, params);
+    let left = if m1 > 0 && m2 > 0 {
+        extend_gapped_left(d1, d2, m1 - 1, m2 - 1, params)
+    } else {
+        GappedExtension::empty()
+    };
+
+    let mut ops = left.ops;
+    ops.extend_from_slice(&right.ops);
+    let merged = GappedExtension {
+        score: left.score + right.score,
+        len1: left.len1 + right.len1,
+        len2: left.len2 + right.len2,
+        ops,
+    };
+    (merged, m1 - left.len1, m2 - left.len2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cigar::AlignStats;
+    use crate::exact::gotoh_local;
+    use oris_seqio::nuc_from_char;
+    use proptest::prelude::*;
+
+    fn codes(s: &str) -> Vec<u8> {
+        s.bytes().map(nuc_from_char).collect()
+    }
+
+    fn params(xdrop: i32) -> GappedParams {
+        GappedParams {
+            scheme: ScoringScheme::blastn(),
+            xdrop,
+            max_span: 1 << 16,
+            max_cells: 1 << 22,
+        }
+    }
+
+    #[test]
+    fn identical_sequences_extend_fully() {
+        let a = codes("ACGTACGTAC");
+        let out = extend_gapped_right(&a, &a, 0, 0, &params(20));
+        assert_eq!(out.score, 10);
+        assert_eq!(out.len1, 10);
+        assert_eq!(out.len2, 10);
+        assert_eq!(out.ops.len(), 10);
+        assert!(out.ops.iter().all(|&o| o == AlignOp::Match));
+    }
+
+    #[test]
+    fn empty_tapes_give_empty_extension() {
+        let a = codes("");
+        let b = codes("ACGT");
+        let out = extend_gapped_right(&a, &b, 0, 0, &params(20));
+        assert_eq!(out, GappedExtension::empty());
+    }
+
+    #[test]
+    fn single_substitution_is_absorbed() {
+        let a = codes("ACGTACGTACGT");
+        let mut bv = a.clone();
+        bv[5] ^= 1; // mutate one base
+        let out = extend_gapped_right(&a, &bv, 0, 0, &params(20));
+        assert_eq!(out.len1, 12);
+        assert_eq!(out.score, 11 - 3);
+        let stats = AlignStats::from_ops(&out.ops);
+        assert_eq!(stats.mismatches, 1);
+        assert_eq!(stats.matches, 11);
+    }
+
+    #[test]
+    fn insertion_produces_gap_ops() {
+        // d2 has 2 extra bases in the middle: alignment must contain one
+        // gap of length 2 (Del ops: consuming d2 only).
+        let a = codes("ACGTACGTACGTACGTCCGGAATT");
+        let mut bv = a.clone();
+        bv.splice(12..12, codes("TT"));
+        let out = extend_gapped_right(&a, &bv, 0, 0, &params(30));
+        assert_eq!(out.len1, a.len());
+        assert_eq!(out.len2, bv.len());
+        let stats = AlignStats::from_ops(&out.ops);
+        assert_eq!(stats.gap_opens, 1);
+        assert_eq!(stats.gap_columns, 2);
+        // score: 24 matches + open + 2*extend = 24 - 5 - 4
+        assert_eq!(out.score, 24 - 9);
+    }
+
+    #[test]
+    fn xdrop_stops_in_mismatch_desert() {
+        // Two mismatches (−6) separate two 12-match blocks. With xdrop 5
+        // the extension dies inside the desert even though crossing it
+        // would pay off (12 − 6 + 12 = 18 > 12).
+        let a = codes(&format!("{}{}{}", "ACGTACGTACGT", "AA", "ACGTACGTACGT"));
+        let b = codes(&format!("{}{}{}", "ACGTACGTACGT", "TT", "ACGTACGTACGT"));
+        let out = extend_gapped_right(&a, &b, 0, 0, &params(5));
+        assert_eq!(out.len1, 12);
+        assert_eq!(out.score, 12);
+    }
+
+    #[test]
+    fn big_xdrop_bridges_desert() {
+        let a = codes(&format!("{}{}{}", "ACGTACGTACGT", "AA", "ACGTACGTACGT"));
+        let b = codes(&format!("{}{}{}", "ACGTACGTACGT", "TT", "ACGTACGTACGT"));
+        let out = extend_gapped_right(&a, &b, 0, 0, &params(40));
+        assert_eq!(out.len1, 26);
+        assert_eq!(out.score, 24 - 6);
+    }
+
+    #[test]
+    fn extension_stops_at_sentinel() {
+        let mut a = codes("ACGTAC");
+        a.push(SENTINEL);
+        a.extend(codes("GGGGGG"));
+        let b = codes("ACGTACGGGGGG");
+        let out = extend_gapped_right(&a, &b, 0, 0, &params(50));
+        assert_eq!(out.len1, 6, "must not align across the sentinel");
+    }
+
+    #[test]
+    fn left_extension_mirrors_right() {
+        let a = codes("ACGTACGTAC");
+        let out_r = extend_gapped_right(&a, &a, 0, 0, &params(20));
+        let out_l = extend_gapped_left(&a, &a, a.len() - 1, a.len() - 1, &params(20));
+        assert_eq!(out_r.score, out_l.score);
+        assert_eq!(out_r.len1, out_l.len1);
+    }
+
+    #[test]
+    fn both_extension_covers_whole_region() {
+        let s = "ACGTACGTACGTGGCCACGT";
+        let a = codes(s);
+        let (merged, start1, start2) = extend_gapped_both(&a, &a, 10, 10, &params(20));
+        assert_eq!(start1, 0);
+        assert_eq!(start2, 0);
+        assert_eq!(merged.len1, s.len());
+        assert_eq!(merged.score, s.len() as i32);
+    }
+
+    #[test]
+    fn ops_consume_correct_lengths() {
+        let a = codes("ACGTACGTACGTACGTCCGGAATT");
+        let mut bv = a.clone();
+        bv.splice(10..10, codes("GG"));
+        bv[3] ^= 2;
+        let out = extend_gapped_right(&a, &bv, 0, 0, &params(30));
+        let stats = AlignStats::from_ops(&out.ops);
+        assert_eq!(stats.consumed1, out.len1);
+        assert_eq!(stats.consumed2, out.len2);
+    }
+
+    proptest! {
+        /// With a saturating xdrop, the two-sided extension through a
+        /// planted exact core scores at least the Gotoh local optimum of
+        /// the surrounding window (they coincide when the optimum passes
+        /// through the core, which a long planted core guarantees).
+        #[test]
+        fn matches_gotoh_on_planted_homology(
+            prefix in "[ACGT]{0,15}",
+            suffix in "[ACGT]{0,15}",
+            core in "[ACGT]{16,24}",
+            noise1 in "[ACGT]{0,10}",
+            noise2 in "[ACGT]{0,10}",
+        ) {
+            let s1 = format!("{noise1}{core}{prefix}");
+            let s2 = format!("{noise2}{core}{suffix}");
+            let d1 = codes(&s1);
+            let d2 = codes(&s2);
+            let m1 = noise1.len() + core.len() / 2;
+            let m2 = noise2.len() + core.len() / 2;
+            let p = GappedParams { scheme: ScoringScheme::blastn(), xdrop: 1000, max_span: 1 << 12, max_cells: 1 << 22 };
+            let (merged, _, _) = extend_gapped_both(&d1, &d2, m1, m2, &p);
+            let oracle = gotoh_local(&d1, &d2, &p.scheme);
+            // The oracle is an upper bound; through-midpoint extension must
+            // reach at least the core score.
+            prop_assert!(merged.score <= oracle.score);
+            prop_assert!(merged.score >= core.len() as i32);
+        }
+
+        /// Traceback op counts always agree with consumed lengths and the
+        /// score recomputed from ops matches the DP score.
+        #[test]
+        fn traceback_is_self_consistent(s1 in "[ACGT]{1,40}", s2 in "[ACGT]{1,40}") {
+            let d1 = codes(&s1);
+            let d2 = codes(&s2);
+            let p = params(15);
+            let out = extend_gapped_right(&d1, &d2, 0, 0, &p);
+            let stats = AlignStats::from_ops(&out.ops);
+            prop_assert_eq!(stats.consumed1, out.len1);
+            prop_assert_eq!(stats.consumed2, out.len2);
+            prop_assert_eq!(stats.score(&p.scheme), out.score);
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Nucleotide scoring schemes.
+//!
+//! The paper's prototype scores like BLASTN: a reward for a match, a
+//! penalty for a mismatch, and affine gap costs for the gapped stage
+//! (Gotoh's improvement, reference \[3\] of the paper). All values are kept
+//! as they contribute to the score: `mismatch`, `gap_open` and
+//! `gap_extend` are negative.
+
+use oris_seqio::alphabet::is_nucleotide;
+
+/// Match/mismatch/affine-gap scoring parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScoringScheme {
+    /// Score contribution of an identical nucleotide pair (positive).
+    pub matsch: i32,
+    /// Score contribution of a substitution (negative).
+    pub mismatch: i32,
+    /// Cost of opening a gap, charged on the first gapped position
+    /// together with `gap_extend` (negative).
+    pub gap_open: i32,
+    /// Cost of each gapped position (negative).
+    pub gap_extend: i32,
+}
+
+impl ScoringScheme {
+    /// NCBI BLASTN 2.2.x defaults: +1/−3, gap open −5, gap extend −2.
+    /// This is what the paper's experiments effectively ran with.
+    pub const fn blastn() -> ScoringScheme {
+        ScoringScheme {
+            matsch: 1,
+            mismatch: -3,
+            gap_open: -5,
+            gap_extend: -2,
+        }
+    }
+
+    /// Megablast-style +1/−2 scheme, useful for highly similar sequences.
+    pub const fn megablast() -> ScoringScheme {
+        ScoringScheme {
+            matsch: 1,
+            mismatch: -2,
+            gap_open: -2,
+            gap_extend: -1,
+        }
+    }
+
+    /// Custom scheme with basic validation.
+    ///
+    /// # Panics
+    /// Panics if `matsch <= 0`, `mismatch >= 0`, `gap_open > 0` or
+    /// `gap_extend >= 0`.
+    pub fn new(matsch: i32, mismatch: i32, gap_open: i32, gap_extend: i32) -> ScoringScheme {
+        assert!(matsch > 0, "match score must be positive");
+        assert!(mismatch < 0, "mismatch score must be negative");
+        assert!(gap_open <= 0, "gap open cost must be non-positive");
+        assert!(gap_extend < 0, "gap extend cost must be negative");
+        ScoringScheme {
+            matsch,
+            mismatch,
+            gap_open,
+            gap_extend,
+        }
+    }
+
+    /// Score of aligning code bytes `a` against `b`.
+    ///
+    /// Ambiguous bases and sentinels never match anything (including
+    /// themselves) — this is the rule that keeps seeds and extensions from
+    /// crossing `N` runs and sequence boundaries.
+    #[inline]
+    pub fn pair(&self, a: u8, b: u8) -> i32 {
+        if a == b && is_nucleotide(a) {
+            self.matsch
+        } else {
+            self.mismatch
+        }
+    }
+
+    /// `true` when `a` and `b` are a concrete matching pair.
+    #[inline]
+    pub fn is_match(&self, a: u8, b: u8) -> bool {
+        a == b && is_nucleotide(a)
+    }
+
+    /// Total cost of a gap of `len` positions (open charged once).
+    #[inline]
+    pub fn gap(&self, len: usize) -> i32 {
+        if len == 0 {
+            0
+        } else {
+            self.gap_open + self.gap_extend * len as i32
+        }
+    }
+}
+
+impl Default for ScoringScheme {
+    fn default() -> Self {
+        ScoringScheme::blastn()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oris_seqio::alphabet::{AMBIG, SENTINEL};
+
+    #[test]
+    fn blastn_defaults() {
+        let s = ScoringScheme::blastn();
+        assert_eq!(s.pair(0, 0), 1);
+        assert_eq!(s.pair(0, 1), -3);
+        assert_eq!(s.gap(1), -7);
+        assert_eq!(s.gap(3), -11);
+    }
+
+    #[test]
+    fn ambig_never_matches_itself() {
+        let s = ScoringScheme::blastn();
+        assert_eq!(s.pair(AMBIG, AMBIG), s.mismatch);
+        assert!(!s.is_match(AMBIG, AMBIG));
+    }
+
+    #[test]
+    fn sentinel_never_matches_itself() {
+        let s = ScoringScheme::blastn();
+        assert_eq!(s.pair(SENTINEL, SENTINEL), s.mismatch);
+        assert!(!s.is_match(SENTINEL, SENTINEL));
+    }
+
+    #[test]
+    fn zero_length_gap_is_free() {
+        assert_eq!(ScoringScheme::blastn().gap(0), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_positive_mismatch() {
+        let _ = ScoringScheme::new(1, 1, -5, -2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_zero_match() {
+        let _ = ScoringScheme::new(0, -3, -5, -2);
+    }
+}

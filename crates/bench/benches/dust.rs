@@ -1,0 +1,29 @@
+//! Criterion benchmarks for the low-complexity filters (paper §2.1/§3.4).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use oris_dust::{DustMasker, EntropyMasker, Masker};
+
+fn bench_maskers(c: &mut Criterion) {
+    let bank = oris_simulate::paper_bank("EST3", 0.2).bank;
+    let mut g = c.benchmark_group("low_complexity_filters");
+    g.sample_size(20);
+    g.throughput(Throughput::Bytes(bank.data().len() as u64));
+    g.bench_function("dust_w64_t20", |b| {
+        b.iter(|| DustMasker::default().mask_bank(&bank))
+    });
+    g.bench_function("entropy_w20", |b| {
+        b.iter(|| EntropyMasker::default().mask_bank(&bank))
+    });
+    g.finish();
+}
+
+fn bench_dilation(c: &mut Criterion) {
+    let bank = oris_simulate::paper_bank("EST3", 0.2).bank;
+    let mask = DustMasker::default().mask_bank(&bank);
+    let mut g = c.benchmark_group("mask_ops");
+    g.bench_function("dilate_left_w11", |b| b.iter(|| mask.dilated_left(11)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_maskers, bench_dilation);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion benchmarks for the statistics layer (paper §2.4/§3.1).
+//!
+//! Karlin–Altschul parameter computation is done once per run; e-value
+//! evaluation runs once per candidate alignment — both are measured.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use oris_stats::{EValueModel, KarlinParams, SearchSpace};
+
+fn bench_karlin(c: &mut Criterion) {
+    let mut g = c.benchmark_group("karlin_params");
+    g.sample_size(20);
+    g.bench_function("dna_1_m3", |b| b.iter(|| KarlinParams::dna(1, -3)));
+    g.bench_function("dna_2_m3", |b| b.iter(|| KarlinParams::dna(2, -3)));
+    g.finish();
+}
+
+fn bench_evalue(c: &mut Criterion) {
+    let model = EValueModel::dna(1, -3);
+    let space = SearchSpace::scoris(25_000_000, 600);
+    let mut g = c.benchmark_group("evalue");
+    g.throughput(Throughput::Elements(1000));
+    g.bench_function("evalue_1000_scores", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for s in 18..1018 {
+                acc += model.evalue(s, space);
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_karlin, bench_evalue);
+criterion_main!(benches);

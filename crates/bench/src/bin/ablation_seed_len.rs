@@ -1,0 +1,44 @@
+//! A3 — seed-length sweep: the sensitivity/speed trade-off the paper's
+//! introduction frames ("the heuristic can be tuned by modifying the
+//! length of the seed according to a specified sensitivity").
+//!
+//! Runs the ORIS engine at W = 8 … 13 on a fixed EST pair: time, HSPs,
+//! alignments. Shape: smaller W → more (noisier) hits and more time;
+//! larger W → faster, fewer divergent alignments found.
+
+use oris_bench::{bank, scale_from_args};
+use oris_core::OrisConfig;
+use oris_eval::Table;
+
+fn main() {
+    let scale = scale_from_args();
+    println!("A3: seed length sweep (ORIS engine), scale {scale}\n");
+    let b1 = bank("EST1", scale);
+    let b2 = bank("EST2", scale);
+
+    let mut t = Table::new(vec![
+        "W",
+        "time (s)",
+        "pairs examined",
+        "HSPs",
+        "alignments",
+    ]);
+    for w in 8..=13 {
+        let cfg = OrisConfig {
+            w,
+            ..OrisConfig::default()
+        };
+        let t0 = std::time::Instant::now();
+        let r = oris_core::compare_banks(&b1, &b2, &cfg);
+        let secs = t0.elapsed().as_secs_f64();
+        t.row(vec![
+            format!("{w}"),
+            format!("{secs:.3}"),
+            format!("{}", r.stats.step2.pairs_examined),
+            format!("{}", r.stats.hsps),
+            format!("{}", r.alignments.len()),
+        ]);
+        eprintln!("  done W={w}");
+    }
+    print!("{t}");
+}

@@ -1,0 +1,49 @@
+//! A4 — X-drop sweep: the extension-termination knob both stages share.
+//!
+//! Runs the ORIS engine with ungapped X-drop 5 … 40 on a fixed EST pair.
+//! Shape: small X-drop truncates extensions (more, shorter HSPs; some
+//! alignments fragment or drop below threshold); large X-drop costs time
+//! exploring mismatch deserts without changing the reported set much.
+
+use oris_bench::{bank, scale_from_args};
+use oris_core::OrisConfig;
+use oris_eval::Table;
+
+fn main() {
+    let scale = scale_from_args();
+    println!("A4: ungapped X-drop sweep (ORIS engine), scale {scale}\n");
+    let b1 = bank("EST1", scale);
+    let b2 = bank("EST2", scale);
+
+    let mut t = Table::new(vec![
+        "xdrop",
+        "time (s)",
+        "HSPs",
+        "alignments",
+        "mean align len",
+    ]);
+    for xdrop in [5, 10, 15, 20, 30, 40] {
+        let cfg = OrisConfig {
+            xdrop_ungapped: xdrop,
+            ..OrisConfig::default()
+        };
+        let t0 = std::time::Instant::now();
+        let r = oris_core::compare_banks(&b1, &b2, &cfg);
+        let secs = t0.elapsed().as_secs_f64();
+        let mean_len = if r.alignments.is_empty() {
+            0.0
+        } else {
+            r.alignments.iter().map(|a| a.length).sum::<usize>() as f64
+                / r.alignments.len() as f64
+        };
+        t.row(vec![
+            format!("{xdrop}"),
+            format!("{secs:.3}"),
+            format!("{}", r.stats.hsps),
+            format!("{}", r.alignments.len()),
+            format!("{mean_len:.0}"),
+        ]);
+        eprintln!("  done xdrop={xdrop}");
+    }
+    print!("{t}");
+}

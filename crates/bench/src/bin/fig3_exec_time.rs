@@ -1,0 +1,50 @@
+//! E2 — Figure 3: execution time of SCORIS-N and BLASTN over the EST
+//! search-space axis.
+//!
+//! Prints the two series (seconds vs Mbp² search space) that the paper
+//! plots, one row per EST bank pair, sorted by search space. The shape to
+//! reproduce: both curves grow with the search space, the baseline's much
+//! faster, and the gap widens with size.
+
+use oris_bench::{run_pair, scale_from_args, EST_PAIRS};
+use oris_eval::Table;
+
+fn main() {
+    let scale = scale_from_args();
+    println!("E2: Figure 3 — execution time vs search space (EST banks), scale {scale}\n");
+    let mut rows: Vec<(f64, String, f64, f64)> = Vec::new();
+    for (a, b) in EST_PAIRS {
+        let out = run_pair(a, b, scale);
+        rows.push((
+            out.row.search_space,
+            out.row.banks.clone(),
+            out.row.scoris_secs,
+            out.row.blast_secs,
+        ));
+        eprintln!("  done {} ({:.2} Mbp^2)", out.row.banks, out.row.search_space);
+    }
+    rows.sort_by(|x, y| x.0.partial_cmp(&y.0).unwrap());
+
+    let mut t = Table::new(vec![
+        "banks",
+        "search space (Mbp^2)",
+        "SCORIS-N (s)",
+        "BLASTN-like (s)",
+    ]);
+    for (space, name, s, bl) in &rows {
+        t.row(vec![
+            name.clone(),
+            format!("{space:.2}"),
+            format!("{s:.3}"),
+            format!("{bl:.3}"),
+        ]);
+    }
+    print!("{t}");
+    println!("\nseries (x = Mbp^2):");
+    let xs: Vec<String> = rows.iter().map(|r| format!("{:.1}", r.0)).collect();
+    let ys: Vec<String> = rows.iter().map(|r| format!("{:.3}", r.2)).collect();
+    let yb: Vec<String> = rows.iter().map(|r| format!("{:.3}", r.3)).collect();
+    println!("  x        = [{}]", xs.join(", "));
+    println!("  scoris_n = [{}]", ys.join(", "));
+    println!("  blastn   = [{}]", yb.join(", "));
+}

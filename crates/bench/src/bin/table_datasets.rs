@@ -1,0 +1,31 @@
+//! E1 — regenerates the paper's section-3.2 data-set table.
+//!
+//! Prints, for every bank analogue at the chosen scale: name, number of
+//! sequences and residue count, next to the paper's original values.
+
+use oris_bench::scale_from_args;
+use oris_eval::Table;
+use oris_simulate::banks::{build, paper_bank_specs, SimConfig};
+
+fn main() {
+    let scale = scale_from_args();
+    println!("E1: data set table (paper section 3.2), scale {scale}\n");
+    let mut t = Table::new(vec![
+        "Bank",
+        "paper nb.seq",
+        "paper Mbp",
+        "ours nb.seq",
+        "ours Mbp",
+    ]);
+    for spec in paper_bank_specs() {
+        let nb = build(&spec, SimConfig { scale });
+        t.row(vec![
+            spec.name.to_string(),
+            format!("{}", spec.paper_seqs),
+            format!("{:.2}", spec.paper_mbp),
+            format!("{}", nb.bank.num_sequences()),
+            format!("{:.2}", nb.bank.mbp()),
+        ]);
+    }
+    print!("{t}");
+}

@@ -1,0 +1,50 @@
+//! E7 — the section-3.1 memory model: "The index structure required for
+//! storing a bank of size N … is approximately equal to 5×N bytes."
+//!
+//! Measures the actual footprint (SEQ array + dictionary + successor
+//! chains + occurrence bit-set) across the bank grid and reports the
+//! bytes-per-residue ratio. The paper's 5·N holds for N ≫ 4^W; the
+//! dictionary adds a constant 16 MiB at W = 11.
+
+use oris_bench::{bank, scale_from_args};
+use oris_core::OrisConfig;
+use oris_eval::Table;
+use oris_index::{BankIndex, IndexConfig};
+
+fn main() {
+    let scale = scale_from_args();
+    let cfg = OrisConfig::default();
+    println!(
+        "E7: index memory footprint (paper section 3.1), W = {}, scale {scale}\n",
+        cfg.w
+    );
+    let mut t = Table::new(vec![
+        "bank",
+        "residues",
+        "SEQ bytes",
+        "index bytes",
+        "total bytes",
+        "bytes / residue",
+    ]);
+    for name in ["EST1", "EST3", "EST5", "EST7", "VRL", "BCT", "H19", "H10"] {
+        let b = bank(name, scale);
+        let idx = BankIndex::build(&b, IndexConfig::full(cfg.w));
+        let stats = idx.stats();
+        let n = b.num_residues();
+        t.row(vec![
+            name.to_string(),
+            format!("{n}"),
+            format!("{}", b.data().len()),
+            format!("{}", stats.index_bytes),
+            format!("{}", stats.total_bytes),
+            format!("{:.2}", stats.total_bytes as f64 / n as f64),
+        ]);
+        eprintln!("  done {name}");
+    }
+    print!("{t}");
+    println!(
+        "\npaper model: ~5 bytes/residue (1 SEQ + 4 INDEX) plus the 4^W dictionary ({} MiB at W={})",
+        (4usize.pow(11) * 4) >> 20,
+        11
+    );
+}

@@ -1,0 +1,35 @@
+//! E5 — the section-3.4 EST sensitivity tables (SCORISmiss and BLASTmiss).
+//!
+//! For each EST pair, both engines run and their `-m 8` outputs are
+//! compared with the 80 %-overlap equivalence. Paper shape: a few percent
+//! missed in each direction, borderline low-score alignments dominating
+//! the misses.
+
+use oris_bench::{pct, run_pair, scale_from_args, EST_PAIRS};
+use oris_eval::Table;
+
+fn main() {
+    let scale = scale_from_args();
+    println!("E5: EST sensitivity tables (paper section 3.4), scale {scale}\n");
+    let mut t1 = Table::new(vec!["banks", "BLtotal", "SCmiss", "SCORISmiss"]);
+    let mut t2 = Table::new(vec!["banks", "SCtotal", "BLmiss", "BLASTmiss"]);
+    for (a, b) in EST_PAIRS {
+        let out = run_pair(a, b, scale);
+        let m = out.miss;
+        t1.row(vec![
+            out.row.banks.clone(),
+            format!("{}", m.b_total),
+            format!("{}", m.a_miss),
+            pct(m.a_miss_pct()),
+        ]);
+        t2.row(vec![
+            out.row.banks.clone(),
+            format!("{}", m.a_total),
+            format!("{}", m.b_miss),
+            pct(m.b_miss_pct()),
+        ]);
+        eprintln!("  done {}", out.row.banks);
+    }
+    println!("SCORIS-N misses relative to BLASTN-like:\n{t1}");
+    println!("BLASTN-like misses relative to SCORIS-N:\n{t2}");
+}

@@ -1,0 +1,34 @@
+//! E6 — the section-3.4 large-bank sensitivity tables.
+//!
+//! Paper shape: miss rates far below the EST ones (≤ 1.4 %, several rows
+//! at or near 0 %), with one pair (H10 vs BCT) reporting no alignments at
+//! all in the paper.
+
+use oris_bench::{pct, run_pair, scale_from_args, LARGE_PAIRS};
+use oris_eval::Table;
+
+fn main() {
+    let scale = scale_from_args();
+    println!("E6: large-bank sensitivity tables (paper section 3.4), scale {scale}\n");
+    let mut t1 = Table::new(vec!["banks", "BLtotal", "SCmiss", "SCORISmiss"]);
+    let mut t2 = Table::new(vec!["banks", "SCtotal", "BLmiss", "BLASTmiss"]);
+    for (a, b) in LARGE_PAIRS {
+        let out = run_pair(a, b, scale);
+        let m = out.miss;
+        t1.row(vec![
+            out.row.banks.clone(),
+            format!("{}", m.b_total),
+            format!("{}", m.a_miss),
+            pct(m.a_miss_pct()),
+        ]);
+        t2.row(vec![
+            out.row.banks.clone(),
+            format!("{}", m.a_total),
+            format!("{}", m.b_miss),
+            pct(m.b_miss_pct()),
+        ]);
+        eprintln!("  done {}", out.row.banks);
+    }
+    println!("SCORIS-N misses relative to BLASTN-like:\n{t1}");
+    println!("BLASTN-like misses relative to SCORIS-N:\n{t2}");
+}

@@ -1,0 +1,34 @@
+//! E4 — the section-3.3 large-bank speed-up table.
+//!
+//! Six rows of genome-scale pairs. Paper shape: speed-ups smaller than on
+//! the EST grid (5–9× vs 10–29×) "mostly because in that situation
+//! BLASTN performs well".
+
+use oris_bench::{run_pair, scale_from_args, LARGE_PAIRS, PAPER_LARGE_SPEEDUPS};
+use oris_eval::Table;
+
+fn main() {
+    let scale = scale_from_args();
+    println!("E4: large-bank speed-up table (paper section 3.3), scale {scale}\n");
+    let mut t = Table::new(vec![
+        "banks",
+        "search space (Mbp^2)",
+        "SCORIS-N (s)",
+        "BLASTN-like (s)",
+        "speed up",
+        "paper speed up",
+    ]);
+    for ((a, b), paper) in LARGE_PAIRS.iter().zip(PAPER_LARGE_SPEEDUPS) {
+        let out = run_pair(a, b, scale);
+        t.row(vec![
+            out.row.banks.clone(),
+            format!("{:.0}", out.row.search_space),
+            format!("{:.3}", out.row.scoris_secs),
+            format!("{:.3}", out.row.blast_secs),
+            format!("{:.1}", out.row.speedup()),
+            format!("{paper:.1}"),
+        ]);
+        eprintln!("  done {}", out.row.banks);
+    }
+    print!("{t}");
+}

@@ -1,0 +1,382 @@
+//! The full BLASTN-style pipeline: filter → lookup → scan → gapped stage.
+
+use oris_core::{step3, step4};
+use oris_dust::{DustMasker, EntropyMasker, Masker};
+use oris_eval::M8Record;
+use oris_index::{BankIndex, IndexConfig};
+use oris_seqio::Bank;
+
+use crate::config::BlastConfig;
+use crate::scan::{scan_bank, ScanStats};
+
+/// Timing and counter report for one baseline run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct BlastStats {
+    /// Seconds building the query lookup table (and masks).
+    pub lookup_secs: f64,
+    /// Seconds scanning the subject bank.
+    pub scan_secs: f64,
+    /// Seconds in the gapped stage.
+    pub gapped_secs: f64,
+    /// Seconds producing records.
+    pub output_secs: f64,
+    /// HSPs surviving the scan.
+    pub hsps: usize,
+    /// Scan counters.
+    pub scan: ScanStats,
+    /// Alignments before the e-value filter.
+    pub raw_alignments: usize,
+}
+
+impl BlastStats {
+    /// Total wall-clock seconds.
+    pub fn total_secs(&self) -> f64 {
+        self.lookup_secs + self.scan_secs + self.gapped_secs + self.output_secs
+    }
+}
+
+/// Result of one baseline comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlastResult {
+    /// Final `-m 8` records, sorted by e-value.
+    pub alignments: Vec<M8Record>,
+    /// Timing/counter report.
+    pub stats: BlastStats,
+}
+
+fn mask_for(cfg: &BlastConfig, bank: &Bank) -> Option<oris_dust::MaskSet> {
+    match cfg.filter {
+        oris_core::FilterKind::None => None,
+        oris_core::FilterKind::Dust => Some(DustMasker::default().mask_bank(bank)),
+        oris_core::FilterKind::Entropy => Some(EntropyMasker::default().mask_bank(bank)),
+    }
+}
+
+/// Splits bank-1 records into batches of roughly `batch_nt` residues
+/// (always at least one record per batch), rebuilding each batch as a
+/// stand-alone bank with the original sequence names.
+fn query_batches(bank1: &Bank, batch_nt: usize) -> Vec<Bank> {
+    let mut out = Vec::new();
+    let mut builder: Option<oris_seqio::BankBuilder> = None;
+    let mut acc = 0usize;
+    for i in 0..bank1.num_sequences() {
+        let rec = bank1.record(i);
+        if builder.is_some() && acc > 0 && acc + rec.len > batch_nt {
+            out.push(builder.take().unwrap().finish());
+            acc = 0;
+        }
+        let b = builder.get_or_insert_with(oris_seqio::BankBuilder::new);
+        b.push_codes(&rec.name, bank1.sequence(i));
+        acc += rec.len;
+    }
+    if let Some(b) = builder {
+        out.push(b.finish());
+    }
+    out
+}
+
+/// The blastall-style batched pipeline: lookup per query batch, full
+/// database rescan per batch. Same records as the one-pass pipeline
+/// (e-values use the full query-bank size), different cost structure.
+fn run_batched(bank1: &Bank, bank2: &Bank, cfg: &BlastConfig, batch_nt: usize) -> BlastResult {
+    let mut stats = BlastStats::default();
+    let oris_cfg = cfg.as_oris();
+    let full_query_residues = bank1.num_residues();
+
+    // Subject mask computed once, reused across batches.
+    let t0 = std::time::Instant::now();
+    let mask2 = mask_for(cfg, bank2).map(|m| m.dilated_left(cfg.w));
+    stats.lookup_secs += t0.elapsed().as_secs_f64();
+
+    let mut records: Vec<M8Record> = Vec::new();
+    for batch in query_batches(bank1, batch_nt) {
+        let t0 = std::time::Instant::now();
+        let m1 = mask_for(cfg, &batch);
+        let lookup = match &m1 {
+            Some(m) => {
+                let dilated = m.dilated_left(cfg.w);
+                BankIndex::build_filtered(&batch, IndexConfig::full(cfg.w), |p| {
+                    dilated.contains(p)
+                })
+            }
+            None => BankIndex::build(&batch, IndexConfig::full(cfg.w)),
+        };
+        stats.lookup_secs += t0.elapsed().as_secs_f64();
+
+        let t0 = std::time::Instant::now();
+        let (hsps, scan_stats) = scan_bank(&batch, &lookup, bank2, cfg, mask2.as_ref());
+        stats.hsps += hsps.len();
+        stats.scan = ScanStats {
+            probes: stats.scan.probes + scan_stats.probes,
+            hits: stats.scan.hits + scan_stats.hits,
+            suppressed: stats.scan.suppressed + scan_stats.suppressed,
+            extensions: stats.scan.extensions + scan_stats.extensions,
+            kept: stats.scan.kept + scan_stats.kept,
+        };
+        stats.scan_secs += t0.elapsed().as_secs_f64();
+
+        let t0 = std::time::Instant::now();
+        let (alns, _) = step3::gapped_alignments(&batch, bank2, &hsps, &oris_cfg);
+        stats.raw_alignments += alns.len();
+        stats.gapped_secs += t0.elapsed().as_secs_f64();
+
+        let t0 = std::time::Instant::now();
+        let (recs, _) = step4::display_records_with_query_space(
+            &batch,
+            bank2,
+            &alns,
+            &oris_cfg,
+            full_query_residues,
+        );
+        records.extend(recs);
+        stats.output_secs += t0.elapsed().as_secs_f64();
+    }
+
+    // Global e-value sort across batches (matches the one-pass order).
+    let t0 = std::time::Instant::now();
+    records.sort_by(|x, y| {
+        x.evalue
+            .partial_cmp(&y.evalue)
+            .unwrap()
+            .then_with(|| x.qid.cmp(&y.qid))
+            .then_with(|| x.sid.cmp(&y.sid))
+            .then_with(|| x.qstart.cmp(&y.qstart))
+            .then_with(|| x.sstart.cmp(&y.sstart))
+    });
+    stats.output_secs += t0.elapsed().as_secs_f64();
+
+    BlastResult {
+        alignments: records,
+        stats,
+    }
+}
+
+fn run_pipeline(bank1: &Bank, bank2: &Bank, cfg: &BlastConfig) -> BlastResult {
+    if let Some(batch_nt) = cfg.batch_nt {
+        return run_batched(bank1, bank2, cfg, batch_nt);
+    }
+    let mut stats = BlastStats::default();
+
+    // Lookup table over the query bank (+ masks for both banks).
+    let t0 = std::time::Instant::now();
+    let (lookup, mask2) = rayon::join(
+        || {
+            let m1 = mask_for(cfg, bank1);
+            match &m1 {
+                Some(m) => {
+                    // discard words overlapping masked regions (BLAST
+                    // lookup-table semantics)
+                    let dilated = m.dilated_left(cfg.w);
+                    BankIndex::build_filtered(bank1, IndexConfig::full(cfg.w), |p| {
+                        dilated.contains(p)
+                    })
+                }
+                None => BankIndex::build(bank1, IndexConfig::full(cfg.w)),
+            }
+        },
+        || mask_for(cfg, bank2).map(|m| m.dilated_left(cfg.w)),
+    );
+    stats.lookup_secs = t0.elapsed().as_secs_f64();
+
+    // Subject scan.
+    let t0 = std::time::Instant::now();
+    let (hsps, scan_stats) = scan_bank(bank1, &lookup, bank2, cfg, mask2.as_ref());
+    stats.hsps = hsps.len();
+    stats.scan = scan_stats;
+    stats.scan_secs = t0.elapsed().as_secs_f64();
+
+    // Shared gapped stage + output (identical machinery to the ORIS
+    // engine — the engines differ in hit detection only).
+    let oris_cfg = cfg.as_oris();
+    let t0 = std::time::Instant::now();
+    let (alns, _) = step3::gapped_alignments(bank1, bank2, &hsps, &oris_cfg);
+    stats.raw_alignments = alns.len();
+    stats.gapped_secs = t0.elapsed().as_secs_f64();
+
+    let t0 = std::time::Instant::now();
+    let (records, _) = step4::display_records(bank1, bank2, &alns, &oris_cfg);
+    stats.output_secs = t0.elapsed().as_secs_f64();
+
+    BlastResult {
+        alignments: records,
+        stats,
+    }
+}
+
+/// Compares two banks with the BLASTN-style baseline.
+///
+/// # Panics
+/// Panics if the configuration fails [`BlastConfig::validate`].
+pub fn compare_banks(bank1: &Bank, bank2: &Bank, cfg: &BlastConfig) -> BlastResult {
+    if let Err(e) = cfg.validate() {
+        panic!("invalid BLAST configuration: {e}");
+    }
+    match cfg.threads {
+        None => run_pipeline(bank1, bank2, cfg),
+        Some(n) => {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(n)
+                .build()
+                .expect("failed to build thread pool");
+            pool.install(|| run_pipeline(bank1, bank2, cfg))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oris_seqio::BankBuilder;
+
+    fn bank(seqs: &[&str]) -> Bank {
+        let mut b = BankBuilder::new();
+        for (i, s) in seqs.iter().enumerate() {
+            b.push_str(&format!("s{i}"), s).unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn end_to_end_finds_planted_homology() {
+        let core = "ATGGCGTACGTTAGCCTAGGCTTAACGGATCGATCCGGTAAGCT";
+        let b1 = bank(&[&format!("TTACCGGTTAACC{core}GGTTACGCAT")]);
+        let b2 = bank(&[&format!("CCGGAACCTT{core}TTGGCCAACGGT")]);
+        let r = compare_banks(&b1, &b2, &BlastConfig::small(8));
+        assert_eq!(r.alignments.len(), 1, "{:?}", r.alignments);
+        assert!(r.alignments[0].pident > 90.0);
+    }
+
+    #[test]
+    fn agrees_with_oris_engine_on_clean_input() {
+        // The cross-engine check underlying the paper's section 3.4: on
+        // inputs without filter-sensitive content, the two engines report
+        // the same alignments.
+        let cores = [
+            "ATGGCGTACGTTAGCCTAGGCTTAACGGATCGAT",
+            "GGCCATTAGGCCATTAACGGTTAACCGGATCCAT",
+            "TTGGCACGTGTCAAGGTCGATCGGATTACGGCAT",
+        ];
+        let b1 = bank(&[
+            &format!("TTAACC{}GGTTAA", cores[0]),
+            &format!("{}{}", cores[1], cores[2]),
+        ]);
+        let b2 = bank(&[
+            &format!("CCGG{}AATT", cores[1]),
+            cores[0],
+            &format!("AA{}TT", cores[2]),
+        ]);
+        let oris_cfg = oris_core::OrisConfig::small(8);
+        let blast_cfg = BlastConfig::matched(&oris_cfg);
+        let r_oris = oris_core::compare_banks(&b1, &b2, &oris_cfg);
+        let r_blast = compare_banks(&b1, &b2, &blast_cfg);
+        let rep = oris_eval::compare_outputs(&r_oris.alignments, &r_blast.alignments, 0.8);
+        assert_eq!(rep.a_miss, 0, "{rep:?}");
+        assert_eq!(rep.b_miss, 0, "{rep:?}");
+        assert!(rep.a_total > 0);
+    }
+
+    #[test]
+    fn stats_populated() {
+        let s = "ATGGCGTACGTTAGCCTAGGCTTAACGGATCGAT";
+        let b = bank(&[s]);
+        let r = compare_banks(&b, &b, &BlastConfig::small(6));
+        assert!(r.stats.hsps > 0);
+        assert!(r.stats.scan.probes > 0);
+        assert!(r.stats.total_secs() > 0.0);
+    }
+
+    #[test]
+    fn dust_filter_suppresses_repeats() {
+        let repeat = "CA".repeat(60);
+        let b1 = bank(&[&format!("ATGGCGTACGTTAGCC{repeat}")]);
+        let b2 = bank(&[&format!("GGCCATTAGGCCTTAA{repeat}")]);
+        let mut cfg = BlastConfig::small(8);
+        cfg.filter = oris_core::FilterKind::None;
+        let unfiltered = compare_banks(&b1, &b2, &cfg);
+        assert!(!unfiltered.alignments.is_empty());
+        cfg.filter = oris_core::FilterKind::Dust;
+        let filtered = compare_banks(&b1, &b2, &cfg);
+        assert!(filtered.alignments.len() < unfiltered.alignments.len());
+    }
+
+    #[test]
+    fn thread_count_does_not_change_output() {
+        let core = "ATGGCGTACGTTAGCCTAGGCTTAACGGATCGAT";
+        let seqs: Vec<String> = (0..8)
+            .map(|i| format!("{}{core}", "GT".repeat(i)))
+            .collect();
+        let refs: Vec<&str> = seqs.iter().map(|s| s.as_str()).collect();
+        let b1 = bank(&[core]);
+        let b2 = bank(&refs);
+        let mut cfg = BlastConfig::small(8);
+        cfg.threads = Some(1);
+        let r1 = compare_banks(&b1, &b2, &cfg);
+        cfg.threads = Some(4);
+        let r4 = compare_banks(&b1, &b2, &cfg);
+        assert_eq!(r1.alignments, r4.alignments);
+    }
+}
+
+#[cfg(test)]
+mod batch_tests {
+    use super::*;
+    use oris_seqio::BankBuilder;
+
+    fn bank(seqs: &[&str]) -> Bank {
+        let mut b = BankBuilder::new();
+        for (i, s) in seqs.iter().enumerate() {
+            b.push_str(&format!("s{i}"), s).unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn batching_changes_timing_not_records() {
+        let cores = [
+            "ATGGCGTACGTTAGCCTAGGCTTAACGGATCGAT",
+            "GGCCATTAGGCCATTAACGGTTAACCGGATCCAT",
+            "TTGGCACGTGTCAAGGTCGATCGGATTACGGCAT",
+            "CAGTACGGATTCAGGCATTACGATCAGGTTACGG",
+        ];
+        let seqs1: Vec<String> = cores.iter().map(|c| format!("TT{c}GG")).collect();
+        let refs1: Vec<&str> = seqs1.iter().map(|s| s.as_str()).collect();
+        let b1 = bank(&refs1);
+        let seqs2: Vec<String> = cores.iter().rev().map(|c| format!("AA{c}CC")).collect();
+        let refs2: Vec<&str> = seqs2.iter().map(|s| s.as_str()).collect();
+        let b2 = bank(&refs2);
+
+        let mut cfg = BlastConfig::small(8);
+        let one_pass = compare_banks(&b1, &b2, &cfg);
+        cfg.batch_nt = Some(40); // force ~one record per batch
+        let batched = compare_banks(&b1, &b2, &cfg);
+        assert_eq!(one_pass.alignments, batched.alignments);
+        assert!(batched.alignments.len() >= cores.len());
+    }
+
+    #[test]
+    fn query_batches_partition_all_records() {
+        let seqs: Vec<String> = (0..10).map(|i| "ACGT".repeat(5 + i)).collect();
+        let refs: Vec<&str> = seqs.iter().map(|s| s.as_str()).collect();
+        let b = bank(&refs);
+        let batches = query_batches(&b, 60);
+        let total: usize = batches.iter().map(|x| x.num_sequences()).sum();
+        assert_eq!(total, 10);
+        assert!(batches.len() > 1);
+        // every batch except possibly the last respects the budget unless
+        // a single record exceeds it
+        for batch in &batches {
+            assert!(batch.num_sequences() >= 1);
+        }
+        // names survive
+        assert_eq!(batches[0].record(0).name, "s0");
+    }
+
+    #[test]
+    fn oversized_record_gets_own_batch() {
+        let big = "ACGT".repeat(100);
+        let b = bank(&[&big, "ACGTACGT", "GGTTGGTT"]);
+        let batches = query_batches(&b, 50);
+        assert_eq!(batches[0].num_sequences(), 1);
+        assert_eq!(batches[0].num_residues(), 400);
+    }
+}

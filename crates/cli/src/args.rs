@@ -1,0 +1,148 @@
+//! Minimal command-line argument parser.
+//!
+//! Supports `--flag`, `--key value` and positional arguments; short
+//! aliases are declared by the caller. No dependency, no macros — just
+//! enough for the two binaries.
+
+use std::collections::HashMap;
+
+/// Argument parsing error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// Parsed arguments: positionals in order, options by canonical name.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    /// Positional arguments in order of appearance.
+    pub positional: Vec<String>,
+    /// `--key value` options, keyed by canonical (long) name.
+    pub options: HashMap<String, String>,
+    /// `--flag` switches present, by canonical name.
+    pub flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses `argv` (without the program name).
+    ///
+    /// `value_keys` lists option names (long form, no dashes) that take a
+    /// value; `flag_keys` lists boolean switches; `aliases` maps short
+    /// names (e.g. `"W"`) to canonical long names (e.g. `"word"`).
+    pub fn parse(
+        argv: &[String],
+        value_keys: &[&str],
+        flag_keys: &[&str],
+        aliases: &[(&str, &str)],
+    ) -> Result<Args, ArgError> {
+        let canon = |raw: &str| -> String {
+            let stripped = raw.trim_start_matches('-');
+            aliases
+                .iter()
+                .find(|(a, _)| *a == stripped)
+                .map(|(_, c)| c.to_string())
+                .unwrap_or_else(|| stripped.to_string())
+        };
+        let mut out = Args::default();
+        let mut it = argv.iter().peekable();
+        while let Some(arg) = it.next() {
+            if arg.starts_with('-') && arg.len() > 1 && !arg.chars().nth(1).unwrap().is_ascii_digit()
+            {
+                let name = canon(arg);
+                if flag_keys.contains(&name.as_str()) {
+                    out.flags.push(name);
+                } else if value_keys.contains(&name.as_str()) {
+                    let val = it
+                        .next()
+                        .ok_or_else(|| ArgError(format!("option --{name} needs a value")))?;
+                    out.options.insert(name, val.clone());
+                } else {
+                    return Err(ArgError(format!("unknown option {arg}")));
+                }
+            } else {
+                out.positional.push(arg.clone());
+            }
+        }
+        Ok(out)
+    }
+
+    /// Option value parsed as `T`, or `default` when absent.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError(format!("invalid value {v:?} for --{key}"))),
+        }
+    }
+
+    /// Whether a flag is present.
+    pub fn has_flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn positional_and_options() {
+        let a = Args::parse(
+            &argv(&["a.fa", "b.fa", "--word", "11", "-e", "0.001"]),
+            &["word", "evalue"],
+            &[],
+            &[("W", "word"), ("e", "evalue")],
+        )
+        .unwrap();
+        assert_eq!(a.positional, vec!["a.fa", "b.fa"]);
+        assert_eq!(a.get_or("word", 0usize).unwrap(), 11);
+        assert_eq!(a.get_or("evalue", 1.0f64).unwrap(), 0.001);
+    }
+
+    #[test]
+    fn flags_and_defaults() {
+        let a = Args::parse(
+            &argv(&["--stats", "x"]),
+            &["word"],
+            &["stats"],
+            &[],
+        )
+        .unwrap();
+        assert!(a.has_flag("stats"));
+        assert!(!a.has_flag("verbose"));
+        assert_eq!(a.get_or("word", 7usize).unwrap(), 7);
+    }
+
+    #[test]
+    fn unknown_option_is_error() {
+        assert!(Args::parse(&argv(&["--nope"]), &[], &[], &[]).is_err());
+    }
+
+    #[test]
+    fn missing_value_is_error() {
+        assert!(Args::parse(&argv(&["--word"]), &["word"], &[], &[]).is_err());
+    }
+
+    #[test]
+    fn negative_numbers_are_positional() {
+        let a = Args::parse(&argv(&["-5"]), &[], &[], &[]).unwrap();
+        assert_eq!(a.positional, vec!["-5"]);
+    }
+
+    #[test]
+    fn bad_value_type_is_error() {
+        let a = Args::parse(&argv(&["--word", "xyz"]), &["word"], &[], &[]).unwrap();
+        assert!(a.get_or("word", 0usize).is_err());
+    }
+}

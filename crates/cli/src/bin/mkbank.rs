@@ -1,0 +1,93 @@
+//! `mkbank` — materialize synthetic DNA banks as FASTA files.
+//!
+//! ```text
+//! mkbank <NAME|random> [options]
+//!
+//!   NAME                one of the paper banks: EST1..EST7, VRL, BCT, H10, H19
+//!   --scale F           size multiplier over the reduced grid (default 1.0)
+//!   -o, --out FILE      output FASTA (default <name>.fa)
+//!
+//! random mode:
+//!   mkbank random --seqs N --len L [--gc F] [--seed S] [-o FILE]
+//!
+//!   --list              print the data-set table (paper section 3.2) and exit
+//! ```
+
+use std::process::ExitCode;
+
+use oris_cli::Args;
+use oris_simulate as sim;
+
+fn usage() -> &'static str {
+    "usage: mkbank <EST1..EST7|VRL|BCT|H10|H19|random> [--scale f] [-o out.fa]\n\
+     \tmkbank random --seqs N --len L [--gc f] [--seed s] [-o out.fa]\n\
+     \tmkbank --list"
+}
+
+fn run() -> Result<(), String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = Args::parse(
+        &argv,
+        &["scale", "out", "seqs", "len", "gc", "seed"],
+        &["list", "help"],
+        &[("o", "out"), ("h", "help")],
+    )
+    .map_err(|e| format!("{e}\n{}", usage()))?;
+
+    if args.has_flag("help") {
+        println!("{}", usage());
+        return Ok(());
+    }
+    if args.has_flag("list") {
+        let mut t = oris_eval::Table::new(vec!["Bank", "Origin (analogue)", "paper Mbp", "unit nt"]);
+        for s in sim::paper_bank_specs() {
+            t.row(vec![
+                s.name.to_string(),
+                format!("{:?}", s.kind),
+                format!("{:.2}", s.paper_mbp),
+                format!("{}", s.unit_nt),
+            ]);
+        }
+        print!("{t}");
+        return Ok(());
+    }
+    if args.positional.len() != 1 {
+        return Err(format!("expected a bank name\n{}", usage()));
+    }
+    let name = &args.positional[0];
+
+    let bank = if name == "random" {
+        let seqs: usize = args.get_or("seqs", 100).map_err(|e| e.to_string())?;
+        let len: usize = args.get_or("len", 500).map_err(|e| e.to_string())?;
+        let gc: f64 = args.get_or("gc", 0.5).map_err(|e| e.to_string())?;
+        let seed: u64 = args.get_or("seed", 42).map_err(|e| e.to_string())?;
+        sim::random_bank(seed, seqs, len, gc)
+    } else {
+        let scale: f64 = args.get_or("scale", 1.0).map_err(|e| e.to_string())?;
+        if sim::banks::spec_by_name(name).is_none() {
+            return Err(format!("unknown bank {name:?}\n{}", usage()));
+        }
+        sim::paper_bank(name, scale).bank
+    };
+
+    let default_name = format!("{}.fa", name.to_lowercase());
+    let out = args.options.get("out").cloned().unwrap_or(default_name);
+    oris_seqio::fasta::write_fasta_file(&bank, &out).map_err(|e| format!("{out}: {e}"))?;
+    eprintln!(
+        "mkbank: wrote {} ({} sequences, {} nt) to {out}",
+        name,
+        bank.num_sequences(),
+        bank.num_residues()
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("mkbank: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

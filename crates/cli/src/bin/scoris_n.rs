@@ -1,0 +1,158 @@
+//! `scoris-n` — Sequence COmparison using the ORIS algorithm on
+//! Nucleotides (the paper's prototype, as a command-line tool).
+//!
+//! ```text
+//! scoris-n <bank1.fa> <bank2.fa> [options]
+//!
+//!   -W, --word N        seed length (default 11)
+//!   -e, --evalue X      e-value threshold (default 1e-3, the paper's -e)
+//!   -x, --xdrop N       ungapped X-drop (default 20)
+//!   -X, --xdrop-gap N   gapped X-drop (default 25)
+//!   -s, --minscore N    minimum HSP score S1 (default 18)
+//!   -f, --filter KIND   none | entropy | dust (default entropy)
+//!   -t, --threads N     worker threads (default: all cores)
+//!       --engine NAME   oris | blast (default oris)
+//!       --asymmetric    asymmetric (W−1)-mer indexing (section 3.4)
+//!       --both-strands  also search the complementary strand (sstart > send)
+//!       --stats         print per-step timings to stderr
+//!   -o, --out FILE      write -m 8 records to FILE (default stdout)
+//! ```
+
+use std::io::Write;
+use std::process::ExitCode;
+
+use oris_cli::Args;
+use oris_core::{FilterKind, OrisConfig};
+
+fn usage() -> &'static str {
+    "usage: scoris-n <bank1.fa> <bank2.fa> [-W n] [-e x] [-x n] [-X n] [-s n]\n\
+     \t[-f none|entropy|dust] [-t n] [--engine oris|blast] [--asymmetric]\n\
+     \t[--both-strands]\n\
+     \t[--stats] [-o out.m8]"
+}
+
+fn run() -> Result<(), String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = Args::parse(
+        &argv,
+        &[
+            "word", "evalue", "xdrop", "xdrop-gap", "minscore", "filter", "threads", "engine",
+            "out",
+        ],
+        &["asymmetric", "both-strands", "stats", "help"],
+        &[
+            ("W", "word"),
+            ("e", "evalue"),
+            ("x", "xdrop"),
+            ("X", "xdrop-gap"),
+            ("s", "minscore"),
+            ("f", "filter"),
+            ("t", "threads"),
+            ("o", "out"),
+            ("h", "help"),
+        ],
+    )
+    .map_err(|e| format!("{e}\n{}", usage()))?;
+
+    if args.has_flag("help") {
+        println!("{}", usage());
+        return Ok(());
+    }
+    if args.positional.len() != 2 {
+        return Err(format!("expected two FASTA banks\n{}", usage()));
+    }
+
+    let filter = match args
+        .options
+        .get("filter")
+        .map(String::as_str)
+        .unwrap_or("entropy")
+    {
+        "none" => FilterKind::None,
+        "entropy" => FilterKind::Entropy,
+        "dust" => FilterKind::Dust,
+        other => return Err(format!("unknown filter {other:?}")),
+    };
+    let threads: usize = args.get_or("threads", 0).map_err(|e| e.to_string())?;
+
+    let cfg = OrisConfig {
+        w: args.get_or("word", 11).map_err(|e| e.to_string())?,
+        evalue_threshold: args.get_or("evalue", 1e-3).map_err(|e| e.to_string())?,
+        xdrop_ungapped: args.get_or("xdrop", 20).map_err(|e| e.to_string())?,
+        xdrop_gapped: args.get_or("xdrop-gap", 25).map_err(|e| e.to_string())?,
+        min_hsp_score: args.get_or("minscore", 18).map_err(|e| e.to_string())?,
+        filter,
+        asymmetric: args.has_flag("asymmetric"),
+        both_strands: args.has_flag("both-strands"),
+        threads: (threads > 0).then_some(threads),
+        ..OrisConfig::default()
+    };
+    cfg.validate()?;
+
+    let bank1 = oris_seqio::read_fasta_file(&args.positional[0])
+        .map_err(|e| format!("{}: {e}", args.positional[0]))?;
+    let bank2 = oris_seqio::read_fasta_file(&args.positional[1])
+        .map_err(|e| format!("{}: {e}", args.positional[1]))?;
+
+    let engine = args
+        .options
+        .get("engine")
+        .map(String::as_str)
+        .unwrap_or("oris");
+
+    let (records, report) = match engine {
+        "oris" => {
+            let r = oris_core::compare_banks(&bank1, &bank2, &cfg);
+            let s = r.stats;
+            (
+                r.alignments,
+                format!(
+                    "engine=oris index={:.3}s step2={:.3}s step3={:.3}s step4={:.3}s hsps={} alignments={} pairs={} aborted={} below={} kept={} masked1={:.4} masked2={:.4}",
+                    s.index_secs, s.step2_secs, s.step3_secs, s.step4_secs, s.hsps, s.step4.emitted,
+                    s.step2.pairs_examined, s.step2.aborted, s.step2.below_threshold, s.step2.kept,
+                    s.masked_fraction1, s.masked_fraction2
+                ),
+            )
+        }
+        "blast" => {
+            let bcfg = oris_blast::BlastConfig::matched(&cfg);
+            let r = oris_blast::compare_banks(&bank1, &bank2, &bcfg);
+            let s = r.stats;
+            (
+                r.alignments,
+                format!(
+                    "engine=blast lookup={:.3}s scan={:.3}s gapped={:.3}s output={:.3}s hsps={} alignments={} probes={} hits={} suppressed={} extensions={}",
+                    s.lookup_secs, s.scan_secs, s.gapped_secs, s.output_secs, s.hsps, s.raw_alignments,
+                    s.scan.probes, s.scan.hits, s.scan.suppressed, s.scan.extensions
+                ),
+            )
+        }
+        other => return Err(format!("unknown engine {other:?}")),
+    };
+
+    let mut out: Box<dyn Write> = match args.options.get("out") {
+        Some(path) => Box::new(std::io::BufWriter::new(
+            std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?,
+        )),
+        None => Box::new(std::io::BufWriter::new(std::io::stdout())),
+    };
+    for r in &records {
+        writeln!(out, "{r}").map_err(|e| e.to_string())?;
+    }
+    out.flush().map_err(|e| e.to_string())?;
+
+    if args.has_flag("stats") {
+        eprintln!("{report}");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("scoris-n: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! # oris-cli — command-line front ends
+//!
+//! Two binaries:
+//!
+//! * **`scoris-n`** — the paper's prototype as a tool: compares two FASTA
+//!   banks and writes BLAST `-m 8` records to stdout or a file. The
+//!   `--engine blast` flag runs the BLASTN-style baseline instead, so the
+//!   paper's timing methodology (`time scoris-n A B` vs the baseline) can
+//!   be replayed from a shell.
+//! * **`mkbank`** — materializes the synthetic paper banks (EST1…H19) or
+//!   custom random banks as FASTA files.
+//!
+//! Argument parsing is hand-rolled (the sanctioned dependency set carries
+//! no CLI crate); [`args`] holds the tiny parser shared by both binaries.
+
+pub mod args;
+
+pub use args::{ArgError, Args};

@@ -1,0 +1,162 @@
+//! ORIS pipeline configuration.
+
+use oris_align::ScoringScheme;
+
+/// Which low-complexity filter to apply before indexing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FilterKind {
+    /// No filtering.
+    None,
+    /// The windowed-entropy filter (the SCORIS-N-side filter, see
+    /// `oris-dust`). This is the ORIS default.
+    Entropy,
+    /// The DUST-style triplet filter (what BLASTN uses).
+    Dust,
+}
+
+/// Configuration of the ORIS pipeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OrisConfig {
+    /// Seed length `W` (the paper uses 11; asymmetric mode uses `W − 1`).
+    pub w: usize,
+    /// X-drop for the ungapped (step 2) extension.
+    pub xdrop_ungapped: i32,
+    /// X-drop for the gapped (step 3) extension.
+    pub xdrop_gapped: i32,
+    /// Minimum HSP score to keep after step 2 (the paper's `S1`).
+    pub min_hsp_score: i32,
+    /// E-value threshold on final alignments (the paper runs `-e 0.001`).
+    pub evalue_threshold: f64,
+    /// Scoring scheme (shared by both extension stages).
+    pub scheme: ScoringScheme,
+    /// Low-complexity filter applied before indexing.
+    pub filter: FilterKind,
+    /// Asymmetric indexing (paper section 3.4): index `W − 1`-mers, every
+    /// position on bank 1 but only every other position on bank 2. All
+    /// `W`-mer seed matches are still anchored, plus ~50 % of the
+    /// `(W−1)`-mer ones.
+    pub asymmetric: bool,
+    /// Also search the complementary strand of bank 2 (the paper's
+    /// announced next-release feature; BLASTN's `-S 3`). Minus-strand
+    /// alignments are reported BLAST-style with `sstart > send`.
+    pub both_strands: bool,
+    /// Worker threads for steps 1–3. `None` = rayon's global default;
+    /// `Some(1)` = fully sequential (reference behaviour).
+    pub threads: Option<usize>,
+    /// Maximum span of a gapped extension per direction (safety bound).
+    pub max_gapped_span: usize,
+}
+
+impl Default for OrisConfig {
+    fn default() -> Self {
+        OrisConfig {
+            w: 11,
+            xdrop_ungapped: 20,
+            xdrop_gapped: 25,
+            min_hsp_score: 18,
+            evalue_threshold: 1e-3,
+            scheme: ScoringScheme::blastn(),
+            filter: FilterKind::Entropy,
+            asymmetric: false,
+            both_strands: false,
+            threads: None,
+            max_gapped_span: 1 << 20,
+        }
+    }
+}
+
+impl OrisConfig {
+    /// A configuration for small inputs (tests, examples): short seeds and
+    /// a permissive e-value so toy banks produce alignments.
+    pub fn small(w: usize) -> OrisConfig {
+        OrisConfig {
+            w,
+            min_hsp_score: (w as i32) + 4,
+            evalue_threshold: 10.0,
+            filter: FilterKind::None,
+            ..Default::default()
+        }
+    }
+
+    /// The effective indexed word length (`W`, or `W − 1` in asymmetric
+    /// mode).
+    pub fn indexed_w(&self) -> usize {
+        if self.asymmetric {
+            self.w.saturating_sub(1).max(1)
+        } else {
+            self.w
+        }
+    }
+
+    /// Validates invariants; returns a human-readable complaint if any.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(1..=oris_index::MAX_SEED_LEN).contains(&self.indexed_w()) {
+            return Err(format!(
+                "indexed word length {} outside 1..={}",
+                self.indexed_w(),
+                oris_index::MAX_SEED_LEN
+            ));
+        }
+        if self.xdrop_ungapped <= 0 || self.xdrop_gapped <= 0 {
+            return Err("x-drop thresholds must be positive".into());
+        }
+        if self.evalue_threshold <= 0.0 {
+            return Err("e-value threshold must be positive".into());
+        }
+        if let Some(t) = self.threads {
+            if t == 0 {
+                return Err("thread count must be ≥ 1".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        assert_eq!(OrisConfig::default().validate(), Ok(()));
+    }
+
+    #[test]
+    fn paper_defaults() {
+        let c = OrisConfig::default();
+        assert_eq!(c.w, 11);
+        assert_eq!(c.evalue_threshold, 1e-3);
+    }
+
+    #[test]
+    fn asymmetric_uses_w_minus_one() {
+        let c = OrisConfig {
+            asymmetric: true,
+            ..Default::default()
+        };
+        assert_eq!(c.indexed_w(), 10);
+        let plain = OrisConfig::default();
+        assert_eq!(plain.indexed_w(), 11);
+    }
+
+    #[test]
+    fn validation_catches_bad_values() {
+        let mut c = OrisConfig::default();
+        c.w = 99;
+        assert!(c.validate().is_err());
+        let mut c = OrisConfig::default();
+        c.xdrop_ungapped = 0;
+        assert!(c.validate().is_err());
+        let mut c = OrisConfig::default();
+        c.threads = Some(0);
+        assert!(c.validate().is_err());
+        let mut c = OrisConfig::default();
+        c.evalue_threshold = -1.0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn small_config_is_valid() {
+        assert_eq!(OrisConfig::small(6).validate(), Ok(()));
+    }
+}

@@ -1,0 +1,97 @@
+//! High Scoring Pairs — ungapped alignments between two banks.
+
+/// One ungapped alignment (HSP) in global bank coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Hsp {
+    /// Start on bank 1 (global position).
+    pub start1: u32,
+    /// Start on bank 2 (global position).
+    pub start2: u32,
+    /// Length on both banks (ungapped).
+    pub len: u32,
+    /// Ungapped score.
+    pub score: i32,
+}
+
+impl Hsp {
+    /// Diagonal number `start1 − start2` — the sort key of steps 2→3
+    /// ("the storage is made by sorting the HSPs by diagonal number to
+    /// optimize data access of the next step").
+    #[inline]
+    pub fn diag(&self) -> i64 {
+        self.start1 as i64 - self.start2 as i64
+    }
+
+    /// End on bank 1 (exclusive).
+    #[inline]
+    pub fn end1(&self) -> u32 {
+        self.start1 + self.len
+    }
+
+    /// End on bank 2 (exclusive).
+    #[inline]
+    pub fn end2(&self) -> u32 {
+        self.start2 + self.len
+    }
+
+    /// Midpoint pair, the anchor of the step-3 gapped extension.
+    #[inline]
+    pub fn midpoint(&self) -> (usize, usize) {
+        (
+            (self.start1 + self.len / 2) as usize,
+            (self.start2 + self.len / 2) as usize,
+        )
+    }
+
+    /// Canonical ordering: by diagonal, then start, then length.
+    pub fn diag_order(a: &Hsp, b: &Hsp) -> std::cmp::Ordering {
+        a.diag()
+            .cmp(&b.diag())
+            .then(a.start1.cmp(&b.start1))
+            .then(a.len.cmp(&b.len))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diag_and_ends() {
+        let h = Hsp {
+            start1: 100,
+            start2: 40,
+            len: 25,
+            score: 20,
+        };
+        assert_eq!(h.diag(), 60);
+        assert_eq!(h.end1(), 125);
+        assert_eq!(h.end2(), 65);
+        assert_eq!(h.midpoint(), (112, 52));
+    }
+
+    #[test]
+    fn negative_diagonals() {
+        let h = Hsp {
+            start1: 5,
+            start2: 50,
+            len: 10,
+            score: 10,
+        };
+        assert_eq!(h.diag(), -45);
+    }
+
+    #[test]
+    fn sort_by_diag_then_start() {
+        let mut v = vec![
+            Hsp { start1: 9, start2: 0, len: 5, score: 5 },
+            Hsp { start1: 0, start2: 5, len: 5, score: 5 },
+            Hsp { start1: 5, start2: 5, len: 5, score: 5 },
+            Hsp { start1: 2, start2: 2, len: 5, score: 5 },
+        ];
+        v.sort_by(Hsp::diag_order);
+        let diags: Vec<i64> = v.iter().map(|h| h.diag()).collect();
+        assert_eq!(diags, vec![-5, 0, 0, 9]);
+        assert!(v[1].start1 < v[2].start1);
+    }
+}

@@ -1,0 +1,437 @@
+//! The full 4-step ORIS pipeline (paper Figure 1).
+
+use oris_dust::{DustMasker, EntropyMasker, Masker};
+use oris_eval::M8Record;
+use oris_index::{BankIndex, IndexConfig};
+use oris_seqio::Bank;
+
+use crate::config::{FilterKind, OrisConfig};
+use crate::step2::{self, Step2Stats};
+use crate::step3::{self, Step3Stats};
+use crate::step4::{self, Step4Stats};
+
+/// Timing and counter report for one pipeline run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PipelineStats {
+    /// Seconds spent in step 1 (masking + indexing).
+    pub index_secs: f64,
+    /// Seconds spent in step 2 (hit extension).
+    pub step2_secs: f64,
+    /// Seconds spent in step 3 (gapped extension).
+    pub step3_secs: f64,
+    /// Seconds spent in step 4 (records).
+    pub step4_secs: f64,
+    /// HSPs surviving step 2.
+    pub hsps: usize,
+    /// Gapped alignments out of step 3 (pre e-value filter).
+    pub raw_alignments: usize,
+    /// Step-2 counters.
+    pub step2: Step2Stats,
+    /// Step-3 counters.
+    pub step3: Step3Stats,
+    /// Step-4 counters.
+    pub step4: Step4Stats,
+    /// Fraction of bank-1 positions masked by the filter.
+    pub masked_fraction1: f64,
+    /// Fraction of bank-2 positions masked by the filter.
+    pub masked_fraction2: f64,
+    /// Index footprint (both banks), bytes — the paper's ≈5·N model.
+    pub index_bytes: usize,
+}
+
+impl PipelineStats {
+    /// Total wall-clock seconds.
+    pub fn total_secs(&self) -> f64 {
+        self.index_secs + self.step2_secs + self.step3_secs + self.step4_secs
+    }
+}
+
+/// Result of comparing two banks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrisResult {
+    /// Final `-m 8` records, sorted by e-value.
+    pub alignments: Vec<M8Record>,
+    /// Timing/counter report.
+    pub stats: PipelineStats,
+}
+
+fn mask_for(filter: FilterKind, bank: &Bank) -> Option<oris_dust::MaskSet> {
+    match filter {
+        FilterKind::None => None,
+        FilterKind::Entropy => Some(EntropyMasker::default().mask_bank(bank)),
+        FilterKind::Dust => Some(DustMasker::default().mask_bank(bank)),
+    }
+}
+
+fn build_index(bank: &Bank, cfg: IndexConfig, mask: &Option<oris_dust::MaskSet>) -> BankIndex {
+    match mask {
+        Some(m) => {
+            // BLAST masking semantics: discard a word when it *overlaps*
+            // a masked region (not only when it starts inside one).
+            let dilated = m.dilated_left(cfg.w);
+            BankIndex::build_filtered(bank, cfg, |p| dilated.contains(p))
+        }
+        None => BankIndex::build(bank, cfg),
+    }
+}
+
+fn run_pipeline(bank1: &Bank, bank2: &Bank, cfg: &OrisConfig) -> OrisResult {
+    let mut stats = PipelineStats::default();
+
+    // ---- Step 1: masking + indexing ------------------------------------
+    let t0 = std::time::Instant::now();
+    let w = cfg.indexed_w();
+    let icfg1 = IndexConfig::full(w);
+    let icfg2 = if cfg.asymmetric {
+        IndexConfig::asymmetric(w)
+    } else {
+        IndexConfig::full(w)
+    };
+    let ((mask1, idx1), (mask2, idx2)) = rayon::join(
+        || {
+            let m = mask_for(cfg.filter, bank1);
+            let i = build_index(bank1, icfg1, &m);
+            (m, i)
+        },
+        || {
+            let m = mask_for(cfg.filter, bank2);
+            let i = build_index(bank2, icfg2, &m);
+            (m, i)
+        },
+    );
+    stats.masked_fraction1 = mask1.as_ref().map_or(0.0, |m| m.masked_fraction());
+    stats.masked_fraction2 = mask2.as_ref().map_or(0.0, |m| m.masked_fraction());
+    stats.index_bytes = idx1.heap_bytes() + idx2.heap_bytes();
+    stats.index_secs = t0.elapsed().as_secs_f64();
+
+    // ---- Step 2: ordered hit extension ----------------------------------
+    let t0 = std::time::Instant::now();
+    let (hsps, s2) = step2::find_hsps(bank1, &idx1, bank2, &idx2, cfg);
+    stats.hsps = hsps.len();
+    stats.step2 = s2;
+    stats.step2_secs = t0.elapsed().as_secs_f64();
+
+    // ---- Step 3: gapped extension ---------------------------------------
+    let t0 = std::time::Instant::now();
+    let (alns, s3) = step3::gapped_alignments(bank1, bank2, &hsps, cfg);
+    stats.raw_alignments = alns.len();
+    stats.step3 = s3;
+    stats.step3_secs = t0.elapsed().as_secs_f64();
+
+    // ---- Step 4: records -------------------------------------------------
+    let t0 = std::time::Instant::now();
+    let (records, s4) = step4::display_records(bank1, bank2, &alns, cfg);
+    stats.step4 = s4;
+    stats.step4_secs = t0.elapsed().as_secs_f64();
+
+    OrisResult {
+        alignments: records,
+        stats,
+    }
+}
+
+/// Rewrites minus-strand records to original bank-2 coordinates.
+///
+/// A hit at subject positions `[s, e]` of the reverse-complemented record
+/// of length `L` corresponds to `[L−s+1, L−e+1]` on the original record's
+/// minus strand; BLAST reports such alignments with `sstart > send`.
+fn flip_minus_strand_records(records: &mut [M8Record], bank2: &Bank) {
+    use std::collections::HashMap;
+    let lengths: HashMap<&str, usize> = bank2
+        .records()
+        .iter()
+        .map(|r| (r.name.as_str(), r.len))
+        .collect();
+    for r in records.iter_mut() {
+        let len = *lengths
+            .get(r.sid.as_str())
+            .expect("minus-strand record names a bank-2 sequence");
+        let (s, e) = (r.sstart, r.send);
+        r.sstart = len - s + 1;
+        r.send = len - e + 1;
+    }
+}
+
+/// Merges plus- and minus-strand runs into one e-value-sorted result.
+fn merge_strands(mut plus: OrisResult, mut minus: OrisResult, bank2: &Bank) -> OrisResult {
+    flip_minus_strand_records(&mut minus.alignments, bank2);
+    let mut alignments = plus.alignments;
+    alignments.append(&mut minus.alignments);
+    alignments.sort_by(|x, y| {
+        x.evalue
+            .partial_cmp(&y.evalue)
+            .unwrap()
+            .then_with(|| x.qid.cmp(&y.qid))
+            .then_with(|| x.sid.cmp(&y.sid))
+            .then_with(|| x.qstart.cmp(&y.qstart))
+            .then_with(|| x.sstart.cmp(&y.sstart))
+    });
+    let s = &minus.stats;
+    plus.stats.index_secs += s.index_secs;
+    plus.stats.step2_secs += s.step2_secs;
+    plus.stats.step3_secs += s.step3_secs;
+    plus.stats.step4_secs += s.step4_secs;
+    plus.stats.hsps += s.hsps;
+    plus.stats.raw_alignments += s.raw_alignments;
+    OrisResult {
+        alignments,
+        stats: plus.stats,
+    }
+}
+
+/// Compares two banks with the ORIS algorithm.
+///
+/// This is the library's main entry point — the equivalent of running the
+/// SCORIS-N prototype on two FASTA banks. `cfg.threads` selects the worker
+/// count (a dedicated rayon pool); `None` uses the global pool. With
+/// `cfg.both_strands` the complementary strand of bank 2 is searched too
+/// (minus-strand records carry `sstart > send`, BLAST style).
+///
+/// # Panics
+/// Panics if the configuration fails [`OrisConfig::validate`].
+pub fn compare_banks(bank1: &Bank, bank2: &Bank, cfg: &OrisConfig) -> OrisResult {
+    if let Err(e) = cfg.validate() {
+        panic!("invalid ORIS configuration: {e}");
+    }
+    let run = |b2: &Bank| match cfg.threads {
+        None => run_pipeline(bank1, b2, cfg),
+        Some(n) => {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(n)
+                .build()
+                .expect("failed to build thread pool");
+            pool.install(|| run_pipeline(bank1, b2, cfg))
+        }
+    };
+    let plus = run(bank2);
+    if !cfg.both_strands {
+        return plus;
+    }
+    let rc = bank2.reverse_complement();
+    let minus = run(&rc);
+    merge_strands(plus, minus, bank2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oris_seqio::BankBuilder;
+
+    fn bank(seqs: &[&str]) -> Bank {
+        let mut b = BankBuilder::new();
+        for (i, s) in seqs.iter().enumerate() {
+            b.push_str(&format!("s{i}"), s).unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn end_to_end_finds_planted_homology() {
+        let core = "ATGGCGTACGTTAGCCTAGGCTTAACGGATCGATCCGGTAAGCT";
+        let b1 = bank(&[&format!("TTACCGGTTAACC{core}GGTTACGCAT")]);
+        let b2 = bank(&[&format!("CCGGAACCTT{core}TTGGCCAACGGT")]);
+        let r = compare_banks(&b1, &b2, &OrisConfig::small(8));
+        assert_eq!(r.alignments.len(), 1, "{:?}", r.alignments);
+        let a = &r.alignments[0];
+        assert!(a.length >= core.len());
+        assert!(a.pident > 90.0);
+    }
+
+    #[test]
+    fn no_homology_no_output() {
+        let b1 = bank(&["ATATATATGCGCGCGCATATATATGCGCGCGC"]);
+        let b2 = bank(&["GGTTCCAAGGTTCCAAGGTTCCAAGGTTCCAA"]);
+        let r = compare_banks(&b1, &b2, &OrisConfig::small(8));
+        assert!(r.alignments.is_empty());
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let core = "ATGGCGTACGTTAGCCTAGGCTTAACGGATCGAT";
+        let b1 = bank(&[core]);
+        let b2 = bank(&[core]);
+        let r = compare_banks(&b1, &b2, &OrisConfig::small(6));
+        assert!(r.stats.hsps > 0);
+        assert!(r.stats.raw_alignments > 0);
+        assert!(r.stats.index_bytes > 0);
+        assert!(r.stats.total_secs() > 0.0);
+        assert_eq!(r.stats.step4.emitted as usize, r.alignments.len());
+    }
+
+    #[test]
+    fn thread_count_does_not_change_output() {
+        let core1 = "ATGGCGTACGTTAGCCTAGGCTTAACGGATCGAT";
+        let core2 = "GGCCATTAGGCCATTAACGGTTAACCGGATCCAT";
+        let b1 = bank(&[core1, core2, &format!("{core1}TT{core2}")]);
+        let b2 = bank(&[core2, core1]);
+        let mut cfg = OrisConfig::small(7);
+        cfg.threads = Some(1);
+        let r1 = compare_banks(&b1, &b2, &cfg);
+        cfg.threads = Some(4);
+        let r4 = compare_banks(&b1, &b2, &cfg);
+        assert_eq!(r1.alignments, r4.alignments);
+    }
+
+    #[test]
+    fn filter_suppresses_low_complexity_matches() {
+        // Two banks sharing only a poly-A run: with the entropy filter the
+        // match disappears; without it, it is reported.
+        let polya = "A".repeat(120);
+        let b1 = bank(&[&format!("ATGGCGTACGTTAGCC{polya}")]);
+        let b2 = bank(&[&format!("GGCCATTAGGCCTTAA{polya}")]);
+        let mut cfg = OrisConfig::small(8);
+        cfg.filter = FilterKind::None;
+        let unfiltered = compare_banks(&b1, &b2, &cfg);
+        assert!(!unfiltered.alignments.is_empty());
+        cfg.filter = FilterKind::Entropy;
+        let filtered = compare_banks(&b1, &b2, &cfg);
+        assert!(filtered.alignments.len() < unfiltered.alignments.len());
+        assert!(filtered.stats.masked_fraction1 > 0.0);
+    }
+
+    #[test]
+    fn asymmetric_mode_still_finds_homology() {
+        let core = "ATGGCGTACGTTAGCCTAGGCTTAACGGATCGATCCGGTAAGCT";
+        let b1 = bank(&[&format!("TTACCGGTTAACC{core}GGTTACGCAT")]);
+        let b2 = bank(&[&format!("CCGGAACCTT{core}TTGGCCAACGGT")]);
+        let mut cfg = OrisConfig::small(8);
+        cfg.asymmetric = true;
+        let r = compare_banks(&b1, &b2, &cfg);
+        assert!(!r.alignments.is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_config_panics() {
+        let b = bank(&["ACGT"]);
+        let mut cfg = OrisConfig::small(6);
+        cfg.xdrop_ungapped = -1;
+        let _ = compare_banks(&b, &b, &cfg);
+    }
+
+    #[test]
+    fn empty_banks_are_handled() {
+        let empty = Bank::empty();
+        let b = bank(&["ACGTACGTACGTACGT"]);
+        let r = compare_banks(&empty, &b, &OrisConfig::small(6));
+        assert!(r.alignments.is_empty());
+        let r = compare_banks(&b, &empty, &OrisConfig::small(6));
+        assert!(r.alignments.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod strand_tests {
+    use super::*;
+    use oris_seqio::BankBuilder;
+
+    fn bank(seqs: &[&str]) -> Bank {
+        let mut b = BankBuilder::new();
+        for (i, s) in seqs.iter().enumerate() {
+            b.push_str(&format!("s{i}"), s).unwrap();
+        }
+        b.finish()
+    }
+
+    fn revcomp(s: &str) -> String {
+        s.chars()
+            .rev()
+            .map(|c| match c {
+                'A' => 'T',
+                'T' => 'A',
+                'C' => 'G',
+                'G' => 'C',
+                other => other,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn minus_strand_homology_needs_both_strands() {
+        // A/C-only core: its reverse complement is G/T-only, so no plus-
+        // strand seed can exist between the banks (and no accidental
+        // reverse-complement palindrome inside the core, unlike mixed
+        // sequence).
+        let core = "ACCACAACCCACAACACCAACCCAACACACCACAACCAAC";
+        let b1 = bank(&[&format!("TTACC{core}GGTTA")]);
+        // subject carries only the reverse complement of the core
+        let b2 = bank(&[&format!("CCGGA{}TTGGC", revcomp(core))]);
+        let mut cfg = OrisConfig::small(8);
+        let single = compare_banks(&b1, &b2, &cfg);
+        assert!(single.alignments.is_empty(), "{:?}", single.alignments);
+        cfg.both_strands = true;
+        let both = compare_banks(&b1, &b2, &cfg);
+        assert_eq!(both.alignments.len(), 1, "{:?}", both.alignments);
+        let a = &both.alignments[0];
+        assert!(a.sstart > a.send, "minus strand must report sstart > send");
+        assert!(a.length >= core.len());
+    }
+
+    #[test]
+    fn minus_strand_coordinates_map_back() {
+        // The reported subject range, read on the minus strand, must
+        // reverse-complement to the query range.
+        let core = "ATGGCGTACGTTAGCCTAGGCTTAACGGATCG";
+        let b1 = bank(&[core]);
+        let b2 = bank(&[&format!("GGTTCCAA{}AACCGGTT", revcomp(core))]);
+        let mut cfg = OrisConfig::small(8);
+        cfg.both_strands = true;
+        let r = compare_banks(&b1, &b2, &cfg);
+        assert_eq!(r.alignments.len(), 1);
+        let a = &r.alignments[0];
+        // subject slice on the plus strand is [send, sstart] (1-based)
+        let subj = b2.sequence_string(0);
+        let plus_slice = &subj[a.send - 1..a.sstart];
+        let q = b1.sequence_string(0);
+        let q_slice = &q[a.qstart - 1..a.qend];
+        assert_eq!(revcomp(plus_slice), q_slice);
+    }
+
+    #[test]
+    fn plus_strand_hits_unchanged_by_both_strands() {
+        let core = "ATGGCGTACGTTAGCCTAGGCTTAACGGATCGATCCGG";
+        let b1 = bank(&[core]);
+        let b2 = bank(&[&format!("TT{core}AA")]);
+        let mut cfg = OrisConfig::small(8);
+        let single = compare_banks(&b1, &b2, &cfg);
+        cfg.both_strands = true;
+        let both = compare_banks(&b1, &b2, &cfg);
+        // the plus-strand alignment is present in both runs
+        assert!(!single.alignments.is_empty());
+        for a in &single.alignments {
+            assert!(
+                both.alignments.iter().any(|b| b == a),
+                "plus-strand record lost: {a}"
+            );
+        }
+    }
+
+    #[test]
+    fn palindromic_subject_reports_both_strands() {
+        // A reverse-complement palindrome aligns on both strands.
+        let half = "ATGGCGTACGTTAGCC";
+        let palindrome = format!("{half}{}", {
+            let rc: String = half
+                .chars()
+                .rev()
+                .map(|c| match c {
+                    'A' => 'T',
+                    'T' => 'A',
+                    'C' => 'G',
+                    'G' => 'C',
+                    o => o,
+                })
+                .collect();
+            rc
+        });
+        let b1 = bank(&[&palindrome]);
+        let b2 = bank(&[&palindrome]);
+        let mut cfg = OrisConfig::small(8);
+        cfg.both_strands = true;
+        let r = compare_banks(&b1, &b2, &cfg);
+        let plus = r.alignments.iter().filter(|a| a.sstart <= a.send).count();
+        let minus = r.alignments.iter().filter(|a| a.sstart > a.send).count();
+        assert!(plus >= 1, "{:?}", r.alignments);
+        assert!(minus >= 1, "{:?}", r.alignments);
+    }
+}

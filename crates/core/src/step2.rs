@@ -1,0 +1,359 @@
+//! Step 2 — ordered seed enumeration and unique HSP generation.
+//!
+//! The heart of ORIS (paper section 2.2). For every seed code `s` in
+//! `0 .. 4^W`, in increasing order, every occurrence pair
+//! `(s1 ∈ index1, s2 ∈ index2)` is extended ungapped under the
+//! ordered-seed abort rule (`oris-align::ungapped`). The code-order
+//! enumeration has two effects the paper leans on:
+//!
+//! * **uniqueness** — an HSP is emitted only by the leftmost occurrence of
+//!   its smallest contained seed, so no duplicate-suppression structure is
+//!   needed;
+//! * **locality** — all sequence portions sharing a seed are processed
+//!   together ("implicitly and simultaneously moved into the cache
+//!   memory"), giving the nested loops near-perfect cache reuse.
+//!
+//! Because uniqueness is a property of the *rule*, not of the visit
+//! order, the outer loop parallelizes embarrassingly (paper section 4);
+//! [`find_hsps`] splits the code space into contiguous ranges processed by
+//! rayon and concatenates results in range order, so output is identical
+//! for any thread count.
+
+use oris_align::{extend_hit, ExtensionOutcome, OrderGuard, UngappedParams};
+use oris_index::BankIndex;
+use oris_seqio::Bank;
+use rayon::prelude::*;
+
+use crate::config::OrisConfig;
+use crate::hsp::Hsp;
+
+/// Counters reported by step 2.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Step2Stats {
+    /// Occurrence pairs examined (hit extensions attempted).
+    pub pairs_examined: u64,
+    /// Extensions aborted by the ordered-seed rule.
+    pub aborted: u64,
+    /// HSPs below the score threshold.
+    pub below_threshold: u64,
+    /// HSPs kept.
+    pub kept: u64,
+}
+
+impl Step2Stats {
+    fn merge(mut self, o: Step2Stats) -> Step2Stats {
+        self.pairs_examined += o.pairs_examined;
+        self.aborted += o.aborted;
+        self.below_threshold += o.below_threshold;
+        self.kept += o.kept;
+        self
+    }
+}
+
+/// Processes one contiguous range of seed codes sequentially.
+#[allow(clippy::too_many_arguments)]
+fn process_code_range(
+    bank1: &Bank,
+    idx1: &BankIndex,
+    bank2: &Bank,
+    idx2: &BankIndex,
+    params: &UngappedParams,
+    min_score: i32,
+    codes: std::ops::Range<u32>,
+    guard: OrderGuard<'_>,
+) -> (Vec<Hsp>, Step2Stats) {
+    let d1 = bank1.data();
+    let d2 = bank2.data();
+    let coder = idx1.coder();
+    let w = params.w as u32;
+    let mut out = Vec::new();
+    let mut stats = Step2Stats::default();
+
+    for code in codes {
+        let Some(first1) = idx1.first(code) else { continue };
+        let Some(first2) = idx2.first(code) else { continue };
+        // X1 × X2 hit extensions for this seed (paper notation).
+        let mut p1 = Some(first1);
+        while let Some(a) = p1 {
+            let mut p2 = Some(first2);
+            while let Some(b) = p2 {
+                stats.pairs_examined += 1;
+                match extend_hit(d1, d2, a as usize, b as usize, code, coder, params, guard) {
+                    ExtensionOutcome::Aborted => stats.aborted += 1,
+                    ExtensionOutcome::Hsp { score, left, right } => {
+                        if score > min_score {
+                            stats.kept += 1;
+                            out.push(Hsp {
+                                start1: a - left as u32,
+                                start2: b - left as u32,
+                                len: left as u32 + w + right as u32,
+                                score,
+                            });
+                        } else {
+                            stats.below_threshold += 1;
+                        }
+                    }
+                }
+                p2 = idx2.next_occurrence(b);
+            }
+            p1 = idx1.next_occurrence(a);
+        }
+    }
+    (out, stats)
+}
+
+/// Enumerates all seeds in code order and returns the unique HSPs,
+/// sorted by diagonal (the step-3 input order).
+pub fn find_hsps(
+    bank1: &Bank,
+    idx1: &BankIndex,
+    bank2: &Bank,
+    idx2: &BankIndex,
+    cfg: &OrisConfig,
+) -> (Vec<Hsp>, Step2Stats) {
+    // The indexed guard is required whenever positions may be excluded
+    // from an index (low-complexity masking, asymmetric stride): the rule
+    // must not defer to a seed the enumeration will never visit.
+    find_hsps_with_guard(
+        bank1,
+        idx1,
+        bank2,
+        idx2,
+        cfg,
+        OrderGuard::OrderedIndexed { idx1, idx2 },
+    )
+}
+
+/// Same enumeration with an explicit guard (the ablation uses
+/// [`OrderGuard::None`]).
+pub fn find_hsps_with_guard(
+    bank1: &Bank,
+    idx1: &BankIndex,
+    bank2: &Bank,
+    idx2: &BankIndex,
+    cfg: &OrisConfig,
+    guard: OrderGuard<'_>,
+) -> (Vec<Hsp>, Step2Stats) {
+    assert_eq!(
+        idx1.w(),
+        idx2.w(),
+        "both indexes must use the same word length"
+    );
+    let params = UngappedParams {
+        w: idx1.w(),
+        xdrop: cfg.xdrop_ungapped,
+        scheme: cfg.scheme,
+        max_span: usize::MAX / 4,
+    };
+    let num_codes = idx1.coder().num_seeds() as u32;
+
+    // Contiguous code ranges; enough chunks to load-balance (seed
+    // popularity is highly skewed), concatenated in order for
+    // thread-count-independent output.
+    let chunks = (rayon::current_num_threads() * 16).clamp(16, 1024) as u32;
+    let chunk = num_codes.div_ceil(chunks).max(1);
+    let ranges: Vec<std::ops::Range<u32>> = (0..num_codes)
+        .step_by(chunk as usize)
+        .map(|lo| lo..(lo + chunk).min(num_codes))
+        .collect();
+
+    let results: Vec<(Vec<Hsp>, Step2Stats)> = ranges
+        .into_par_iter()
+        .map(|r| process_code_range(bank1, idx1, bank2, idx2, &params, cfg.min_hsp_score, r, guard))
+        .collect();
+
+    let mut stats = Step2Stats::default();
+    let mut hsps = Vec::with_capacity(results.iter().map(|(v, _)| v.len()).sum());
+    for (v, s) in results {
+        hsps.extend(v);
+        stats = stats.merge(s);
+    }
+    // "the storage is made by sorting the HSPs by diagonal number to
+    // optimize data access of the next step"
+    hsps.sort_by(Hsp::diag_order);
+    hsps.dedup();
+    (hsps, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oris_index::IndexConfig;
+    use oris_seqio::BankBuilder;
+
+    fn bank(seqs: &[&str]) -> Bank {
+        let mut b = BankBuilder::new();
+        for (i, s) in seqs.iter().enumerate() {
+            b.push_str(&format!("s{i}"), s).unwrap();
+        }
+        b.finish()
+    }
+
+    fn cfg(w: usize) -> OrisConfig {
+        OrisConfig {
+            w,
+            min_hsp_score: w as i32, // keep anything extending past the seed
+            ..OrisConfig::small(w)
+        }
+    }
+
+    fn run(b1: &Bank, b2: &Bank, c: &OrisConfig) -> Vec<Hsp> {
+        let i1 = BankIndex::build(b1, IndexConfig::full(c.w));
+        let i2 = BankIndex::build(b2, IndexConfig::full(c.w));
+        find_hsps(b1, &i1, b2, &i2, c).0
+    }
+
+    #[test]
+    fn identical_sequences_give_one_hsp() {
+        let s = "ATGGCGTACGTTAGCCTAGGCTTA";
+        let b1 = bank(&[s]);
+        let b2 = bank(&[s]);
+        let hsps = run(&b1, &b2, &cfg(6));
+        // One full-length HSP on the main diagonal; off-diagonal repeats
+        // of 6-mers are absent in this diverse sequence.
+        assert_eq!(hsps.len(), 1, "{hsps:?}");
+        assert_eq!(hsps[0].len as usize, s.len());
+        assert_eq!(hsps[0].diag(), 0);
+        assert_eq!(hsps[0].score, s.len() as i32);
+    }
+
+    #[test]
+    fn unrelated_sequences_give_nothing() {
+        let b1 = bank(&["ATATATGCGCATATGCGCATATAT"]);
+        let b2 = bank(&["GGTTCCAAGGTTCCAAGGTTCCAA"]);
+        let hsps = run(&b1, &b2, &cfg(8));
+        assert!(hsps.is_empty(), "{hsps:?}");
+    }
+
+    #[test]
+    fn each_hsp_is_unique() {
+        // Long shared region: many seeds anchor the same HSP; the ordered
+        // rule must emit it once.
+        let shared = "ATGGCGTACGTTAGCCTAGGCTTAACGGATCGATCCGGTTAACC";
+        let b1 = bank(&[&format!("TTTT{shared}GGGG")]);
+        let b2 = bank(&[&format!("CCCC{shared}AAAA")]);
+        let hsps = run(&b1, &b2, &cfg(6));
+        let mut seen = std::collections::HashSet::new();
+        for h in &hsps {
+            assert!(seen.insert((h.start1, h.start2, h.len)), "duplicate {h:?}");
+        }
+        // The main shared HSP is found exactly once.
+        let main: Vec<&Hsp> = hsps
+            .iter()
+            .filter(|h| h.len as usize >= shared.len())
+            .collect();
+        assert_eq!(main.len(), 1, "{hsps:?}");
+    }
+
+    #[test]
+    fn hsps_are_diag_sorted() {
+        let shared = "ATGGCGTACGTTAGCCTAGG";
+        let b1 = bank(&[&format!("{shared}TTTTTTTTTT{shared}")]);
+        let b2 = bank(&[shared]);
+        let hsps = run(&b1, &b2, &cfg(6));
+        assert!(hsps.len() >= 2);
+        for w in hsps.windows(2) {
+            assert!(Hsp::diag_order(&w[0], &w[1]) != std::cmp::Ordering::Greater);
+        }
+    }
+
+    #[test]
+    fn score_threshold_filters() {
+        let shared = "ATGGCGTACGTTAGCCTAGGCTTA";
+        let b1 = bank(&[shared]);
+        let b2 = bank(&[shared]);
+        let mut c = cfg(6);
+        c.min_hsp_score = 1000;
+        let hsps = run(&b1, &b2, &c);
+        assert!(hsps.is_empty());
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        // Same inputs, forced single-chunk vs default parallel: identical
+        // HSP vectors (order included).
+        let shared = "ATGGCGTACGTTAGCCTAGGCTTAACGGATCGATCCGGTTAACC";
+        let b1 = bank(&[
+            &format!("AAAACC{shared}"),
+            "TTGGCCATGGCCAATT",
+            &format!("{shared}GGTTAA"),
+        ]);
+        let b2 = bank(&[&format!("TTTTG{shared}ACGT"), "CCGGTTAACCGGTTAA"]);
+        let c = cfg(5);
+        let i1 = BankIndex::build(&b1, IndexConfig::full(c.w));
+        let i2 = BankIndex::build(&b2, IndexConfig::full(c.w));
+
+        let pool1 = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let pool4 = rayon::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let (h1, s1) = pool1.install(|| find_hsps(&b1, &i1, &b2, &i2, &c));
+        let (h4, s4) = pool4.install(|| find_hsps(&b1, &i1, &b2, &i2, &c));
+        assert_eq!(h1, h4);
+        assert_eq!(s1, s4);
+    }
+
+    #[test]
+    fn stats_account_for_all_pairs() {
+        let shared = "ATGGCGTACGTTAGCC";
+        let b1 = bank(&[shared, "AAAATTTTGGGGCCCC"]);
+        let b2 = bank(&[shared]);
+        let c = cfg(4);
+        let i1 = BankIndex::build(&b1, IndexConfig::full(c.w));
+        let i2 = BankIndex::build(&b2, IndexConfig::full(c.w));
+        let (_, st) = find_hsps(&b1, &i1, &b2, &i2, &c);
+        assert_eq!(
+            st.pairs_examined,
+            st.aborted + st.below_threshold + st.kept
+        );
+        assert!(st.pairs_examined > 0);
+    }
+
+    #[test]
+    fn matches_bruteforce_hsp_set() {
+        // Reference: enumerate every hit pair, extend unguarded with the
+        // same xdrop, dedup the resulting (start1, start2, len) triples.
+        // The ordered generator must produce the same set.
+        use oris_align::{extend_hit, ExtensionOutcome, OrderGuard, UngappedParams};
+        let b1 = bank(&["ATGGCGTACGTTAGCCTAGGACGGATCGAT", "GGCCTTAAGGCCTTAA"]);
+        let b2 = bank(&["TTATGGCGTACGTTAGCCTAGGTT", "CGGATCGATACGT"]);
+        let c = cfg(5);
+        let i1 = BankIndex::build(&b1, IndexConfig::full(c.w));
+        let i2 = BankIndex::build(&b2, IndexConfig::full(c.w));
+        let params = UngappedParams {
+            w: c.w,
+            xdrop: c.xdrop_ungapped,
+            scheme: c.scheme,
+            max_span: usize::MAX / 4,
+        };
+        let coder = i1.coder();
+        let mut brute = std::collections::HashSet::new();
+        for code in 0..coder.num_seeds() as u32 {
+            for a in i1.occurrences(code) {
+                for b in i2.occurrences(code) {
+                    if let ExtensionOutcome::Hsp { score, left, right } = extend_hit(
+                        b1.data(),
+                        b2.data(),
+                        a as usize,
+                        b as usize,
+                        code,
+                        coder,
+                        &params,
+                        OrderGuard::None,
+                    ) {
+                        if score > c.min_hsp_score {
+                            brute.insert((
+                                a - left as u32,
+                                b - left as u32,
+                                left as u32 + c.w as u32 + right as u32,
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        let ordered: std::collections::HashSet<(u32, u32, u32)> = run(&b1, &b2, &c)
+            .into_iter()
+            .map(|h| (h.start1, h.start2, h.len))
+            .collect();
+        assert_eq!(ordered, brute);
+    }
+}

@@ -1,0 +1,214 @@
+//! Step 4 — e-values, sorting, `-m 8` records (paper section 2.4).
+//!
+//! Alignments are mapped from global bank coordinates to 1-based
+//! sequence-local coordinates, given an expected value computed with the
+//! SCORIS-N convention (bank-1 total size × subject sequence length,
+//! paper section 3.1), filtered by the e-value threshold and sorted by
+//! increasing e-value ("the alignments are first sorted … according to a
+//! chosen criteria, for example the expected value attached to each
+//! alignment").
+
+use oris_eval::M8Record;
+use oris_seqio::Bank;
+use oris_stats::{EValueModel, SearchSpace};
+
+use crate::config::OrisConfig;
+use crate::step3::GappedAlignment;
+
+/// Counters reported by step 4.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Step4Stats {
+    /// Alignments dropped by the e-value threshold.
+    pub dropped_by_evalue: u64,
+    /// Records emitted.
+    pub emitted: u64,
+}
+
+/// Converts gapped alignments to sorted, filtered `-m 8` records.
+pub fn display_records(
+    bank1: &Bank,
+    bank2: &Bank,
+    alignments: &[GappedAlignment],
+    cfg: &OrisConfig,
+) -> (Vec<M8Record>, Step4Stats) {
+    display_records_with_query_space(bank1, bank2, alignments, cfg, bank1.num_residues())
+}
+
+/// Like [`display_records`], with an explicit query-side search-space size.
+///
+/// Needed when `bank1` is a *batch* of a larger bank (the baseline's
+/// blastall-style query batching): e-values must use the full bank size so
+/// batched and one-pass runs report identical records.
+pub fn display_records_with_query_space(
+    bank1: &Bank,
+    bank2: &Bank,
+    alignments: &[GappedAlignment],
+    cfg: &OrisConfig,
+    query_residues: usize,
+) -> (Vec<M8Record>, Step4Stats) {
+    let model = EValueModel::dna(cfg.scheme.matsch, cfg.scheme.mismatch);
+    let m = query_residues;
+    let mut stats = Step4Stats::default();
+    let mut out = Vec::with_capacity(alignments.len());
+
+    for a in alignments {
+        if a.len1 == 0 || a.len2 == 0 {
+            continue;
+        }
+        let r1 = bank1
+            .locate(a.start1)
+            .expect("alignment start must lie inside a query sequence");
+        let r2 = bank2
+            .locate(a.start2)
+            .expect("alignment start must lie inside a subject sequence");
+        let rec1 = bank1.record(r1);
+        let rec2 = bank2.record(r2);
+        let space = SearchSpace::scoris(m, rec2.len);
+        let evalue = model.evalue(a.score, space);
+        if evalue > cfg.evalue_threshold {
+            stats.dropped_by_evalue += 1;
+            continue;
+        }
+        stats.emitted += 1;
+        out.push(M8Record {
+            qid: rec1.name.clone(),
+            sid: rec2.name.clone(),
+            pident: a.stats.identity_pct(),
+            length: a.stats.length,
+            mismatch: a.stats.mismatches,
+            gapopen: a.stats.gap_opens,
+            qstart: rec1.to_local(a.start1) + 1,
+            qend: rec1.to_local(a.start1) + a.len1,
+            sstart: rec2.to_local(a.start2) + 1,
+            send: rec2.to_local(a.start2) + a.len2,
+            evalue,
+            bitscore: model.bit_score(a.score),
+        });
+    }
+
+    // Sort by e-value, tie-broken deterministically by coordinates.
+    out.sort_by(|x, y| {
+        x.evalue
+            .partial_cmp(&y.evalue)
+            .unwrap()
+            .then_with(|| x.qid.cmp(&y.qid))
+            .then_with(|| x.sid.cmp(&y.sid))
+            .then_with(|| x.qstart.cmp(&y.qstart))
+            .then_with(|| x.sstart.cmp(&y.sstart))
+    });
+    (out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::step3::GappedAlignment;
+    use oris_align::AlignStats;
+    use oris_seqio::BankBuilder;
+
+    fn bank(seqs: &[&str]) -> Bank {
+        let mut b = BankBuilder::new();
+        for (i, s) in seqs.iter().enumerate() {
+            b.push_str(&format!("s{i}"), s).unwrap();
+        }
+        b.finish()
+    }
+
+    fn perfect_alignment(start1: usize, start2: usize, len: usize) -> GappedAlignment {
+        let ops = vec![oris_align::AlignOp::Match; len];
+        GappedAlignment {
+            start1,
+            start2,
+            len1: len,
+            len2: len,
+            score: len as i32,
+            stats: AlignStats::from_ops(&ops),
+            diag_min: start1 as i64 - start2 as i64,
+            diag_max: start1 as i64 - start2 as i64,
+        }
+    }
+
+    fn cfg() -> OrisConfig {
+        OrisConfig {
+            evalue_threshold: 10.0,
+            ..OrisConfig::small(6)
+        }
+    }
+
+    #[test]
+    fn coordinates_are_one_based_local() {
+        let b1 = bank(&["AAAA", "ACGTACGTACGTACGTACGTACGTACGTACGT"]);
+        let b2 = bank(&["ACGTACGTACGTACGTACGTACGTACGTACGT"]);
+        // alignment of b1/s1 positions 0..32 with b2/s0: global start1 is
+        // record(1).start
+        let g1 = b1.record(1).start;
+        let g2 = b2.record(0).start;
+        let alns = vec![perfect_alignment(g1, g2, 32)];
+        let (recs, st) = display_records(&b1, &b2, &alns, &cfg());
+        assert_eq!(st.emitted, 1);
+        let r = &recs[0];
+        assert_eq!(r.qid, "s1");
+        assert_eq!(r.sid, "s0");
+        assert_eq!((r.qstart, r.qend), (1, 32));
+        assert_eq!((r.sstart, r.send), (1, 32));
+        assert!((r.pident - 100.0).abs() < 1e-9);
+        assert_eq!(r.mismatch, 0);
+        assert_eq!(r.gapopen, 0);
+    }
+
+    #[test]
+    fn evalue_threshold_filters() {
+        let s = "ACGTACGTACGTACGTACGTACGTACGTACGT";
+        let b1 = bank(&[s]);
+        let b2 = bank(&[s]);
+        let alns = vec![perfect_alignment(1, 1, 8)]; // short, weak score
+        let strict = OrisConfig {
+            evalue_threshold: 1e-12,
+            ..cfg()
+        };
+        let (recs, st) = display_records(&b1, &b2, &alns, &strict);
+        assert!(recs.is_empty());
+        assert_eq!(st.dropped_by_evalue, 1);
+    }
+
+    #[test]
+    fn sorted_by_evalue() {
+        let s = "ACGTACGTACGTACGTACGTACGTACGTACGT";
+        let b1 = bank(&[s]);
+        let b2 = bank(&[s]);
+        let alns = vec![
+            perfect_alignment(1, 1, 10),
+            perfect_alignment(1, 1, 30), // stronger → smaller e-value
+        ];
+        let (recs, _) = display_records(&b1, &b2, &alns, &cfg());
+        assert_eq!(recs.len(), 2);
+        assert!(recs[0].evalue <= recs[1].evalue);
+        assert_eq!(recs[0].length, 30);
+    }
+
+    #[test]
+    fn subject_length_enters_search_space() {
+        // Same alignment against a short vs a long subject sequence: the
+        // long-subject e-value is larger (SCORIS-N convention).
+        let q = "ACGTACGTACGTACGTACGTACGTACGTACGT";
+        let b1 = bank(&[q]);
+        let short = bank(&[q]);
+        let long = bank(&[&format!("{}{}", q, "T".repeat(2000))]);
+        let alns = vec![perfect_alignment(1, 1, 20)];
+        let (r_short, _) = display_records(&b1, &short, &alns, &cfg());
+        let (r_long, _) = display_records(&b1, &long, &alns, &cfg());
+        assert!(r_long[0].evalue > r_short[0].evalue);
+    }
+
+    #[test]
+    fn empty_alignment_skipped() {
+        let b1 = bank(&["ACGTACGT"]);
+        let b2 = bank(&["ACGTACGT"]);
+        let mut a = perfect_alignment(1, 1, 4);
+        a.len1 = 0;
+        a.len2 = 0;
+        let (recs, st) = display_records(&b1, &b2, &[a], &cfg());
+        assert!(recs.is_empty());
+        assert_eq!(st.emitted, 0);
+    }
+}

@@ -1,0 +1,31 @@
+//! # oris-eval — the paper's evaluation methodology (section 3)
+//!
+//! Everything section 3 of the paper measures lives here, engine-agnostic:
+//!
+//! * [`M8Record`]: the BLAST `-m 8` tabular alignment record both SCORIS-N
+//!   and BLASTN emit — twelve tab-separated fields, 1-based inclusive
+//!   coordinates;
+//! * [`overlap`]: the sensitivity metric — "two alignments are equivalent
+//!   if they overlap of more than 80 %";
+//! * [`sensitivity`]: the `SCmiss` / `BLmiss` / `SCORISmiss` / `BLASTmiss`
+//!   bookkeeping of section 3.4;
+//! * [`timing`]: wall-clock measurement and the speed-up rows of the
+//!   section 3.3 tables;
+//! * [`tables`]: plain-text table rendering so every bench binary prints
+//!   rows in the paper's layout.
+//!
+//! The engine crates (`oris-core`, `oris-blast`) depend on this crate for
+//! the record type; this crate depends on nothing, so the evaluation
+//! cannot accidentally favour either engine.
+
+pub mod m8;
+pub mod overlap;
+pub mod sensitivity;
+pub mod tables;
+pub mod timing;
+
+pub use m8::M8Record;
+pub use overlap::{equivalent, overlap_fraction};
+pub use sensitivity::{compare_outputs, MissReport};
+pub use tables::Table;
+pub use timing::{median_secs, time_secs, SpeedupRow};

@@ -1,0 +1,176 @@
+//! The BLAST `-m 8` tabular record.
+//!
+//! Both programs in the paper emit this format (SCORIS-N natively, BLASTN
+//! via `-m 8`), and the sensitivity analysis works entirely from it: "This
+//! format provides the main characteristics of an alignment on a single
+//! text line such as its coordinates, its identity percentage, its length,
+//! its score, its expected value, etc."
+//!
+//! Field order (tab-separated): query id, subject id, % identity,
+//! alignment length, mismatches, gap openings, q.start, q.end, s.start,
+//! s.end, e-value, bit score. Coordinates are 1-based inclusive.
+
+use std::fmt;
+
+/// One `-m 8` alignment record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct M8Record {
+    /// Query sequence identifier.
+    pub qid: String,
+    /// Subject sequence identifier.
+    pub sid: String,
+    /// Percent identity over alignment columns.
+    pub pident: f64,
+    /// Alignment length in columns.
+    pub length: usize,
+    /// Number of mismatched columns.
+    pub mismatch: usize,
+    /// Number of gap openings.
+    pub gapopen: usize,
+    /// Query start (1-based, inclusive).
+    pub qstart: usize,
+    /// Query end (1-based, inclusive).
+    pub qend: usize,
+    /// Subject start (1-based, inclusive).
+    pub sstart: usize,
+    /// Subject end (1-based, inclusive).
+    pub send: usize,
+    /// Expected value.
+    pub evalue: f64,
+    /// Bit score.
+    pub bitscore: f64,
+}
+
+impl M8Record {
+    /// Query span length (inclusive coordinates).
+    pub fn qspan(&self) -> usize {
+        self.qend.saturating_sub(self.qstart) + 1
+    }
+
+    /// Subject span length (inclusive coordinates).
+    pub fn sspan(&self) -> usize {
+        self.send.saturating_sub(self.sstart) + 1
+    }
+
+    /// Parses one `-m 8` line.
+    pub fn parse(line: &str) -> Option<M8Record> {
+        let mut it = line.trim_end().split('\t');
+        let qid = it.next()?.to_string();
+        let sid = it.next()?.to_string();
+        let pident = it.next()?.parse().ok()?;
+        let length = it.next()?.parse().ok()?;
+        let mismatch = it.next()?.parse().ok()?;
+        let gapopen = it.next()?.parse().ok()?;
+        let qstart = it.next()?.parse().ok()?;
+        let qend = it.next()?.parse().ok()?;
+        let sstart = it.next()?.parse().ok()?;
+        let send = it.next()?.parse().ok()?;
+        let evalue = it.next()?.parse().ok()?;
+        let bitscore = it.next()?.parse().ok()?;
+        Some(M8Record {
+            qid,
+            sid,
+            pident,
+            length,
+            mismatch,
+            gapopen,
+            qstart,
+            qend,
+            sstart,
+            send,
+            evalue,
+            bitscore,
+        })
+    }
+
+    /// Parses a whole `-m 8` file body, skipping comment lines (`#`).
+    pub fn parse_many(text: &str) -> Vec<M8Record> {
+        text.lines()
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .filter_map(M8Record::parse)
+            .collect()
+    }
+}
+
+impl fmt::Display for M8Record {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}\t{}\t{:.2}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{:.2e}\t{:.1}",
+            self.qid,
+            self.sid,
+            self.pident,
+            self.length,
+            self.mismatch,
+            self.gapopen,
+            self.qstart,
+            self.qend,
+            self.sstart,
+            self.send,
+            self.evalue,
+            self.bitscore
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> M8Record {
+        M8Record {
+            qid: "q1".into(),
+            sid: "s7".into(),
+            pident: 97.5,
+            length: 200,
+            mismatch: 5,
+            gapopen: 1,
+            qstart: 11,
+            qend: 210,
+            sstart: 1001,
+            send: 1198,
+            evalue: 1.5e-40,
+            bitscore: 180.4,
+        }
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        let r = sample();
+        let line = r.to_string();
+        let p = M8Record::parse(&line).unwrap();
+        assert_eq!(p.qid, r.qid);
+        assert_eq!(p.sid, r.sid);
+        assert_eq!(p.length, r.length);
+        assert_eq!(p.qstart, r.qstart);
+        assert_eq!(p.send, r.send);
+        assert!((p.pident - r.pident).abs() < 0.01);
+        assert!((p.evalue - r.evalue).abs() / r.evalue < 0.01);
+    }
+
+    #[test]
+    fn spans_are_inclusive() {
+        let r = sample();
+        assert_eq!(r.qspan(), 200);
+        assert_eq!(r.sspan(), 198);
+    }
+
+    #[test]
+    fn parse_rejects_short_lines() {
+        assert!(M8Record::parse("a\tb\t90.0\t100").is_none());
+    }
+
+    #[test]
+    fn parse_many_skips_comments_and_blanks() {
+        let r = sample();
+        let text = format!("# header\n{r}\n\n{r}\n");
+        let recs = M8Record::parse_many(&text);
+        assert_eq!(recs.len(), 2);
+    }
+
+    #[test]
+    fn tab_separated_with_twelve_fields() {
+        let line = sample().to_string();
+        assert_eq!(line.split('\t').count(), 12);
+    }
+}

@@ -1,0 +1,103 @@
+//! Wall-clock measurement and speed-up rows (paper section 3.3).
+//!
+//! The paper measures `time` user seconds of whole program runs and
+//! reports, per bank pair, the search space (product of bank sizes in
+//! Mbp), both execution times, and the speed-up. [`SpeedupRow`] is that
+//! table row; [`median_secs`] gives a robust single number per
+//! configuration (the paper ran on a quiet machine; medians serve the
+//! same purpose here).
+
+use std::time::Instant;
+
+/// Times one invocation of `f` in seconds, returning the result too.
+pub fn time_secs<T>(f: impl FnOnce() -> T) -> (f64, T) {
+    let start = Instant::now();
+    let out = f();
+    (start.elapsed().as_secs_f64(), out)
+}
+
+/// Runs `f` `runs` times and returns the median wall-clock seconds.
+///
+/// # Panics
+/// Panics if `runs == 0`.
+pub fn median_secs(runs: usize, mut f: impl FnMut()) -> f64 {
+    assert!(runs > 0);
+    let mut times: Vec<f64> = (0..runs)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[times.len() / 2]
+}
+
+/// One row of a section-3.3 speed-up table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpeedupRow {
+    /// Bank pair label, e.g. "EST1 vs EST2".
+    pub banks: String,
+    /// Search space: product of bank sizes in Mbp² (the paper's x-axis).
+    pub search_space: f64,
+    /// SCORIS-N (ORIS engine) seconds.
+    pub scoris_secs: f64,
+    /// BLASTN-like baseline seconds.
+    pub blast_secs: f64,
+}
+
+impl SpeedupRow {
+    /// Speed-up of the ORIS engine over the baseline.
+    pub fn speedup(&self) -> f64 {
+        if self.scoris_secs > 0.0 {
+            self.blast_secs / self.scoris_secs
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_secs_returns_value() {
+        let (secs, v) = time_secs(|| 41 + 1);
+        assert_eq!(v, 42);
+        assert!(secs >= 0.0);
+    }
+
+    #[test]
+    fn median_of_odd_runs() {
+        let mut n = 0;
+        let m = median_secs(3, || {
+            n += 1;
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        });
+        assert_eq!(n, 3);
+        assert!(m >= 0.001);
+    }
+
+    #[test]
+    fn speedup_math() {
+        let row = SpeedupRow {
+            banks: "EST1 vs EST2".into(),
+            search_space: 42.8,
+            scoris_secs: 2.0,
+            blast_secs: 20.0,
+        };
+        assert!((row.speedup() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_time_is_infinite_speedup() {
+        let row = SpeedupRow {
+            banks: "x".into(),
+            search_space: 1.0,
+            scoris_secs: 0.0,
+            blast_secs: 1.0,
+        };
+        assert!(row.speedup().is_infinite());
+    }
+}

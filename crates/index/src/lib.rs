@@ -1,0 +1,25 @@
+//! # oris-index — seed coding and the ordered bank index
+//!
+//! This crate implements section 2.1 of the paper:
+//!
+//! * [`SeedCoder`]: the `codeSEED` function mapping a W-nucleotide word to an
+//!   integer in `0..4^W`, with O(1) rolling updates in both directions. The
+//!   code order is the total order that makes the ORIS uniqueness argument
+//!   work (a seed `SA` precedes `SB` iff `code(SA) < code(SB)`).
+//! * [`BankIndex`]: the Figure-2 structure — a dictionary of `4^W` entries
+//!   holding the first occurrence of each seed, plus an `INDEX` array
+//!   chaining every occurrence to the next one, stored over the bank's
+//!   `SEQ` code array.
+//! * Asymmetric indexing (section 3.4): index only every other W-mer of one
+//!   bank, the paper's remedy for sensitivity loss with shorter seeds.
+//! * Seed-occupancy statistics used by tests and the memory experiment (E7:
+//!   the index is ≈5·N bytes, 1 byte of `SEQ` + 4 bytes of `INDEX` per
+//!   position).
+
+pub mod mask;
+pub mod seedcode;
+pub mod structure;
+
+pub use mask::MaskSet;
+pub use seedcode::{RollingCoder, SeedCoder, MAX_SEED_LEN};
+pub use structure::{BankIndex, IndexConfig, IndexStats, SeedOccurrences};

@@ -1,0 +1,407 @@
+//! The bank index of the paper's Figure 2.
+//!
+//! Two arrays sit on top of the bank's `SEQ` code array:
+//!
+//! * `dict[4^W]` — global position of the **first** occurrence of each seed
+//!   (or `EMPTY`), the "seed dictionary" of Figure 2;
+//! * `next[len(SEQ)]` — for a position holding a seed occurrence, the
+//!   position of the **next** occurrence of the same seed (or `EMPTY`); the
+//!   paper's `int *INDEX` linking structure.
+//!
+//! Chains are kept in *increasing position order* by building them with a
+//! single reverse scan: visiting positions from right to left and pushing
+//! each onto the front of its seed's chain leaves every chain sorted
+//! ascending. Iterating a chain therefore touches `SEQ` left to right,
+//! which is what gives step 2 of ORIS its cache-friendly access pattern
+//! (all sequence portions sharing a seed are visited together).
+//!
+//! Memory cost: `4·len(next) + 4·4^W` bytes on top of the 1-byte-per-residue
+//! `SEQ` array — the paper's "approximately 5·N bytes" for `N ≫ 4^W`.
+
+use oris_seqio::Bank;
+
+use crate::mask::MaskSet;
+use crate::seedcode::{RollingCoder, SeedCoder};
+
+/// Sentinel marking an empty dictionary slot / end of an occurrence chain.
+const EMPTY: u32 = u32::MAX;
+
+/// Options controlling index construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexConfig {
+    /// Seed length `W`.
+    pub w: usize,
+    /// Index only every `stride`-th valid window (1 = every window).
+    ///
+    /// `stride = 2` is the paper's *asymmetric indexing*: with 10-nt words
+    /// sampled on one bank only, all 11-nt seed matches are still anchored
+    /// while the index halves in size (section 3.4).
+    pub stride: usize,
+}
+
+impl IndexConfig {
+    /// Full indexing with seed length `w` (the common case).
+    pub fn full(w: usize) -> IndexConfig {
+        IndexConfig { w, stride: 1 }
+    }
+
+    /// Asymmetric (half-sampled) indexing with seed length `w`.
+    pub fn asymmetric(w: usize) -> IndexConfig {
+        IndexConfig { w, stride: 2 }
+    }
+}
+
+/// Occupancy and footprint statistics for a built index.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IndexStats {
+    /// Number of distinct seeds present.
+    pub distinct_seeds: usize,
+    /// Total indexed positions (chain nodes).
+    pub indexed_positions: usize,
+    /// Length of the longest occurrence chain.
+    pub max_chain_len: usize,
+    /// Heap bytes used by `dict` + `next` (excludes the bank's own array).
+    pub index_bytes: usize,
+    /// Heap bytes including the underlying `SEQ` array, i.e. the paper's
+    /// ≈5·N figure.
+    pub total_bytes: usize,
+}
+
+/// The Figure-2 index over one bank.
+#[derive(Debug, Clone)]
+pub struct BankIndex {
+    coder: SeedCoder,
+    stride: usize,
+    dict: Vec<u32>,
+    next: Vec<u32>,
+    /// One bit per bank position: is a seed occurrence anchored here?
+    ///
+    /// This answers the question the ORIS order guard must ask during
+    /// extension: *would the global enumeration visit a seed at this
+    /// position?* A smaller-code window that was excluded (masked as
+    /// low-complexity, skipped by the asymmetric stride, or invalid) can
+    /// never own an HSP, so it must not trigger an abort.
+    indexed: MaskSet,
+    indexed_positions: usize,
+    bank_bytes: usize,
+}
+
+impl BankIndex {
+    /// Builds the index for `bank` under `cfg`, optionally excluding
+    /// positions for which `masked(position)` returns true (used by the
+    /// low-complexity pre-filter of section 2.1: "W character words
+    /// belonging to low-complexity regions are discarded from the index").
+    pub fn build_filtered(
+        bank: &Bank,
+        cfg: IndexConfig,
+        masked: impl Fn(usize) -> bool,
+    ) -> BankIndex {
+        assert!(cfg.stride >= 1, "stride must be at least 1");
+        let coder = SeedCoder::new(cfg.w);
+        let data = bank.data();
+        assert!(
+            data.len() < EMPTY as usize,
+            "bank too large for u32 positions"
+        );
+
+        // Collect (position, code) pairs once; a second pass in reverse
+        // builds sorted chains. The forward collection itself is O(N).
+        let mut pairs: Vec<(u32, u32)> = Vec::with_capacity(data.len());
+        for (pos, code) in RollingCoder::new(coder, data) {
+            if pos % cfg.stride != 0 || masked(pos) {
+                continue;
+            }
+            pairs.push((pos as u32, code));
+        }
+
+        let mut dict = vec![EMPTY; coder.num_seeds()];
+        let mut next = vec![EMPTY; data.len()];
+        let mut indexed = MaskSet::new(data.len());
+        for &(pos, code) in pairs.iter().rev() {
+            next[pos as usize] = dict[code as usize];
+            dict[code as usize] = pos;
+            indexed.set(pos as usize);
+        }
+
+        BankIndex {
+            coder,
+            stride: cfg.stride,
+            dict,
+            next,
+            indexed,
+            indexed_positions: pairs.len(),
+            bank_bytes: data.len(),
+        }
+    }
+
+    /// Builds the index with no masking.
+    pub fn build(bank: &Bank, cfg: IndexConfig) -> BankIndex {
+        Self::build_filtered(bank, cfg, |_| false)
+    }
+
+    /// The seed coder used by this index.
+    #[inline]
+    pub fn coder(&self) -> SeedCoder {
+        self.coder
+    }
+
+    /// Seed length `W`.
+    #[inline]
+    pub fn w(&self) -> usize {
+        self.coder.w()
+    }
+
+    /// Sampling stride (1 = full, 2 = asymmetric).
+    #[inline]
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// First occurrence of `code`, or `None` if the seed is absent.
+    #[inline]
+    pub fn first(&self, code: u32) -> Option<u32> {
+        let p = self.dict[code as usize];
+        (p != EMPTY).then_some(p)
+    }
+
+    /// Occurrence of the same seed following position `pos`, if any.
+    #[inline]
+    pub fn next_occurrence(&self, pos: u32) -> Option<u32> {
+        let p = self.next[pos as usize];
+        (p != EMPTY).then_some(p)
+    }
+
+    /// Iterator over all occurrences of `code`, in increasing position
+    /// order.
+    #[inline]
+    pub fn occurrences(&self, code: u32) -> SeedOccurrences<'_> {
+        SeedOccurrences {
+            index: self,
+            cursor: self.dict[code as usize],
+        }
+    }
+
+    /// Number of occurrences of `code` (walks the chain).
+    pub fn count(&self, code: u32) -> usize {
+        self.occurrences(code).count()
+    }
+
+    /// Total indexed positions.
+    #[inline]
+    pub fn indexed_positions(&self) -> usize {
+        self.indexed_positions
+    }
+
+    /// Whether a seed occurrence is anchored at global position `pos`
+    /// (i.e. the window there is valid, unmasked and stride-aligned).
+    #[inline]
+    pub fn is_indexed(&self, pos: usize) -> bool {
+        self.indexed.contains(pos)
+    }
+
+    /// Computes occupancy/footprint statistics.
+    pub fn stats(&self) -> IndexStats {
+        let mut distinct = 0usize;
+        let mut max_chain = 0usize;
+        for code in 0..self.dict.len() {
+            if self.dict[code] != EMPTY {
+                distinct += 1;
+                let len = self.occurrences(code as u32).count();
+                max_chain = max_chain.max(len);
+            }
+        }
+        let index_bytes =
+            self.dict.len() * 4 + self.next.len() * 4 + self.indexed.heap_bytes();
+        IndexStats {
+            distinct_seeds: distinct,
+            indexed_positions: self.indexed_positions,
+            max_chain_len: max_chain,
+            index_bytes,
+            total_bytes: index_bytes + self.bank_bytes,
+        }
+    }
+
+    /// Heap bytes used by the index arrays (dictionary, successor chains
+    /// and the indexed-position bit vector).
+    pub fn heap_bytes(&self) -> usize {
+        self.dict.len() * 4 + self.next.len() * 4 + self.indexed.heap_bytes()
+    }
+}
+
+/// Iterator over the occurrence chain of one seed.
+#[derive(Debug, Clone)]
+pub struct SeedOccurrences<'a> {
+    index: &'a BankIndex,
+    cursor: u32,
+}
+
+impl<'a> Iterator for SeedOccurrences<'a> {
+    type Item = u32;
+
+    #[inline]
+    fn next(&mut self) -> Option<u32> {
+        if self.cursor == EMPTY {
+            return None;
+        }
+        let pos = self.cursor;
+        self.cursor = self.index.next[pos as usize];
+        Some(pos)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oris_seqio::BankBuilder;
+    use proptest::prelude::*;
+
+    fn bank_of(seqs: &[&str]) -> Bank {
+        let mut b = BankBuilder::new();
+        for (i, s) in seqs.iter().enumerate() {
+            b.push_str(&format!("s{i}"), s).unwrap();
+        }
+        b.finish()
+    }
+
+    /// Brute-force reference: all (pos, code) with optional stride.
+    fn reference_occurrences(bank: &Bank, w: usize, stride: usize) -> Vec<(u32, u32)> {
+        let coder = SeedCoder::new(w);
+        let data = bank.data();
+        let mut out = Vec::new();
+        for pos in 0..data.len().saturating_sub(w - 1) {
+            if pos % stride != 0 {
+                continue;
+            }
+            if let Some(code) = coder.encode(&data[pos..pos + w]) {
+                out.push((pos as u32, code));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn finds_all_occurrences_sorted() {
+        let bank = bank_of(&["ACGTACGTACGT"]);
+        let idx = BankIndex::build(&bank, IndexConfig::full(4));
+        let coder = idx.coder();
+        let code = coder.string_to_code("ACGT").unwrap();
+        let occ: Vec<u32> = idx.occurrences(code).collect();
+        // positions are global (bank data starts with a sentinel at 0)
+        assert_eq!(occ, vec![1, 5, 9]);
+    }
+
+    #[test]
+    fn chains_do_not_cross_sequence_boundaries() {
+        // "ACGT" at the end of s0 and start of s1 — the window spanning the
+        // sentinel must not be indexed.
+        let bank = bank_of(&["TTACGT", "ACGTTT"]);
+        let idx = BankIndex::build(&bank, IndexConfig::full(4));
+        let code = idx.coder().string_to_code("ACGT").unwrap();
+        let occ: Vec<u32> = idx.occurrences(code).collect();
+        assert_eq!(occ.len(), 2);
+        // Every occurrence is fully inside one record.
+        for p in occ {
+            let rec = bank.locate(p as usize).unwrap();
+            assert!(p as usize + 4 <= bank.record(rec).end());
+        }
+    }
+
+    #[test]
+    fn ambiguous_windows_excluded() {
+        let bank = bank_of(&["ACGNACG"]);
+        let idx = BankIndex::build(&bank, IndexConfig::full(3));
+        let code = idx.coder().string_to_code("ACG").unwrap();
+        assert_eq!(idx.count(code), 2);
+        let cgn = idx.coder().string_to_code("CGN");
+        assert!(cgn.is_none());
+    }
+
+    #[test]
+    fn absent_seed_has_no_occurrences() {
+        let bank = bank_of(&["AAAA"]);
+        let idx = BankIndex::build(&bank, IndexConfig::full(3));
+        let code = idx.coder().string_to_code("GGG").unwrap();
+        assert_eq!(idx.first(code), None);
+        assert_eq!(idx.count(code), 0);
+    }
+
+    #[test]
+    fn asymmetric_stride_halves_positions() {
+        let bank = bank_of(&[&"ACGT".repeat(100)]);
+        let full = BankIndex::build(&bank, IndexConfig::full(8));
+        let half = BankIndex::build(&bank, IndexConfig::asymmetric(8));
+        assert!(half.indexed_positions() * 2 <= full.indexed_positions() + 2);
+        assert!(half.indexed_positions() > 0);
+    }
+
+    #[test]
+    fn masked_positions_excluded() {
+        let bank = bank_of(&["ACGTACGT"]);
+        let idx = BankIndex::build_filtered(&bank, IndexConfig::full(4), |p| p < 3);
+        let code = idx.coder().string_to_code("ACGT").unwrap();
+        let occ: Vec<u32> = idx.occurrences(code).collect();
+        assert_eq!(occ, vec![5]);
+    }
+
+    #[test]
+    fn stats_match_paper_footprint_model() {
+        let bank = bank_of(&[&"ACGTTGCA".repeat(2000)]); // 16 kb
+        let idx = BankIndex::build(&bank, IndexConfig::full(8));
+        let stats = idx.stats();
+        let n = bank.data().len();
+        // 4 bytes per position + 4 bytes per dictionary slot + 1 bit per
+        // position for the indexed-occurrence set
+        assert_eq!(stats.index_bytes, 4 * n + 4 * (1 << 16) + n.div_ceil(64) * 8);
+        assert_eq!(stats.total_bytes, stats.index_bytes + n);
+        assert!(stats.indexed_positions > 0);
+        assert!(stats.distinct_seeds > 0);
+        assert!(stats.max_chain_len >= 1);
+    }
+
+    #[test]
+    fn empty_bank_builds() {
+        let bank = Bank::empty();
+        let idx = BankIndex::build(&bank, IndexConfig::full(4));
+        assert_eq!(idx.indexed_positions(), 0);
+        assert_eq!(idx.stats().distinct_seeds, 0);
+    }
+
+    proptest! {
+        /// The chained index reproduces the brute-force occurrence list for
+        /// every seed, in sorted order.
+        #[test]
+        fn index_equals_bruteforce(
+            seqs in proptest::collection::vec("[ACGTN]{0,40}", 1..4),
+            w in 2usize..6,
+            stride in 1usize..3,
+        ) {
+            let refs: Vec<&str> = seqs.iter().map(|s| s.as_str()).collect();
+            let bank = bank_of(&refs);
+            let cfg = IndexConfig { w, stride };
+            let idx = BankIndex::build(&bank, cfg);
+            let mut expected = reference_occurrences(&bank, w, stride);
+            expected.sort_by_key(|&(_, code)| code);
+
+            let mut got: Vec<(u32, u32)> = Vec::new();
+            for code in 0..idx.coder().num_seeds() as u32 {
+                let occ: Vec<u32> = idx.occurrences(code).collect();
+                // chains are sorted ascending
+                prop_assert!(occ.windows(2).all(|p| p[0] < p[1]));
+                got.extend(occ.into_iter().map(|p| (p, code)));
+            }
+            let mut expected_sorted = expected.clone();
+            expected_sorted.sort();
+            got.sort();
+            prop_assert_eq!(got, expected_sorted);
+        }
+
+        /// indexed_positions equals the number of valid windows.
+        #[test]
+        fn position_count_matches(seq in "[ACGT]{0,200}", w in 2usize..6) {
+            let bank = bank_of(&[seq.as_str()]);
+            let idx = BankIndex::build(&bank, IndexConfig::full(w));
+            let expected = seq.len().saturating_sub(w - 1);
+            prop_assert_eq!(idx.indexed_positions(), expected);
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Error type shared by the I/O entry points of this crate.
+
+use std::fmt;
+
+/// Errors produced while reading or building sequence banks.
+#[derive(Debug)]
+pub enum SeqIoError {
+    /// Underlying I/O failure (file not found, read error, …).
+    Io(std::io::Error),
+    /// The FASTA input is malformed (e.g. sequence data before any header).
+    Format {
+        /// 1-based line number where the problem was detected.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// A bank constraint was violated (e.g. empty bank where one is required).
+    Bank(String),
+}
+
+impl fmt::Display for SeqIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SeqIoError::Io(e) => write!(f, "I/O error: {e}"),
+            SeqIoError::Format { line, message } => {
+                write!(f, "FASTA format error at line {line}: {message}")
+            }
+            SeqIoError::Bank(msg) => write!(f, "bank error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SeqIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SeqIoError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SeqIoError {
+    fn from(e: std::io::Error) -> Self {
+        SeqIoError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_line_number() {
+        let e = SeqIoError::Format {
+            line: 7,
+            message: "bad header".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("line 7"), "{s}");
+        assert!(s.contains("bad header"), "{s}");
+    }
+
+    #[test]
+    fn io_error_is_source() {
+        use std::error::Error;
+        let e = SeqIoError::from(std::io::Error::new(std::io::ErrorKind::Other, "boom"));
+        assert!(e.source().is_some());
+    }
+}

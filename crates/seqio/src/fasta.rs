@@ -1,0 +1,218 @@
+//! FASTA reading and writing.
+//!
+//! The paper's prototype (SCORIS-N) takes its two banks directly from FASTA
+//! files (section 2.1: "Bank indexing is directly performed from FASTA format
+//! input files"). This module parses FASTA text into a [`Bank`] in one pass,
+//! tolerating the usual real-world variations: multi-line sequences, blank
+//! lines, `\r\n` endings, lower-case residues and IUPAC ambiguity codes.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+use crate::alphabet::nuc_from_char;
+use crate::bank::{Bank, BankBuilder};
+use crate::error::SeqIoError;
+
+/// An owned FASTA record (header + raw sequence text).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FastaRecord {
+    /// Identifier: first whitespace-delimited token after `>`.
+    pub id: String,
+    /// Full header line after `>`, including the description.
+    pub header: String,
+    /// Sequence as ASCII (exactly as read, case preserved).
+    pub seq: String,
+}
+
+/// Parses FASTA text into a [`Bank`].
+///
+/// Returns a [`SeqIoError::Format`] if sequence data precedes the first
+/// header or if a record has an empty identifier.
+pub fn parse_fasta(text: &str) -> Result<Bank, SeqIoError> {
+    read_fasta(text.as_bytes())
+}
+
+/// Reads FASTA from any [`Read`] implementation into a [`Bank`].
+pub fn read_fasta<R: Read>(reader: R) -> Result<Bank, SeqIoError> {
+    let mut builder = BankBuilder::new();
+    let mut current_name: Option<String> = None;
+    let mut current_codes: Vec<u8> = Vec::new();
+    let mut line_no = 0usize;
+
+    let mut buf = BufReader::new(reader);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let n = buf.read_line(&mut line)?;
+        if n == 0 {
+            break;
+        }
+        line_no += 1;
+        let trimmed = line.trim_end_matches(['\n', '\r']);
+        if trimmed.is_empty() {
+            continue;
+        }
+        if let Some(header) = trimmed.strip_prefix('>') {
+            if let Some(name) = current_name.take() {
+                builder.push_codes(&name, &current_codes);
+                current_codes.clear();
+            }
+            let id = header.split_whitespace().next().unwrap_or("");
+            if id.is_empty() {
+                return Err(SeqIoError::Format {
+                    line: line_no,
+                    message: "empty sequence identifier".into(),
+                });
+            }
+            current_name = Some(id.to_string());
+        } else if trimmed.starts_with(';') {
+            // Old-style FASTA comment line: skip.
+            continue;
+        } else {
+            if current_name.is_none() {
+                return Err(SeqIoError::Format {
+                    line: line_no,
+                    message: "sequence data before any '>' header".into(),
+                });
+            }
+            current_codes.extend(
+                trimmed
+                    .bytes()
+                    .filter(|b| !b.is_ascii_whitespace())
+                    .map(nuc_from_char),
+            );
+        }
+    }
+    if let Some(name) = current_name.take() {
+        builder.push_codes(&name, &current_codes);
+    }
+    Ok(builder.finish())
+}
+
+/// Reads a FASTA file from disk into a [`Bank`].
+pub fn read_fasta_file<P: AsRef<Path>>(path: P) -> Result<Bank, SeqIoError> {
+    let file = std::fs::File::open(path)?;
+    read_fasta(file)
+}
+
+/// Writes a [`Bank`] as FASTA with lines wrapped at `width` characters
+/// (`width = 0` disables wrapping).
+pub fn write_fasta<W: Write>(bank: &Bank, mut out: W, width: usize) -> std::io::Result<()> {
+    for i in 0..bank.num_sequences() {
+        let rec = bank.record(i);
+        writeln!(out, ">{}", rec.name)?;
+        let s = bank.sequence_string(i);
+        if width == 0 {
+            writeln!(out, "{s}")?;
+        } else {
+            for chunk in s.as_bytes().chunks(width) {
+                out.write_all(chunk)?;
+                out.write_all(b"\n")?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Writes a bank to a FASTA file on disk (60-column wrapping).
+pub fn write_fasta_file<P: AsRef<Path>>(bank: &Bank, path: P) -> Result<(), SeqIoError> {
+    let file = std::fs::File::create(path)?;
+    let mut w = std::io::BufWriter::new(file);
+    write_fasta(bank, &mut w, 60)?;
+    w.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_two_records() {
+        let bank = parse_fasta(">a desc\nACGT\n>b\nGG\nTT\n").unwrap();
+        assert_eq!(bank.num_sequences(), 2);
+        assert_eq!(bank.record(0).name, "a");
+        assert_eq!(bank.sequence_string(0), "ACGT");
+        assert_eq!(bank.sequence_string(1), "GGTT");
+    }
+
+    #[test]
+    fn header_id_is_first_token() {
+        let bank = parse_fasta(">gi|123|ref some description\nAC\n").unwrap();
+        assert_eq!(bank.record(0).name, "gi|123|ref");
+    }
+
+    #[test]
+    fn tolerates_blank_lines_and_crlf() {
+        let bank = parse_fasta(">a\r\nAC\r\n\r\nGT\r\n").unwrap();
+        assert_eq!(bank.sequence_string(0), "ACGT");
+    }
+
+    #[test]
+    fn lowercase_and_ambiguous() {
+        let bank = parse_fasta(">a\nacgtn\n").unwrap();
+        assert_eq!(bank.sequence_string(0), "ACGTN");
+    }
+
+    #[test]
+    fn skips_comment_lines() {
+        let bank = parse_fasta(";comment\n>a\n;another\nAC\n").unwrap();
+        assert_eq!(bank.sequence_string(0), "AC");
+    }
+
+    #[test]
+    fn data_before_header_is_error() {
+        let err = parse_fasta("ACGT\n>a\nAC\n").unwrap_err();
+        match err {
+            SeqIoError::Format { line, .. } => assert_eq!(line, 1),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_identifier_is_error() {
+        assert!(parse_fasta("> \nACGT\n").is_err());
+    }
+
+    #[test]
+    fn empty_input_gives_empty_bank() {
+        let bank = parse_fasta("").unwrap();
+        assert_eq!(bank.num_sequences(), 0);
+    }
+
+    #[test]
+    fn record_with_no_sequence_is_kept_empty() {
+        let bank = parse_fasta(">a\n>b\nAC\n").unwrap();
+        assert_eq!(bank.num_sequences(), 2);
+        assert_eq!(bank.record(0).len, 0);
+        assert_eq!(bank.sequence_string(1), "AC");
+    }
+
+    #[test]
+    fn write_then_parse_roundtrip() {
+        let bank = parse_fasta(">a\nACGTACGTACGT\n>b\nGGNTTA\n").unwrap();
+        let mut out = Vec::new();
+        write_fasta(&bank, &mut out, 5).unwrap();
+        let reparsed = read_fasta(&out[..]).unwrap();
+        assert_eq!(bank, reparsed);
+    }
+
+    #[test]
+    fn write_unwrapped() {
+        let bank = parse_fasta(">a\nACGT\n").unwrap();
+        let mut out = Vec::new();
+        write_fasta(&bank, &mut out, 0).unwrap();
+        assert_eq!(String::from_utf8(out).unwrap(), ">a\nACGT\n");
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("oris_seqio_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.fa");
+        let bank = parse_fasta(">x\nACGTACGT\n").unwrap();
+        write_fasta_file(&bank, &path).unwrap();
+        let back = read_fasta_file(&path).unwrap();
+        assert_eq!(bank, back);
+    }
+}

@@ -1,0 +1,163 @@
+//! 2-bit packed sequence storage (4 nucleotides per byte).
+//!
+//! The working representation everywhere else in the reproduction is one
+//! code byte per nucleotide (that is what the paper's prototype does — its
+//! index costs ≈5·N bytes: 1 byte of `SEQ` plus 4 bytes of `INDEX` per
+//! position). `PackedSeq` exists for the places where a bank must be held
+//! at rest (the simulator's latent gene pools, snapshots in tests) at a
+//! quarter of the footprint, and to document the trade-off measured in the
+//! memory experiment (E7).
+//!
+//! Packing is lossy for ambiguous bases: `N` cannot be represented in 2
+//! bits, so [`PackedSeq::from_codes`] records ambiguous positions in a
+//! side list and restores them on unpacking.
+
+use crate::alphabet::AMBIG;
+
+/// An immutable 2-bit packed DNA sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackedSeq {
+    words: Vec<u8>,
+    len: usize,
+    /// Positions that held ambiguous codes before packing, kept sorted.
+    ambig: Vec<u32>,
+}
+
+impl PackedSeq {
+    /// Packs a slice of code bytes (0–3 or [`AMBIG`]).
+    ///
+    /// # Panics
+    /// Panics if a byte is neither a nucleotide code nor [`AMBIG`]
+    /// (sentinels must be stripped before packing).
+    pub fn from_codes(codes: &[u8]) -> PackedSeq {
+        assert!(
+            codes.len() < u32::MAX as usize,
+            "packed sequences are limited to 2^32-1 residues"
+        );
+        let mut words = vec![0u8; codes.len().div_ceil(4)];
+        let mut ambig = Vec::new();
+        for (i, &c) in codes.iter().enumerate() {
+            let two_bit = match c {
+                0..=3 => c,
+                AMBIG => {
+                    ambig.push(i as u32);
+                    0 // stored as A; restored on unpack
+                }
+                other => panic!("cannot pack code byte {other}"),
+            };
+            words[i / 4] |= two_bit << ((i % 4) * 2);
+        }
+        PackedSeq {
+            words,
+            len: codes.len(),
+            ambig,
+        }
+    }
+
+    /// Number of residues.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if the sequence holds no residues.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The 2-bit code at position `i`, ignoring ambiguity restoration.
+    #[inline]
+    pub fn code_2bit(&self, i: usize) -> u8 {
+        debug_assert!(i < self.len);
+        (self.words[i / 4] >> ((i % 4) * 2)) & 0b11
+    }
+
+    /// The code at position `i`, restoring [`AMBIG`] where applicable.
+    pub fn code_at(&self, i: usize) -> u8 {
+        if self.ambig.binary_search(&(i as u32)).is_ok() {
+            AMBIG
+        } else {
+            self.code_2bit(i)
+        }
+    }
+
+    /// Unpacks to one code byte per residue.
+    pub fn to_codes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.len);
+        for i in 0..self.len {
+            out.push(self.code_2bit(i));
+        }
+        for &p in &self.ambig {
+            out[p as usize] = AMBIG;
+        }
+        out
+    }
+
+    /// Heap bytes used by the packed representation.
+    pub fn heap_bytes(&self) -> usize {
+        self.words.len() + self.ambig.len() * 4
+    }
+
+    /// Number of ambiguous positions recorded.
+    pub fn num_ambiguous(&self) -> usize {
+        self.ambig.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::{nuc_from_char, AMBIG};
+
+    fn codes(s: &str) -> Vec<u8> {
+        s.bytes().map(nuc_from_char).collect()
+    }
+
+    #[test]
+    fn roundtrip_simple() {
+        let c = codes("ACGTACGTT");
+        let p = PackedSeq::from_codes(&c);
+        assert_eq!(p.len(), 9);
+        assert_eq!(p.to_codes(), c);
+    }
+
+    #[test]
+    fn roundtrip_with_ambiguous() {
+        let c = codes("ACGNNTAGN");
+        let p = PackedSeq::from_codes(&c);
+        assert_eq!(p.num_ambiguous(), 3);
+        assert_eq!(p.to_codes(), c);
+        assert_eq!(p.code_at(3), AMBIG);
+        assert_eq!(p.code_at(0), 0);
+    }
+
+    #[test]
+    fn empty() {
+        let p = PackedSeq::from_codes(&[]);
+        assert!(p.is_empty());
+        assert_eq!(p.to_codes(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn footprint_is_quarter() {
+        let c = codes(&"ACGT".repeat(1000));
+        let p = PackedSeq::from_codes(&c);
+        assert_eq!(p.heap_bytes(), 1000);
+    }
+
+    #[test]
+    fn non_multiple_of_four_lengths() {
+        for n in 1..9 {
+            let c = codes(&"ACGTGCA"[..n.min(7)]);
+            let p = PackedSeq::from_codes(&c);
+            assert_eq!(p.to_codes(), c, "length {n}");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn sentinel_rejected() {
+        let _ = PackedSeq::from_codes(&[crate::alphabet::SENTINEL]);
+    }
+}

@@ -1,0 +1,281 @@
+//! EST bank generation from a shared latent gene pool.
+//!
+//! The paper's EST banks are *random samples of the GenBank EST division*;
+//! two such samples share homology because they sample transcripts of the
+//! same underlying genes. We model this directly: a [`GenePool`] is a
+//! deterministic collection of synthetic "gene" sequences; an EST is a
+//! mutated fragment of a random gene (log-normal length, ~3 % divergence,
+//! frequent poly-A tail), or — with some probability — a novel random
+//! sequence with no homolog anywhere.
+//!
+//! Two banks generated from the **same pool** with different seeds behave
+//! like the paper's EST1–EST7: abundant cross-bank alignments of varying
+//! identity, plus background noise.
+
+use oris_seqio::{Bank, BankBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dna::{lognormal_len, random_codes};
+use crate::mutate::{mutate, MutationModel};
+use oris_seqio::alphabet::CODE_A;
+
+/// A deterministic pool of latent gene sequences.
+#[derive(Debug, Clone)]
+pub struct GenePool {
+    genes: Vec<Vec<u8>>,
+}
+
+impl GenePool {
+    /// Generates a pool of `num_genes` genes with log-normal lengths
+    /// around `mean_len`.
+    pub fn generate(seed: u64, num_genes: usize, mean_len: usize, gc: f64) -> GenePool {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let genes = (0..num_genes)
+            .map(|_| {
+                let len = lognormal_len(&mut rng, mean_len as f64, 0.35, 300, mean_len * 4);
+                random_codes(&mut rng, len, gc)
+            })
+            .collect();
+        GenePool { genes }
+    }
+
+    /// The default pool shared by every paper EST bank (fixed seed).
+    pub fn paper_default() -> GenePool {
+        GenePool::generate(0x0515_C0DE, 1500, 1400, 0.47)
+    }
+
+    /// Number of genes.
+    pub fn len(&self) -> usize {
+        self.genes.len()
+    }
+
+    /// `true` if the pool holds no genes.
+    pub fn is_empty(&self) -> bool {
+        self.genes.is_empty()
+    }
+
+    /// Gene at `idx`.
+    pub fn gene(&self, idx: usize) -> &[u8] {
+        &self.genes[idx]
+    }
+}
+
+/// Configuration of one EST bank draw.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EstBankConfig {
+    /// Total residues to generate (the bank's "nb. nt").
+    pub target_nt: usize,
+    /// Mean EST length (paper mean ≈ 490 nt).
+    pub mean_len: usize,
+    /// Fraction of ESTs drawn as novel random sequences (no homolog).
+    pub novel_fraction: f64,
+    /// Mutation model applied to gene fragments.
+    pub mutation: MutationModel,
+    /// Probability an EST carries a poly-A tail.
+    pub polya_prob: f64,
+    /// Mean poly-A tail length.
+    pub polya_mean_len: usize,
+}
+
+impl Default for EstBankConfig {
+    fn default() -> Self {
+        EstBankConfig {
+            target_nt: 250_000,
+            mean_len: 490,
+            novel_fraction: 0.15,
+            mutation: MutationModel::est_default(),
+            polya_prob: 0.4,
+            polya_mean_len: 18,
+        }
+    }
+}
+
+/// Draws one EST bank from `pool`.
+pub fn est_bank(pool: &GenePool, seed: u64, cfg: &EstBankConfig) -> Bank {
+    est_bank_with_contaminants(pool, seed, cfg, &[], 0.0)
+}
+
+/// Like [`est_bank`], with a contamination source: with probability
+/// `contam_prob`, an EST is a (mutated) fragment of one of `contaminants`
+/// instead of a gene-pool transcript.
+///
+/// Real EST libraries carry bacterial contamination — the reason the
+/// paper's BCT-vs-EST7 comparison reports ~2000 alignments while
+/// human-vs-BCT reports essentially none. The paper-bank builder passes
+/// the bacterial repeat library here with a small probability.
+pub fn est_bank_with_contaminants(
+    pool: &GenePool,
+    seed: u64,
+    cfg: &EstBankConfig,
+    contaminants: &[Vec<u8>],
+    contam_prob: f64,
+) -> Bank {
+    assert!(!pool.is_empty(), "gene pool is empty");
+    assert!((0.0..=1.0).contains(&contam_prob));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let est_estimate = cfg.target_nt / cfg.mean_len.max(1) + 1;
+    let mut b = BankBuilder::with_capacity(cfg.target_nt + cfg.target_nt / 10, est_estimate);
+    let mut idx = 0usize;
+    while b.residues() < cfg.target_nt {
+        let name = format!("est_{seed}_{idx}");
+        idx += 1;
+        let len = lognormal_len(&mut rng, cfg.mean_len as f64, 0.45, 80, cfg.mean_len * 6);
+        let mut codes: Vec<u8>;
+        if !contaminants.is_empty() && rng.gen::<f64>() < contam_prob {
+            let src = &contaminants[rng.gen_range(0..contaminants.len())];
+            let flen = len.min(src.len());
+            let start = rng.gen_range(0..=src.len() - flen);
+            codes = mutate(&mut rng, &src[start..start + flen], &cfg.mutation);
+        } else if rng.gen::<f64>() < cfg.novel_fraction {
+            codes = random_codes(&mut rng, len, 0.45);
+        } else {
+            let gene = pool.gene(rng.gen_range(0..pool.len()));
+            let flen = len.min(gene.len());
+            let start = rng.gen_range(0..=gene.len() - flen);
+            codes = mutate(&mut rng, &gene[start..start + flen], &cfg.mutation);
+        }
+        if rng.gen::<f64>() < cfg.polya_prob {
+            let tail = 1 + rng.gen_range(0..cfg.polya_mean_len.max(1) * 2);
+            codes.extend(std::iter::repeat_n(CODE_A, tail));
+        }
+        b.push_codes(&name, &codes);
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_pool() -> GenePool {
+        GenePool::generate(1, 20, 800, 0.5)
+    }
+
+    #[test]
+    fn pool_is_deterministic() {
+        let a = GenePool::generate(5, 10, 600, 0.5);
+        let b = GenePool::generate(5, 10, 600, 0.5);
+        assert_eq!(a.genes, b.genes);
+    }
+
+    #[test]
+    fn bank_reaches_target_size() {
+        let pool = small_pool();
+        let cfg = EstBankConfig {
+            target_nt: 50_000,
+            ..Default::default()
+        };
+        let bank = est_bank(&pool, 9, &cfg);
+        assert!(bank.num_residues() >= 50_000);
+        assert!(bank.num_residues() < 55_000, "overshoot: {}", bank.num_residues());
+    }
+
+    #[test]
+    fn mean_length_plausible() {
+        let pool = small_pool();
+        let cfg = EstBankConfig {
+            target_nt: 200_000,
+            mean_len: 490,
+            polya_prob: 0.0,
+            ..Default::default()
+        };
+        let bank = est_bank(&pool, 3, &cfg);
+        let mean = bank.num_residues() as f64 / bank.num_sequences() as f64;
+        // log-normal with sigma .45 has mean e^{σ²/2} ≈ 1.11× the median
+        assert!(mean > 380.0 && mean < 700.0, "mean = {mean}");
+    }
+
+    #[test]
+    fn two_banks_share_homology() {
+        // Count shared 16-mers between two banks from the same pool vs two
+        // banks from different pools: shared-pool banks overlap far more.
+        use std::collections::HashSet;
+        fn kmers(bank: &Bank) -> HashSet<Vec<u8>> {
+            let mut set = HashSet::new();
+            for i in 0..bank.num_sequences() {
+                let s = bank.sequence(i);
+                for w in s.windows(16) {
+                    if w.iter().all(|&c| c < 4) {
+                        set.insert(w.to_vec());
+                    }
+                }
+            }
+            set
+        }
+        let pool = small_pool();
+        let other_pool = GenePool::generate(999, 20, 800, 0.5);
+        let cfg = EstBankConfig {
+            target_nt: 40_000,
+            ..Default::default()
+        };
+        let a = est_bank(&pool, 10, &cfg);
+        let b = est_bank(&pool, 11, &cfg);
+        let c = est_bank(&other_pool, 12, &cfg);
+        let ka = kmers(&a);
+        let kb = kmers(&b);
+        let kc = kmers(&c);
+        let shared_same = ka.intersection(&kb).count();
+        let shared_diff = ka.intersection(&kc).count();
+        assert!(
+            shared_same > 10 * (shared_diff + 1),
+            "same-pool {shared_same} vs cross-pool {shared_diff}"
+        );
+    }
+
+    #[test]
+    fn polya_tails_present() {
+        let pool = small_pool();
+        let cfg = EstBankConfig {
+            target_nt: 50_000,
+            polya_prob: 1.0,
+            ..Default::default()
+        };
+        let bank = est_bank(&pool, 4, &cfg);
+        // Every sequence ends in at least one A.
+        let tails = (0..bank.num_sequences())
+            .filter(|&i| bank.sequence(i).last() == Some(&CODE_A))
+            .count();
+        assert_eq!(tails, bank.num_sequences());
+    }
+
+    #[test]
+    fn contaminated_bank_shares_kmers_with_source() {
+        use std::collections::HashSet;
+        let pool = small_pool();
+        let contaminant = {
+            let mut r = rand::rngs::StdRng::seed_from_u64(77);
+            crate::dna::random_codes(&mut r, 2000, 0.5)
+        };
+        let cfg = EstBankConfig {
+            target_nt: 60_000,
+            polya_prob: 0.0,
+            ..Default::default()
+        };
+        let with = est_bank_with_contaminants(&pool, 5, &cfg, &[contaminant.clone()], 0.3);
+        let without = est_bank(&pool, 5, &cfg);
+        let src: HashSet<&[u8]> = contaminant.windows(16).collect();
+        let count_hits = |bank: &Bank| {
+            let mut n = 0usize;
+            for i in 0..bank.num_sequences() {
+                for w in bank.sequence(i).windows(16) {
+                    if src.contains(w) {
+                        n += 1;
+                    }
+                }
+            }
+            n
+        };
+        assert!(count_hits(&with) > 100, "contamination absent");
+        assert_eq!(count_hits(&without), 0);
+    }
+
+    #[test]
+    fn deterministic_bank() {
+        let pool = small_pool();
+        let cfg = EstBankConfig::default();
+        let a = est_bank(&pool, 77, &cfg);
+        let b = est_bank(&pool, 77, &cfg);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,238 @@
+//! Sequence mutation model: substitutions with transition bias, indels.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use oris_seqio::alphabet::{CODE_A, CODE_C, CODE_G, CODE_T, NUC_CODES};
+
+/// Parameters of the point-mutation process.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MutationModel {
+    /// Per-base substitution probability.
+    pub sub_rate: f64,
+    /// Per-base probability of starting an indel.
+    pub indel_rate: f64,
+    /// Fraction of substitutions that are transitions (A↔G, C↔T);
+    /// biological data sits around 2/3.
+    pub ts_fraction: f64,
+    /// Mean indel length (geometric, capped at `max_indel`).
+    pub mean_indel_len: f64,
+    /// Maximum indel length.
+    pub max_indel: usize,
+}
+
+impl MutationModel {
+    /// A model with only substitutions.
+    pub fn substitutions_only(sub_rate: f64) -> MutationModel {
+        MutationModel {
+            sub_rate,
+            indel_rate: 0.0,
+            ts_fraction: 2.0 / 3.0,
+            mean_indel_len: 1.5,
+            max_indel: 10,
+        }
+    }
+
+    /// EST-style divergence: ~3 % substitutions, ~0.3 % indels (sequencing
+    /// errors plus allelic variation).
+    pub fn est_default() -> MutationModel {
+        MutationModel {
+            sub_rate: 0.03,
+            indel_rate: 0.003,
+            ts_fraction: 2.0 / 3.0,
+            mean_indel_len: 1.5,
+            max_indel: 8,
+        }
+    }
+
+    /// Repeat-family divergence (older copies drift further).
+    pub fn divergence(rate: f64) -> MutationModel {
+        MutationModel {
+            sub_rate: rate,
+            indel_rate: rate / 10.0,
+            ts_fraction: 2.0 / 3.0,
+            mean_indel_len: 2.0,
+            max_indel: 12,
+        }
+    }
+
+    /// The identity model.
+    pub fn none() -> MutationModel {
+        MutationModel {
+            sub_rate: 0.0,
+            indel_rate: 0.0,
+            ts_fraction: 0.0,
+            mean_indel_len: 0.0,
+            max_indel: 0,
+        }
+    }
+}
+
+/// Transition partner of a nucleotide code (A↔G, C↔T).
+fn transition(code: u8) -> u8 {
+    match code {
+        CODE_A => CODE_G,
+        CODE_G => CODE_A,
+        CODE_C => CODE_T,
+        CODE_T => CODE_C,
+        other => other,
+    }
+}
+
+/// Random transversion partner.
+fn transversion(rng: &mut StdRng, code: u8) -> u8 {
+    // The two nucleotides in the other chemical class.
+    let purine = matches!(code, CODE_A | CODE_G);
+    let choices = if purine {
+        [CODE_C, CODE_T]
+    } else {
+        [CODE_A, CODE_G]
+    };
+    choices[rng.gen_range(0..2)]
+}
+
+/// Geometric length with the given mean, ≥ 1, capped.
+fn geometric_len(rng: &mut StdRng, mean: f64, cap: usize) -> usize {
+    let p = (1.0 / mean.max(1.0)).clamp(0.01, 1.0);
+    let mut len = 1usize;
+    while len < cap && rng.gen::<f64>() > p {
+        len += 1;
+    }
+    len
+}
+
+/// Applies the mutation model to a code sequence, returning the mutated
+/// copy. Ambiguous codes pass through substitutions untouched.
+pub fn mutate(rng: &mut StdRng, seq: &[u8], model: &MutationModel) -> Vec<u8> {
+    let mut out = Vec::with_capacity(seq.len() + 16);
+    let mut i = 0usize;
+    while i < seq.len() {
+        let c = seq[i];
+        // Indel events.
+        if model.indel_rate > 0.0 && rng.gen::<f64>() < model.indel_rate {
+            let len = geometric_len(rng, model.mean_indel_len, model.max_indel);
+            if rng.gen::<bool>() {
+                // insertion of random bases
+                for _ in 0..len {
+                    out.push(NUC_CODES[rng.gen_range(0..4)]);
+                }
+                // current base still emitted below
+            } else {
+                // deletion: skip `len` bases including this one
+                i += len;
+                continue;
+            }
+        }
+        // Substitution.
+        if c < 4 && model.sub_rate > 0.0 && rng.gen::<f64>() < model.sub_rate {
+            let m = if rng.gen::<f64>() < model.ts_fraction {
+                transition(c)
+            } else {
+                transversion(rng, c)
+            };
+            out.push(m);
+        } else {
+            out.push(c);
+        }
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    fn hamming_fraction(a: &[u8], b: &[u8]) -> f64 {
+        let n = a.len().min(b.len());
+        let d = (0..n).filter(|&i| a[i] != b[i]).count();
+        d as f64 / n as f64
+    }
+
+    #[test]
+    fn identity_model_is_identity() {
+        let mut r = rng(1);
+        let seq: Vec<u8> = (0..200).map(|i| (i % 4) as u8).collect();
+        assert_eq!(mutate(&mut r, &seq, &MutationModel::none()), seq);
+    }
+
+    #[test]
+    fn substitution_rate_is_respected() {
+        let mut r = rng(2);
+        let seq = crate::dna::random_codes(&mut r, 100_000, 0.5);
+        let out = mutate(&mut r, &seq, &MutationModel::substitutions_only(0.05));
+        assert_eq!(out.len(), seq.len());
+        let f = hamming_fraction(&seq, &out);
+        assert!((f - 0.05).abs() < 0.01, "observed rate {f}");
+    }
+
+    #[test]
+    fn transitions_dominate() {
+        let mut r = rng(3);
+        let seq = vec![CODE_A; 100_000];
+        let model = MutationModel::substitutions_only(0.5);
+        let out = mutate(&mut r, &seq, &model);
+        let to_g = out.iter().filter(|&&c| c == CODE_G).count() as f64;
+        let to_ct = out
+            .iter()
+            .filter(|&&c| c == CODE_C || c == CODE_T)
+            .count() as f64;
+        let ts_frac = to_g / (to_g + to_ct);
+        assert!((ts_frac - 2.0 / 3.0).abs() < 0.03, "ts fraction {ts_frac}");
+    }
+
+    #[test]
+    fn indels_change_length() {
+        let mut r = rng(4);
+        let seq = crate::dna::random_codes(&mut r, 10_000, 0.5);
+        let model = MutationModel {
+            sub_rate: 0.0,
+            indel_rate: 0.02,
+            ts_fraction: 0.5,
+            mean_indel_len: 2.0,
+            max_indel: 6,
+        };
+        let out = mutate(&mut r, &seq, &model);
+        assert_ne!(out.len(), seq.len());
+        // length change bounded by total indel mass
+        let delta = (out.len() as i64 - seq.len() as i64).unsigned_abs() as usize;
+        assert!(delta < 2_000, "delta {delta}");
+    }
+
+    #[test]
+    fn substitutions_never_produce_identity() {
+        // transition() and transversion() always move to a different base
+        let mut r = rng(5);
+        for c in NUC_CODES {
+            assert_ne!(transition(c), c);
+            for _ in 0..10 {
+                assert_ne!(transversion(&mut r, c), c);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let seq = {
+            let mut r = rng(6);
+            crate::dna::random_codes(&mut r, 5_000, 0.5)
+        };
+        let a = mutate(&mut rng(42), &seq, &MutationModel::est_default());
+        let b = mutate(&mut rng(42), &seq, &MutationModel::est_default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn geometric_len_bounds() {
+        let mut r = rng(7);
+        for _ in 0..1000 {
+            let l = geometric_len(&mut r, 2.0, 5);
+            assert!((1..=5).contains(&l));
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! # oris-stats — Karlin–Altschul statistics for the ORIS reproduction
+//!
+//! SCORIS-N attaches an expected value to every alignment and sorts its
+//! output by it (paper sections 2.4 and 3.1): "The SCORIS-N program
+//! considers the size of the first bank and the size of the sequence from
+//! which the alignment is found in the second bank as parameters to
+//! compute the expected value."
+//!
+//! This crate provides:
+//!
+//! * [`KarlinParams`]: the ungapped Karlin–Altschul parameters `λ`, `K`
+//!   and `H` computed from a match/mismatch score distribution — `λ` by
+//!   bisection on the characteristic equation, `K` by the lattice series
+//!   of Karlin & Altschul (1990), `H` analytically;
+//! * [`EValueModel`]: e-values (`E = K·m·n·e^{−λS}`) and bit scores for a
+//!   given search space, with the SCORIS-N convention (bank 1 size ×
+//!   subject sequence length) available as a helper.
+
+pub mod evalue;
+pub mod karlin;
+
+pub use evalue::{EValueModel, SearchSpace};
+pub use karlin::{KarlinParams, ScorePmf};

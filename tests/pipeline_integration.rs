@@ -1,0 +1,161 @@
+//! Cross-crate integration tests: simulator → both engines → evaluation,
+//! exercising the public API exactly as the experiment harness does.
+
+use oris::prelude::*;
+use oris_core::FilterKind;
+
+fn small_est_pair() -> (Bank, Bank) {
+    let b1 = paper_banks(&["EST1"], 0.05).remove(0).bank;
+    let b2 = paper_banks(&["EST2"], 0.05).remove(0).bank;
+    (b1, b2)
+}
+
+#[test]
+fn engines_agree_on_synthetic_est_banks() {
+    // The reproduction's core cross-check: at matched thresholds with the
+    // same filter, the two engines must report equivalent alignment sets
+    // (this is tighter than the paper's ~3 % mutual misses, which come
+    // from the *differing* filters).
+    let (b1, b2) = small_est_pair();
+    let mut oris_cfg = OrisConfig::default();
+    oris_cfg.filter = FilterKind::Dust;
+    let mut blast_cfg = BlastConfig::matched(&oris_cfg);
+    blast_cfg.filter = FilterKind::Dust;
+
+    let r_oris = compare_banks(&b1, &b2, &oris_cfg);
+    let r_blast = blast_compare_banks(&b1, &b2, &blast_cfg);
+    let rep = oris::eval::compare_outputs(&r_oris.alignments, &r_blast.alignments, 0.8);
+    assert_eq!(rep.a_miss, 0, "{rep:?}");
+    assert_eq!(rep.b_miss, 0, "{rep:?}");
+    assert!(rep.a_total > 0, "expected some alignments: {rep:?}");
+}
+
+#[test]
+fn differing_filters_produce_small_mutual_misses() {
+    // With each engine's own filter (the paper's actual setup), misses
+    // exist but stay a small fraction — the section-3.4 shape.
+    let b1 = paper_banks(&["EST3"], 0.1).remove(0).bank;
+    let b2 = paper_banks(&["EST4"], 0.1).remove(0).bank;
+    let (r_oris, r_blast) = {
+        let oris_cfg = OrisConfig::default();
+        let blast_cfg = BlastConfig::matched(&oris_cfg);
+        (
+            compare_banks(&b1, &b2, &oris_cfg),
+            blast_compare_banks(&b1, &b2, &blast_cfg),
+        )
+    };
+    let rep = oris::eval::compare_outputs(&r_oris.alignments, &r_blast.alignments, 0.8);
+    assert!(rep.a_total > 10, "too few alignments to compare: {rep:?}");
+    let miss_a = rep.a_miss_pct().unwrap_or(0.0);
+    let miss_b = rep.b_miss_pct().unwrap_or(0.0);
+    assert!(miss_a < 25.0, "SCORISmiss too large: {miss_a:.1}% ({rep:?})");
+    assert!(miss_b < 25.0, "BLASTmiss too large: {miss_b:.1}% ({rep:?})");
+}
+
+#[test]
+fn batched_baseline_matches_one_pass_records() {
+    let (b1, b2) = small_est_pair();
+    let oris_cfg = OrisConfig::default();
+    let lean = BlastConfig::matched(&oris_cfg);
+    let batched = BlastConfig::blastall_like(&oris_cfg);
+    let a = blast_compare_banks(&b1, &b2, &lean);
+    let b = blast_compare_banks(&b1, &b2, &batched);
+    assert_eq!(a.alignments, b.alignments);
+}
+
+#[test]
+fn oris_pipeline_deterministic_across_runs_and_threads() {
+    let (b1, b2) = small_est_pair();
+    let mut cfg = OrisConfig::default();
+    cfg.threads = Some(1);
+    let r1 = compare_banks(&b1, &b2, &cfg);
+    cfg.threads = Some(4);
+    let r4 = compare_banks(&b1, &b2, &cfg);
+    cfg.threads = None;
+    let rg = compare_banks(&b1, &b2, &cfg);
+    assert_eq!(r1.alignments, r4.alignments);
+    assert_eq!(r1.alignments, rg.alignments);
+}
+
+#[test]
+fn fasta_roundtrip_preserves_results() {
+    // Write banks to FASTA, read them back, compare: identical outputs.
+    let (b1, b2) = small_est_pair();
+    let dir = std::env::temp_dir().join("oris_integration");
+    std::fs::create_dir_all(&dir).unwrap();
+    let p1 = dir.join("b1.fa");
+    let p2 = dir.join("b2.fa");
+    oris::seqio::fasta::write_fasta_file(&b1, &p1).unwrap();
+    oris::seqio::fasta::write_fasta_file(&b2, &p2).unwrap();
+    let rb1 = read_fasta_file(&p1).unwrap();
+    let rb2 = read_fasta_file(&p2).unwrap();
+    assert_eq!(b1, rb1);
+
+    let cfg = OrisConfig::default();
+    let direct = compare_banks(&b1, &b2, &cfg);
+    let reloaded = compare_banks(&rb1, &rb2, &cfg);
+    assert_eq!(direct.alignments, reloaded.alignments);
+}
+
+#[test]
+fn m8_lines_parse_back() {
+    let (b1, b2) = small_est_pair();
+    let r = compare_banks(&b1, &b2, &OrisConfig::default());
+    for a in &r.alignments {
+        let line = a.to_string();
+        let parsed = oris::eval::M8Record::parse(&line).expect("parseable m8 line");
+        assert_eq!(parsed.qid, a.qid);
+        assert_eq!(parsed.length, a.length);
+        assert_eq!((parsed.qstart, parsed.qend), (a.qstart, a.qend));
+    }
+}
+
+#[test]
+fn evalue_threshold_is_respected() {
+    let (b1, b2) = small_est_pair();
+    let cfg = OrisConfig::default();
+    let r = compare_banks(&b1, &b2, &cfg);
+    for a in &r.alignments {
+        assert!(
+            a.evalue <= cfg.evalue_threshold,
+            "record above threshold: {a}"
+        );
+    }
+}
+
+#[test]
+fn asymmetric_mode_keeps_most_alignments() {
+    // Section 3.4: asymmetric 10-nt indexing anchors all 11-nt seeds plus
+    // ~50 % of 10-nt ones — alignment recall must not collapse.
+    let b1 = paper_banks(&["EST1"], 0.1).remove(0).bank;
+    let b2 = paper_banks(&["EST2"], 0.1).remove(0).bank;
+    let plain = compare_banks(&b1, &b2, &OrisConfig::default());
+    let asym = compare_banks(
+        &b1,
+        &b2,
+        &OrisConfig {
+            asymmetric: true,
+            ..OrisConfig::default()
+        },
+    );
+    assert!(
+        asym.alignments.len() * 2 >= plain.alignments.len(),
+        "asymmetric recall collapsed: {} vs {}",
+        asym.alignments.len(),
+        plain.alignments.len()
+    );
+}
+
+#[test]
+fn unrelated_banks_stay_silent() {
+    // Negative control: independent random banks share no homology; at
+    // e ≤ 1e-3 (essentially) nothing should be reported.
+    let b1 = oris::simulate::random_bank(1, 60, 500, 0.5);
+    let b2 = oris::simulate::random_bank(2, 60, 500, 0.5);
+    let r = compare_banks(&b1, &b2, &OrisConfig::default());
+    assert!(
+        r.alignments.len() <= 1,
+        "unexpected alignments between unrelated banks: {}",
+        r.alignments.len()
+    );
+}
