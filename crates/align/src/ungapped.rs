@@ -154,11 +154,11 @@ pub fn extend_hit(
         "start_code does not match the window at p1"
     );
 
-    let (left_best, left_off) =
-        match extend_left(d1, d2, p1, p2, start_code, coder, params, guard) {
-            Some(r) => r,
-            None => return ExtensionOutcome::Aborted,
-        };
+    let (left_best, left_off) = match extend_left(d1, d2, p1, p2, start_code, coder, params, guard)
+    {
+        Some(r) => r,
+        None => return ExtensionOutcome::Aborted,
+    };
     let (right_best, right_off) =
         match extend_right(d1, d2, p1, p2, start_code, coder, params, guard) {
             Some(r) => r,
@@ -365,7 +365,16 @@ mod tests {
         let word = codes("ACGT");
         let p = find(&d1, &word);
         let code = coder.encode(&word).unwrap();
-        let out = extend_hit(&d1, &d2, p, p, code, coder, &params(4, 20), OrderGuard::None);
+        let out = extend_hit(
+            &d1,
+            &d2,
+            p,
+            p,
+            code,
+            coder,
+            &params(4, 20),
+            OrderGuard::None,
+        );
         match out {
             ExtensionOutcome::Hsp { score, left, right } => {
                 assert_eq!(score, 16); // whole 16-nt sequence matches
@@ -382,7 +391,16 @@ mod tests {
         let d2 = framed("ACGT");
         let coder = SeedCoder::new(4);
         let code = coder.encode(&codes("ACGT")).unwrap();
-        let out = extend_hit(&d1, &d2, 1, 1, code, coder, &params(4, 20), OrderGuard::None);
+        let out = extend_hit(
+            &d1,
+            &d2,
+            1,
+            1,
+            code,
+            coder,
+            &params(4, 20),
+            OrderGuard::None,
+        );
         assert_eq!(
             out,
             ExtensionOutcome::Hsp {
@@ -426,7 +444,16 @@ mod tests {
         let coder = SeedCoder::new(4);
         let cccc = coder.encode(&codes("CCCC")).unwrap();
         let p = find(&d1, &codes("CCCC"));
-        let out = extend_hit(&d1, &d2, p, p, cccc, coder, &params(4, 50), OrderGuard::OrderedFull);
+        let out = extend_hit(
+            &d1,
+            &d2,
+            p,
+            p,
+            cccc,
+            coder,
+            &params(4, 50),
+            OrderGuard::OrderedFull,
+        );
         assert_eq!(out, ExtensionOutcome::Aborted);
     }
 
@@ -438,7 +465,16 @@ mod tests {
         let coder = SeedCoder::new(4);
         let cccc = coder.encode(&codes("CCCC")).unwrap();
         let p = find(&d1, &codes("CCCC"));
-        let out = extend_hit(&d1, &d2, p, p, cccc, coder, &params(4, 50), OrderGuard::OrderedFull);
+        let out = extend_hit(
+            &d1,
+            &d2,
+            p,
+            p,
+            cccc,
+            coder,
+            &params(4, 50),
+            OrderGuard::OrderedFull,
+        );
         assert_eq!(out, ExtensionOutcome::Aborted);
     }
 
@@ -451,7 +487,16 @@ mod tests {
         let coder = SeedCoder::new(4);
         let aaaa = coder.encode(&codes("AAAA")).unwrap();
         let p = find(&d1, &codes("AAAA"));
-        let out = extend_hit(&d1, &d2, p, p, aaaa, coder, &params(4, 50), OrderGuard::OrderedFull);
+        let out = extend_hit(
+            &d1,
+            &d2,
+            p,
+            p,
+            aaaa,
+            coder,
+            &params(4, 50),
+            OrderGuard::OrderedFull,
+        );
         assert!(matches!(out, ExtensionOutcome::Hsp { .. }), "{out:?}");
     }
 
@@ -469,8 +514,26 @@ mod tests {
         let second = 9; // framed position of s[8..12]
         assert_eq!(&d1[first..first + 4], codes("AAAA").as_slice());
         assert_eq!(&d1[second..second + 4], codes("AAAA").as_slice());
-        let a = extend_hit(&d1, &d2, first, first, aaaa, coder, &params(4, 100), OrderGuard::OrderedFull);
-        let b = extend_hit(&d1, &d2, second, second, aaaa, coder, &params(4, 100), OrderGuard::OrderedFull);
+        let a = extend_hit(
+            &d1,
+            &d2,
+            first,
+            first,
+            aaaa,
+            coder,
+            &params(4, 100),
+            OrderGuard::OrderedFull,
+        );
+        let b = extend_hit(
+            &d1,
+            &d2,
+            second,
+            second,
+            aaaa,
+            coder,
+            &params(4, 100),
+            OrderGuard::OrderedFull,
+        );
         assert!(matches!(a, ExtensionOutcome::Hsp { .. }), "{a:?}");
         assert_eq!(b, ExtensionOutcome::Aborted);
     }
@@ -492,8 +555,19 @@ mod tests {
             if d1[p..p + w] != d2[p..p + w] {
                 continue; // not a hit on the main diagonal
             }
-            let Some(code) = coder.encode(&d1[p..p + w]) else { continue };
-            match extend_hit(&d1, &d2, p, p, code, coder, &params(8, 1000), OrderGuard::OrderedFull) {
+            let Some(code) = coder.encode(&d1[p..p + w]) else {
+                continue;
+            };
+            match extend_hit(
+                &d1,
+                &d2,
+                p,
+                p,
+                code,
+                coder,
+                &params(8, 1000),
+                OrderGuard::OrderedFull,
+            ) {
                 ExtensionOutcome::Hsp { .. } => completed += 1,
                 ExtensionOutcome::Aborted => aborted += 1,
             }
@@ -518,7 +592,16 @@ mod tests {
         let p1 = find(&d1, &codes("CCCC"));
         let p2 = find(&d2, &codes("CCCC"));
         assert_eq!(p1, p2);
-        let out = extend_hit(&d1, &d2, p1, p2, cccc, coder, &params(4, 50), OrderGuard::OrderedFull);
+        let out = extend_hit(
+            &d1,
+            &d2,
+            p1,
+            p2,
+            cccc,
+            coder,
+            &params(4, 50),
+            OrderGuard::OrderedFull,
+        );
         assert!(matches!(out, ExtensionOutcome::Hsp { .. }), "{out:?}");
     }
 
@@ -533,7 +616,14 @@ mod tests {
 
     /// Brute force: best ungapped extension through the seed with unlimited
     /// xdrop equals max over prefixes/suffixes.
-    fn brute_best(d1: &[u8], d2: &[u8], p1: usize, p2: usize, w: usize, scheme: &ScoringScheme) -> i32 {
+    fn brute_best(
+        d1: &[u8],
+        d2: &[u8],
+        p1: usize,
+        p2: usize,
+        w: usize,
+        scheme: &ScoringScheme,
+    ) -> i32 {
         let seed = w as i32 * scheme.matsch;
         // left prefix scores
         let mut best_left = 0;

@@ -45,7 +45,18 @@ fn bench_ungapped(c: &mut Criterion) {
         b.iter(|| extend_hit(&d1, &d2, pos, pos, code, coder, &params, OrderGuard::None))
     });
     g.bench_function("order_guarded", |b| {
-        b.iter(|| extend_hit(&d1, &d2, pos, pos, code, coder, &params, OrderGuard::OrderedFull))
+        b.iter(|| {
+            extend_hit(
+                &d1,
+                &d2,
+                pos,
+                pos,
+                code,
+                coder,
+                &params,
+                OrderGuard::OrderedFull,
+            )
+        })
     });
     g.finish();
 }
@@ -68,7 +79,9 @@ fn bench_gotoh_oracle(c: &mut Criterion) {
     let scheme = ScoringScheme::blastn();
     let mut g = c.benchmark_group("exact_oracle");
     g.sample_size(20);
-    g.bench_function("gotoh_300x300", |b| b.iter(|| gotoh_local(&a, &b2, &scheme)));
+    g.bench_function("gotoh_300x300", |b| {
+        b.iter(|| gotoh_local(&a, &b2, &scheme))
+    });
     g.finish();
 }
 

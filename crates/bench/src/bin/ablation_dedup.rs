@@ -46,8 +46,10 @@ fn main() {
         let (dedup, stats) = find_hsps_unordered_dedup(&b1, &i1, &b2, &i2, &cfg);
         let dedup_secs = t0.elapsed().as_secs_f64();
 
-        let set_a: std::collections::HashSet<_> =
-            ordered.iter().map(|h| (h.start1, h.start2, h.len)).collect();
+        let set_a: std::collections::HashSet<_> = ordered
+            .iter()
+            .map(|h| (h.start1, h.start2, h.len))
+            .collect();
         let set_b: std::collections::HashSet<_> =
             dedup.iter().map(|h| (h.start1, h.start2, h.len)).collect();
         // With a finite X-drop, extents are mildly path-dependent (the

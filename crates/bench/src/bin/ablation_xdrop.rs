@@ -33,8 +33,7 @@ fn main() {
         let mean_len = if r.alignments.is_empty() {
             0.0
         } else {
-            r.alignments.iter().map(|a| a.length).sum::<usize>() as f64
-                / r.alignments.len() as f64
+            r.alignments.iter().map(|a| a.length).sum::<usize>() as f64 / r.alignments.len() as f64
         };
         t.row(vec![
             format!("{xdrop}"),

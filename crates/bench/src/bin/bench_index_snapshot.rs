@@ -1,0 +1,176 @@
+//! Perf snapshot for the occurrence-index layout and step-2 scheduling.
+//!
+//! Measures the "before vs after" of the CSR flattening PR:
+//!
+//! * **before** — the linked (Figure-2 literal) layout: chain-walking
+//!   step 2, `4·len(SEQ)`-byte `next` array, equal-width scheduling;
+//! * **after** — the CSR layout: slice-streaming step 2,
+//!   `4·indexed_positions`-byte postings, work-balanced scheduling.
+//!
+//! Three sections: index build time + heap bytes (EST bank, full and
+//! asymmetric), step 2 on the skewed-seed benchmark (linked chains vs CSR
+//! slices, identical extensions), and scheduling (equal-width vs
+//! work-balanced) per thread count.
+//!
+//! Writes `BENCH_index.json` (repo root by default; `--out PATH` to
+//! override, `--scale F` for the EST bank size) so future PRs have a perf
+//! trajectory to compare against.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use oris_align::OrderGuard;
+use oris_bench::{find_hsps_linked_reference, skewed_pair};
+use oris_core::step2::{find_hsps, find_hsps_partitioned, PartitionStrategy};
+use oris_core::OrisConfig;
+use oris_index::{BankIndex, IndexConfig, LinkedBankIndex};
+
+/// Paired comparison: alternates `a` and `b` per repetition so slow clock
+/// drift (VM throttling, noisy neighbours) hits both sides equally, then
+/// returns the two medians.
+fn time2<RA, RB>(reps: usize, mut a: impl FnMut() -> RA, mut b: impl FnMut() -> RB) -> (f64, f64) {
+    let mut sa = Vec::with_capacity(reps);
+    let mut sb = Vec::with_capacity(reps);
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        std::hint::black_box(a());
+        sa.push(t0.elapsed().as_secs_f64());
+        let t0 = Instant::now();
+        std::hint::black_box(b());
+        sb.push(t0.elapsed().as_secs_f64());
+    }
+    sa.sort_by(|x, y| x.partial_cmp(y).unwrap());
+    sb.sort_by(|x, y| x.partial_cmp(y).unwrap());
+    (sa[sa.len() / 2], sb[sb.len() / 2])
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = 0.15f64;
+    let mut out_path = "BENCH_index.json".to_string();
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => scale = it.next().expect("--scale F").parse().expect("bad --scale"),
+            "--out" => out_path = it.next().expect("--out PATH").clone(),
+            other => panic!("unknown argument {other}"),
+        }
+    }
+
+    let est = oris_simulate::paper_bank("EST1", scale).bank;
+    let w = 11usize;
+    let reps = 5;
+
+    // ---- layout: build time and footprint (EST bank) --------------------
+    let (t_linked_build, t_csr_build) = time2(
+        reps,
+        || LinkedBankIndex::build(&est, IndexConfig::full(w)),
+        || BankIndex::build(&est, IndexConfig::full(w)),
+    );
+    let linked = LinkedBankIndex::build(&est, IndexConfig::full(w));
+    let csr = BankIndex::build(&est, IndexConfig::full(w));
+    // The linked layout's next[] is sized by the bank, so its asymmetric
+    // footprint equals its full footprint; the CSR postings halve.
+    let csr_asym = BankIndex::build(&est, IndexConfig::asymmetric(w));
+
+    // ---- step 2 on the skewed-seed benchmark ----------------------------
+    let (b1, b2) = skewed_pair(50, 40_000, 250);
+    let cfg = OrisConfig::default();
+    let icfg = IndexConfig::full(cfg.w);
+    let l1 = LinkedBankIndex::build(&b1, icfg);
+    let l2 = LinkedBankIndex::build(&b2, icfg);
+    let i1 = BankIndex::build(&b1, icfg);
+    let i2 = BankIndex::build(&b2, icfg);
+    let serial = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .unwrap();
+    let (t_step2_linked, t_step2_csr) = time2(
+        reps,
+        || find_hsps_linked_reference(&b1, &l1, &b2, &l2, &i1, &i2, &cfg),
+        || serial.install(|| find_hsps(&b1, &i1, &b2, &i2, &cfg)),
+    );
+
+    // ---- scheduling: equal-width vs work-balanced per thread count ------
+    let guard = OrderGuard::OrderedIndexed {
+        idx1: &i1,
+        idx2: &i2,
+    };
+    let mut sched_rows = String::new();
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut threads_list: Vec<usize> = [1usize, 2, 4, 8].into_iter().filter(|&t| t <= hw).collect();
+    if threads_list.is_empty() {
+        threads_list.push(1);
+    }
+    for (i, &threads) in threads_list.iter().enumerate() {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap();
+        let (t_naive, t_balanced) = time2(
+            reps,
+            || {
+                pool.install(|| {
+                    find_hsps_partitioned(
+                        &b1,
+                        &i1,
+                        &b2,
+                        &i2,
+                        &cfg,
+                        guard,
+                        PartitionStrategy::EqualWidth,
+                    )
+                })
+            },
+            || {
+                pool.install(|| {
+                    find_hsps_partitioned(
+                        &b1,
+                        &i1,
+                        &b2,
+                        &i2,
+                        &cfg,
+                        guard,
+                        PartitionStrategy::WorkBalanced,
+                    )
+                })
+            },
+        );
+        let comma = if i + 1 < threads_list.len() { "," } else { "" };
+        writeln!(
+            sched_rows,
+            "    {{\"threads\": {threads}, \"equal_width_secs\": {t_naive:.6}, \
+             \"work_balanced_secs\": {t_balanced:.6}, \"speedup\": {:.3}}}{comma}",
+            t_naive / t_balanced
+        )
+        .unwrap();
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"index_layout_and_step2_scheduling\",\n  \
+         \"est_scale\": {scale},\n  \"est_residues\": {},\n  \
+         \"w\": {w},\n  \"est_indexed_positions\": {},\n  \
+         \"build_est\": {{\n    \"linked_secs\": {t_linked_build:.6},\n    \
+         \"csr_secs\": {t_csr_build:.6}\n  }},\n  \
+         \"heap_bytes_est\": {{\n    \"linked_full\": {},\n    \
+         \"csr_full\": {},\n    \"csr_asymmetric\": {}\n  }},\n  \
+         \"step2_skewed\": {{\n    \"query_residues\": {},\n    \
+         \"subject_residues\": {},\n    \
+         \"linked_chain_secs\": {t_step2_linked:.6},\n    \
+         \"csr_slice_secs\": {t_step2_csr:.6},\n    \"speedup\": {:.3}\n  }},\n  \
+         \"step2_scheduling_skewed\": [\n{sched_rows}  ]\n}}\n",
+        est.num_residues(),
+        csr.indexed_positions(),
+        linked.heap_bytes(),
+        csr.heap_bytes(),
+        csr_asym.heap_bytes(),
+        b1.num_residues(),
+        b2.num_residues(),
+        t_step2_linked / t_step2_csr,
+    );
+    std::fs::write(&out_path, &json).expect("failed to write snapshot");
+    print!("{json}");
+    eprintln!("wrote {out_path}");
+}

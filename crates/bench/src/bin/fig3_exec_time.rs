@@ -21,7 +21,10 @@ fn main() {
             out.row.scoris_secs,
             out.row.blast_secs,
         ));
-        eprintln!("  done {} ({:.2} Mbp^2)", out.row.banks, out.row.search_space);
+        eprintln!(
+            "  done {} ({:.2} Mbp^2)",
+            out.row.banks, out.row.search_space
+        );
     }
     rows.sort_by(|x, y| x.0.partial_cmp(&y.0).unwrap());
 

@@ -95,9 +95,7 @@ fn run_batched(bank1: &Bank, bank2: &Bank, cfg: &BlastConfig, batch_nt: usize) -
         let lookup = match &m1 {
             Some(m) => {
                 let dilated = m.dilated_left(cfg.w);
-                BankIndex::build_filtered(&batch, IndexConfig::full(cfg.w), |p| {
-                    dilated.contains(p)
-                })
+                BankIndex::build_filtered(&batch, IndexConfig::full(cfg.w), |p| dilated.contains(p))
             }
             None => BankIndex::build(&batch, IndexConfig::full(cfg.w)),
         };

@@ -125,7 +125,7 @@ fn scan_record(
             }
         }
         stats.probes += 1;
-        for p1 in lookup.occurrences(code) {
+        for &p1 in lookup.occurrences(code) {
             stats.hits += 1;
             // Table key: diagonal in record-local subject coordinates
             // (the table is sized for one record and reset per record).
@@ -187,12 +187,7 @@ pub fn scan_bank(
         max_span: usize::MAX / 4,
     };
     let len1 = bank1.data().len();
-    let max_len2 = bank2
-        .records()
-        .iter()
-        .map(|r| r.len)
-        .max()
-        .unwrap_or(0);
+    let max_len2 = bank2.records().iter().map(|r| r.len).max().unwrap_or(0);
 
     let results: Vec<(Vec<Hsp>, ScanStats)> = (0..bank2.num_sequences())
         .into_par_iter()
@@ -293,10 +288,14 @@ mod tests {
         let i2 = BankIndex::build(&b2, IndexConfig::full(c.w));
         let (oris_hsps, _) = oris_core::step2::find_hsps(&b1, &i1, &b2, &i2, &oris_cfg);
 
-        let a: std::collections::HashSet<(u32, u32, u32)> =
-            blast_hsps.iter().map(|h| (h.start1, h.start2, h.len)).collect();
-        let b: std::collections::HashSet<(u32, u32, u32)> =
-            oris_hsps.iter().map(|h| (h.start1, h.start2, h.len)).collect();
+        let a: std::collections::HashSet<(u32, u32, u32)> = blast_hsps
+            .iter()
+            .map(|h| (h.start1, h.start2, h.len))
+            .collect();
+        let b: std::collections::HashSet<(u32, u32, u32)> = oris_hsps
+            .iter()
+            .map(|h| (h.start1, h.start2, h.len))
+            .collect();
         assert_eq!(a, b);
     }
 
@@ -311,8 +310,14 @@ mod tests {
         let b2 = bank(&refs);
         let c = cfg(8);
         let lookup = BankIndex::build(&b1, IndexConfig::full(c.w));
-        let pool1 = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
-        let pool4 = rayon::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let pool1 = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap();
+        let pool4 = rayon::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
         let (h1, s1) = pool1.install(|| scan_bank(&b1, &lookup, &b2, &c, None));
         let (h4, s4) = pool4.install(|| scan_bank(&b1, &lookup, &b2, &c, None));
         assert_eq!(h1, h4);

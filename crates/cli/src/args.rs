@@ -52,7 +52,9 @@ impl Args {
         let mut out = Args::default();
         let mut it = argv.iter().peekable();
         while let Some(arg) = it.next() {
-            if arg.starts_with('-') && arg.len() > 1 && !arg.chars().nth(1).unwrap().is_ascii_digit()
+            if arg.starts_with('-')
+                && arg.len() > 1
+                && !arg.chars().nth(1).unwrap().is_ascii_digit()
             {
                 let name = canon(arg);
                 if flag_keys.contains(&name.as_str()) {
@@ -112,13 +114,7 @@ mod tests {
 
     #[test]
     fn flags_and_defaults() {
-        let a = Args::parse(
-            &argv(&["--stats", "x"]),
-            &["word"],
-            &["stats"],
-            &[],
-        )
-        .unwrap();
+        let a = Args::parse(&argv(&["--stats", "x"]), &["word"], &["stats"], &[]).unwrap();
         assert!(a.has_flag("stats"));
         assert!(!a.has_flag("verbose"));
         assert_eq!(a.get_or("word", 7usize).unwrap(), 7);

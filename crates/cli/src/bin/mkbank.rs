@@ -39,7 +39,8 @@ fn run() -> Result<(), String> {
         return Ok(());
     }
     if args.has_flag("list") {
-        let mut t = oris_eval::Table::new(vec!["Bank", "Origin (analogue)", "paper Mbp", "unit nt"]);
+        let mut t =
+            oris_eval::Table::new(vec!["Bank", "Origin (analogue)", "paper Mbp", "unit nt"]);
         for s in sim::paper_bank_specs() {
             t.row(vec![
                 s.name.to_string(),

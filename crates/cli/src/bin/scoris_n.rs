@@ -36,7 +36,14 @@ fn run() -> Result<(), String> {
     let args = Args::parse(
         &argv,
         &[
-            "word", "evalue", "xdrop", "xdrop-gap", "minscore", "filter", "threads", "engine",
+            "word",
+            "evalue",
+            "xdrop",
+            "xdrop-gap",
+            "minscore",
+            "filter",
+            "threads",
+            "engine",
             "out",
         ],
         &["asymmetric", "both-strands", "stats", "help"],

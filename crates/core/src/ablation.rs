@@ -87,8 +87,10 @@ mod tests {
         let (ordered, _) = crate::step2::find_hsps(&b1, &i1, &b2, &i2, &cfg);
         let (dedup, stats) = find_hsps_unordered_dedup(&b1, &i1, &b2, &i2, &cfg);
 
-        let set_a: HashSet<(u32, u32, u32)> =
-            ordered.iter().map(|h| (h.start1, h.start2, h.len)).collect();
+        let set_a: HashSet<(u32, u32, u32)> = ordered
+            .iter()
+            .map(|h| (h.start1, h.start2, h.len))
+            .collect();
         let set_b: HashSet<(u32, u32, u32)> =
             dedup.iter().map(|h| (h.start1, h.start2, h.len)).collect();
         assert_eq!(set_a, set_b);

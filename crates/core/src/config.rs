@@ -140,6 +140,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::field_reassign_with_default)] // mutating one field per probe is the point
     fn validation_catches_bad_values() {
         let mut c = OrisConfig::default();
         c.w = 99;

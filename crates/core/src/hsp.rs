@@ -83,11 +83,31 @@ mod tests {
 
     #[test]
     fn sort_by_diag_then_start() {
-        let mut v = vec![
-            Hsp { start1: 9, start2: 0, len: 5, score: 5 },
-            Hsp { start1: 0, start2: 5, len: 5, score: 5 },
-            Hsp { start1: 5, start2: 5, len: 5, score: 5 },
-            Hsp { start1: 2, start2: 2, len: 5, score: 5 },
+        let mut v = [
+            Hsp {
+                start1: 9,
+                start2: 0,
+                len: 5,
+                score: 5,
+            },
+            Hsp {
+                start1: 0,
+                start2: 5,
+                len: 5,
+                score: 5,
+            },
+            Hsp {
+                start1: 5,
+                start2: 5,
+                len: 5,
+                score: 5,
+            },
+            Hsp {
+                start1: 2,
+                start2: 2,
+                len: 5,
+                score: 5,
+            },
         ];
         v.sort_by(Hsp::diag_order);
         let diags: Vec<i64> = v.iter().map(|h| h.diag()).collect();

@@ -19,7 +19,10 @@
 //! of step 2 which considers all the possible 4^W seeds can be run in
 //! parallel since seed order prevents identical HSPs to be generated".
 //! [`step2::find_hsps`] implements exactly that with rayon, partitioning
-//! the seed-code space; [`step3`] parallelizes over sequence-pair groups.
+//! the seed-code space by estimated work (the per-code `|X1|·|X2|` pair
+//! product read from the CSR index offsets — see
+//! [`step2::PartitionStrategy`]); [`step3`] parallelizes over
+//! sequence-pair groups.
 //! Both are bit-for-bit deterministic regardless of thread count (verified
 //! by tests).
 //!

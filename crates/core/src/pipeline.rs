@@ -173,6 +173,18 @@ fn merge_strands(mut plus: OrisResult, mut minus: OrisResult, bank2: &Bank) -> O
     plus.stats.step4_secs += s.step4_secs;
     plus.stats.hsps += s.hsps;
     plus.stats.raw_alignments += s.raw_alignments;
+    // Per-step counters sum across the two runs; the footprint fields
+    // describe concurrent-resident state, so the merged report takes the
+    // worse (max) of the two runs. Bank 2 and its reverse complement have
+    // the same masked fraction up to filter asymmetries, and the plus- and
+    // minus-strand indexes are the same size up to masking differences —
+    // max is the honest summary for both.
+    plus.stats.step2 = plus.stats.step2.merge(s.step2);
+    plus.stats.step3 = plus.stats.step3.merge(s.step3);
+    plus.stats.step4 = plus.stats.step4.merge(s.step4);
+    plus.stats.masked_fraction1 = plus.stats.masked_fraction1.max(s.masked_fraction1);
+    plus.stats.masked_fraction2 = plus.stats.masked_fraction2.max(s.masked_fraction2);
+    plus.stats.index_bytes = plus.stats.index_bytes.max(s.index_bytes);
     OrisResult {
         alignments,
         stats: plus.stats,
@@ -404,6 +416,58 @@ mod strand_tests {
                 "plus-strand record lost: {a}"
             );
         }
+    }
+
+    #[test]
+    fn merged_stats_account_for_both_strand_runs() {
+        // Homology on both strands: the merged report must include the
+        // minus-strand run's step counters (they were silently dropped
+        // before), and the footprint fields must survive the merge.
+        let core = "ATGGCGTACGTTAGCCTAGGCTTAACGGATCG";
+        let b1 = bank(&[core]);
+        let b2 = bank(&[&format!("TT{core}AA{}GG", revcomp(core))]);
+        let mut cfg = OrisConfig::small(8);
+
+        let single = compare_banks(&b1, &b2, &cfg);
+        cfg.both_strands = true;
+        let both = compare_banks(&b1, &b2, &cfg);
+
+        // The minus-strand run sees the reverse-complemented core too, so
+        // every step-2/3/4 counter at least doubles relative to one run.
+        assert!(both.stats.step2.pairs_examined >= 2 * single.stats.step2.pairs_examined);
+        assert!(both.stats.step2.kept >= 2 * single.stats.step2.kept);
+        assert!(both.stats.step3.extended >= 2 * single.stats.step3.extended);
+        assert!(both.stats.step4.emitted >= 2 * single.stats.step4.emitted);
+        assert_eq!(
+            both.stats.step4.emitted as usize,
+            both.alignments.len(),
+            "emitted must match the merged record count"
+        );
+        // Counter-accounting invariant holds after the merge.
+        assert_eq!(
+            both.stats.step2.pairs_examined,
+            both.stats.step2.aborted + both.stats.step2.below_threshold + both.stats.step2.kept
+        );
+        // Footprint fields: max across runs, not zero and not doubled.
+        assert_eq!(both.stats.index_bytes, single.stats.index_bytes);
+        assert!(both.stats.index_bytes > 0);
+    }
+
+    #[test]
+    fn merged_stats_keep_masked_fractions() {
+        // A poly-A run is low-complexity on both strands (poly-T on the
+        // reverse complement); the merged masked fractions must be > 0,
+        // not the minus-run-dropped 0.0 of the old merge.
+        let polya = "A".repeat(120);
+        let core = "ATGGCGTACGTTAGCCTAGGCTTAACGGATCG";
+        let b1 = bank(&[&format!("{core}{polya}")]);
+        let b2 = bank(&[&format!("{polya}{core}")]);
+        let mut cfg = OrisConfig::small(8);
+        cfg.filter = FilterKind::Entropy;
+        cfg.both_strands = true;
+        let r = compare_banks(&b1, &b2, &cfg);
+        assert!(r.stats.masked_fraction1 > 0.0);
+        assert!(r.stats.masked_fraction2 > 0.0);
     }
 
     #[test]

@@ -11,13 +11,26 @@
 //!   needed;
 //! * **locality** — all sequence portions sharing a seed are processed
 //!   together ("implicitly and simultaneously moved into the cache
-//!   memory"), giving the nested loops near-perfect cache reuse.
+//!   memory"), giving the nested loops near-perfect cache reuse. With the
+//!   CSR index the X1/X2 occurrence lists are contiguous sorted slices, so
+//!   the inner loops stream through memory with no pointer chasing at all.
 //!
 //! Because uniqueness is a property of the *rule*, not of the visit
-//! order, the outer loop parallelizes embarrassingly (paper section 4);
+//! order, the outer loop parallelizes embarrassingly (paper section 4).
 //! [`find_hsps`] splits the code space into contiguous ranges processed by
 //! rayon and concatenates results in range order, so output is identical
 //! for any thread count.
+//!
+//! **Scheduling.** Seed popularity is highly skewed (the paper's EST banks
+//! concentrate work in poly-A/poly-T codes), so equal-*width* code ranges
+//! carry wildly unequal work: one range may own the `AAAA…A` code whose
+//! `|X1|·|X2|` pair product dwarfs everything else. The default
+//! [`PartitionStrategy::WorkBalanced`] instead sizes ranges by the
+//! per-code pair product read straight from the two CSR offset arrays
+//! (`offsets[c+1] − offsets[c]` per bank, multiplied), cutting a range
+//! whenever its accumulated work reaches `total/chunks`. Ranges remain
+//! contiguous and in code order, so results concatenate in range order and
+//! the output stays thread-count-independent.
 
 use oris_align::{extend_hit, ExtensionOutcome, OrderGuard, UngappedParams};
 use oris_index::BankIndex;
@@ -41,12 +54,84 @@ pub struct Step2Stats {
 }
 
 impl Step2Stats {
-    fn merge(mut self, o: Step2Stats) -> Step2Stats {
+    /// Sums the counters of two reports (used by range concatenation and
+    /// by the pipeline's strand merge).
+    pub fn merge(mut self, o: Step2Stats) -> Step2Stats {
         self.pairs_examined += o.pairs_examined;
         self.aborted += o.aborted;
         self.below_threshold += o.below_threshold;
         self.kept += o.kept;
         self
+    }
+}
+
+/// How [`find_hsps`] splits the seed-code space across workers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum PartitionStrategy {
+    /// Contiguous ranges of equal code *width*, ignoring occurrence
+    /// counts — the pre-CSR scheduler, kept as a benchmark baseline.
+    EqualWidth,
+    /// Contiguous ranges of comparable estimated *work*: the per-range sum
+    /// of `|X1(code)|·|X2(code)|` pair products, read from the two CSR
+    /// offset arrays.
+    #[default]
+    WorkBalanced,
+}
+
+/// Splits `0..num_codes` into contiguous ranges under `strategy`, aiming
+/// for `chunks` ranges. Ranges always cover the whole code space in order;
+/// the work-balanced strategy may return slightly fewer or more ranges
+/// than requested (greedy cuts), never more than `2·chunks`.
+#[allow(clippy::single_range_in_vec_init)] // a Vec<Range> is the schedule, not a typo'd range
+pub fn partition_codes(
+    idx1: &BankIndex,
+    idx2: &BankIndex,
+    strategy: PartitionStrategy,
+    chunks: u32,
+) -> Vec<std::ops::Range<u32>> {
+    let num_codes = idx1.coder().num_seeds() as u32;
+    let chunks = chunks.max(1);
+    match strategy {
+        PartitionStrategy::EqualWidth => {
+            let chunk = num_codes.div_ceil(chunks).max(1);
+            (0..num_codes)
+                .step_by(chunk as usize)
+                .map(|lo| lo..(lo + chunk).min(num_codes))
+                .collect()
+        }
+        PartitionStrategy::WorkBalanced => {
+            if chunks == 1 {
+                return vec![0..num_codes];
+            }
+            let (o1, o2) = (idx1.offsets(), idx2.offsets());
+            // Per-code pair product from adjacent offset differences; the
+            // windowed zip keeps both passes branch-free and streaming.
+            let work_iter = || {
+                o1.windows(2)
+                    .zip(o2.windows(2))
+                    .map(|(w1, w2)| ((w1[1] - w1[0]) as u64) * ((w2[1] - w2[0]) as u64))
+            };
+            let total: u64 = work_iter().sum();
+            if total == 0 {
+                return vec![0..num_codes];
+            }
+            let target = total.div_ceil(chunks as u64);
+            let mut ranges = Vec::with_capacity(chunks as usize + 1);
+            let mut lo = 0u32;
+            let mut acc = 0u64;
+            for (c, w) in work_iter().enumerate() {
+                acc += w;
+                if acc >= target {
+                    ranges.push(lo..c as u32 + 1);
+                    lo = c as u32 + 1;
+                    acc = 0;
+                }
+            }
+            if lo < num_codes {
+                ranges.push(lo..num_codes);
+            }
+            ranges
+        }
     }
 }
 
@@ -70,13 +155,18 @@ fn process_code_range(
     let mut stats = Step2Stats::default();
 
     for code in codes {
-        let Some(first1) = idx1.first(code) else { continue };
-        let Some(first2) = idx2.first(code) else { continue };
-        // X1 × X2 hit extensions for this seed (paper notation).
-        let mut p1 = Some(first1);
-        while let Some(a) = p1 {
-            let mut p2 = Some(first2);
-            while let Some(b) = p2 {
+        // X1 × X2 hit extensions for this seed (paper notation): both
+        // occurrence lists are contiguous sorted slices in the CSR index.
+        let x1 = idx1.occurrences(code);
+        if x1.is_empty() {
+            continue;
+        }
+        let x2 = idx2.occurrences(code);
+        if x2.is_empty() {
+            continue;
+        }
+        for &a in x1 {
+            for &b in x2 {
                 stats.pairs_examined += 1;
                 match extend_hit(d1, d2, a as usize, b as usize, code, coder, params, guard) {
                     ExtensionOutcome::Aborted => stats.aborted += 1,
@@ -94,9 +184,7 @@ fn process_code_range(
                         }
                     }
                 }
-                p2 = idx2.next_occurrence(b);
             }
-            p1 = idx1.next_occurrence(a);
         }
     }
     (out, stats)
@@ -134,6 +222,30 @@ pub fn find_hsps_with_guard(
     cfg: &OrisConfig,
     guard: OrderGuard<'_>,
 ) -> (Vec<Hsp>, Step2Stats) {
+    find_hsps_partitioned(
+        bank1,
+        idx1,
+        bank2,
+        idx2,
+        cfg,
+        guard,
+        PartitionStrategy::default(),
+    )
+}
+
+/// Full-control entry point: explicit guard *and* partition strategy (the
+/// scheduling benches compare [`PartitionStrategy::EqualWidth`] against
+/// the default work-balanced split).
+#[allow(clippy::too_many_arguments)]
+pub fn find_hsps_partitioned(
+    bank1: &Bank,
+    idx1: &BankIndex,
+    bank2: &Bank,
+    idx2: &BankIndex,
+    cfg: &OrisConfig,
+    guard: OrderGuard<'_>,
+    strategy: PartitionStrategy,
+) -> (Vec<Hsp>, Step2Stats) {
     assert_eq!(
         idx1.w(),
         idx2.w(),
@@ -145,21 +257,33 @@ pub fn find_hsps_with_guard(
         scheme: cfg.scheme,
         max_span: usize::MAX / 4,
     };
-    let num_codes = idx1.coder().num_seeds() as u32;
 
-    // Contiguous code ranges; enough chunks to load-balance (seed
-    // popularity is highly skewed), concatenated in order for
-    // thread-count-independent output.
-    let chunks = (rayon::current_num_threads() * 16).clamp(16, 1024) as u32;
-    let chunk = num_codes.div_ceil(chunks).max(1);
-    let ranges: Vec<std::ops::Range<u32>> = (0..num_codes)
-        .step_by(chunk as usize)
-        .map(|lo| lo..(lo + chunk).min(num_codes))
-        .collect();
+    // Enough chunks to keep workers busy even when a few ranges run long;
+    // results are concatenated in range order, so the chunk count (and
+    // hence the thread count) never changes the output. A single worker
+    // needs no partitioning at all — one range skips the work scan.
+    let threads = rayon::current_num_threads();
+    let chunks = if threads <= 1 {
+        1
+    } else {
+        (threads * 16).clamp(16, 1024) as u32
+    };
+    let ranges = partition_codes(idx1, idx2, strategy, chunks);
 
     let results: Vec<(Vec<Hsp>, Step2Stats)> = ranges
         .into_par_iter()
-        .map(|r| process_code_range(bank1, idx1, bank2, idx2, &params, cfg.min_hsp_score, r, guard))
+        .map(|r| {
+            process_code_range(
+                bank1,
+                idx1,
+                bank2,
+                idx2,
+                &params,
+                cfg.min_hsp_score,
+                r,
+                guard,
+            )
+        })
         .collect();
 
     let mut stats = Step2Stats::default();
@@ -283,12 +407,130 @@ mod tests {
         let i1 = BankIndex::build(&b1, IndexConfig::full(c.w));
         let i2 = BankIndex::build(&b2, IndexConfig::full(c.w));
 
-        let pool1 = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
-        let pool4 = rayon::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let pool1 = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap();
+        let pool4 = rayon::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
         let (h1, s1) = pool1.install(|| find_hsps(&b1, &i1, &b2, &i2, &c));
         let (h4, s4) = pool4.install(|| find_hsps(&b1, &i1, &b2, &i2, &c));
         assert_eq!(h1, h4);
         assert_eq!(s1, s4);
+    }
+
+    #[test]
+    fn skewed_bank_output_is_thread_count_invariant() {
+        // Long homopolymer runs concentrate nearly all pair work in two
+        // seed codes (AAAA…, TTTT…) — the distribution that defeats
+        // equal-width scheduling. Output and counters must be identical
+        // for 1, 2 and 8 threads under the work-balanced partition.
+        let polya = "A".repeat(120);
+        let polyt = "T".repeat(90);
+        let mixed = "ATGGCGTACGTTAGCCTAGGCTTAACGGATCG";
+        let b1 = bank(&[
+            &format!("{polya}{mixed}"),
+            &format!("{mixed}{polyt}"),
+            "GGCCTTAAGGCCTTAA",
+        ]);
+        let b2 = bank(&[&format!("{polyt}{mixed}{polya}"), "CCGGATCGATCCGG"]);
+        let c = cfg(5);
+        let i1 = BankIndex::build(&b1, IndexConfig::full(c.w));
+        let i2 = BankIndex::build(&b2, IndexConfig::full(c.w));
+
+        let mut outputs = Vec::new();
+        for threads in [1usize, 2, 8] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            outputs.push(pool.install(|| find_hsps(&b1, &i1, &b2, &i2, &c)));
+        }
+        let (h1, s1) = &outputs[0];
+        assert!(!h1.is_empty());
+        for (h, s) in &outputs[1..] {
+            assert_eq!(h1, h, "HSPs differ across thread counts");
+            assert_eq!(s1, s, "Step2Stats differ across thread counts");
+        }
+    }
+
+    #[test]
+    fn partition_strategies_cover_code_space_and_agree() {
+        let polya = "A".repeat(200);
+        let b1 = bank(&[&format!("{polya}ATGGCGTACGTTAGCC")]);
+        let b2 = bank(&[&format!("GGCCATTA{polya}")]);
+        let c = cfg(4);
+        let i1 = BankIndex::build(&b1, IndexConfig::full(c.w));
+        let i2 = BankIndex::build(&b2, IndexConfig::full(c.w));
+        let num_codes = i1.coder().num_seeds() as u32;
+
+        for strategy in [
+            PartitionStrategy::EqualWidth,
+            PartitionStrategy::WorkBalanced,
+        ] {
+            let ranges = partition_codes(&i1, &i2, strategy, 16);
+            // Contiguous, in-order, complete cover.
+            assert_eq!(ranges.first().unwrap().start, 0);
+            assert_eq!(ranges.last().unwrap().end, num_codes);
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].end, w[1].start);
+            }
+        }
+        // Both strategies produce identical results.
+        let guard = oris_align::OrderGuard::OrderedIndexed {
+            idx1: &i1,
+            idx2: &i2,
+        };
+        let naive =
+            find_hsps_partitioned(&b1, &i1, &b2, &i2, &c, guard, PartitionStrategy::EqualWidth);
+        let balanced = find_hsps_partitioned(
+            &b1,
+            &i1,
+            &b2,
+            &i2,
+            &c,
+            guard,
+            PartitionStrategy::WorkBalanced,
+        );
+        assert_eq!(naive, balanced);
+    }
+
+    #[test]
+    fn balanced_partition_splits_skewed_work() {
+        // One dominant code (poly-A) and scattered light codes: the
+        // balanced partition must isolate the heavy code in a narrow range
+        // rather than lumping 1/chunks of the code space around it.
+        let polya = "A".repeat(300);
+        let b1 = bank(&[&format!("{polya}ATGGCGTACGTTAGCCTAGGCTTA")]);
+        let b2 = bank(&[&format!("{polya}GGCCATTAGGCCATTA")]);
+        let i1 = BankIndex::build(&b1, IndexConfig::full(4));
+        let i2 = BankIndex::build(&b2, IndexConfig::full(4));
+
+        let chunks = 16u32;
+        let balanced = partition_codes(&i1, &i2, PartitionStrategy::WorkBalanced, chunks);
+        let (o1, o2) = (i1.offsets(), i2.offsets());
+        let work_of = |r: &std::ops::Range<u32>| -> u64 {
+            (r.start..r.end)
+                .map(|c| {
+                    let c = c as usize;
+                    ((o1[c + 1] - o1[c]) as u64) * ((o2[c + 1] - o2[c]) as u64)
+                })
+                .sum()
+        };
+        let total: u64 = work_of(&(0..i1.coder().num_seeds() as u32));
+        let target = total.div_ceil(chunks as u64);
+        // Every range except those pinned by a single overweight code
+        // carries at most target + max_single_code work; and code 0
+        // (poly-A, the heaviest) sits alone in its range.
+        let first = &balanced[0];
+        assert_eq!(first.start, 0);
+        assert_eq!(
+            first.end, 1,
+            "heavy code 0 should be cut immediately: {balanced:?}"
+        );
+        assert!(work_of(first) >= target);
     }
 
     #[test]
@@ -300,10 +542,7 @@ mod tests {
         let i1 = BankIndex::build(&b1, IndexConfig::full(c.w));
         let i2 = BankIndex::build(&b2, IndexConfig::full(c.w));
         let (_, st) = find_hsps(&b1, &i1, &b2, &i2, &c);
-        assert_eq!(
-            st.pairs_examined,
-            st.aborted + st.below_threshold + st.kept
-        );
+        assert_eq!(st.pairs_examined, st.aborted + st.below_threshold + st.kept);
         assert!(st.pairs_examined > 0);
     }
 
@@ -327,8 +566,8 @@ mod tests {
         let coder = i1.coder();
         let mut brute = std::collections::HashSet::new();
         for code in 0..coder.num_seeds() as u32 {
-            for a in i1.occurrences(code) {
-                for b in i2.occurrences(code) {
+            for &a in i1.occurrences(code) {
+                for &b in i2.occurrences(code) {
                     if let ExtensionOutcome::Hsp { score, left, right } = extend_hit(
                         b1.data(),
                         b2.data(),

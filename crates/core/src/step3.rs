@@ -83,7 +83,9 @@ pub struct Step3Stats {
 }
 
 impl Step3Stats {
-    fn merge(mut self, o: Step3Stats) -> Step3Stats {
+    /// Sums the counters of two reports (used by group concatenation and
+    /// by the pipeline's strand merge).
+    pub fn merge(mut self, o: Step3Stats) -> Step3Stats {
         self.skipped_contained += o.skipped_contained;
         self.extended += o.extended;
         self
@@ -143,9 +145,7 @@ fn gapped_serial(
         // Retire alignments that end (in diagonal terms) before the sweep.
         active.retain(|&i| out[i].diag_max >= diag);
 
-        let contained = active
-            .iter()
-            .any(|&i| out[i].contains_point(m1, m2, diag));
+        let contained = active.iter().any(|&i| out[i].contains_point(m1, m2, diag));
         if contained {
             stats.skipped_contained += 1;
             continue;
@@ -280,9 +280,7 @@ mod tests {
         // alignments, neither suppressed.
         let core = "ATGGCGTACGTTAGCCTAGGCTTA";
         let b1 = bank(&[core]);
-        let b2 = bank(&[&format!(
-            "{core}TTTTTTTTTTTTTTTTTTTTTTTTTTTTTT{core}"
-        )]);
+        let b2 = bank(&[&format!("{core}TTTTTTTTTTTTTTTTTTTTTTTTTTTTTT{core}")]);
         let (alns, _) = pipeline_to_step3(&b1, &b2, &cfg(8));
         assert_eq!(alns.len(), 2, "{alns:?}");
     }
@@ -298,8 +296,14 @@ mod tests {
         let i2 = BankIndex::build(&b2, IndexConfig::full(c.w));
         let (hsps, _) = crate::step2::find_hsps(&b1, &i1, &b2, &i2, &c);
 
-        let pool1 = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
-        let pool4 = rayon::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let pool1 = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap();
+        let pool4 = rayon::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
         let (a1, s1) = pool1.install(|| gapped_alignments(&b1, &b2, &hsps, &c));
         let (a4, s4) = pool4.install(|| gapped_alignments(&b1, &b2, &hsps, &c));
         assert_eq!(a1, a4);

@@ -24,6 +24,15 @@ pub struct Step4Stats {
     pub emitted: u64,
 }
 
+impl Step4Stats {
+    /// Sums the counters of two reports (the pipeline's strand merge).
+    pub fn merge(mut self, o: Step4Stats) -> Step4Stats {
+        self.dropped_by_evalue += o.dropped_by_evalue;
+        self.emitted += o.emitted;
+        self
+    }
+}
+
 /// Converts gapped alignments to sorted, filtered `-m 8` records.
 pub fn display_records(
     bank1: &Bank,

@@ -67,10 +67,7 @@ impl<'a> PairIndex<'a> {
 
     /// Whether any indexed record is equivalent to `probe`.
     fn has_equivalent(&self, probe: &M8Record, min_fraction: f64) -> bool {
-        let Some(bucket) = self
-            .buckets
-            .get(&(probe.qid.as_str(), probe.sid.as_str()))
-        else {
+        let Some(bucket) = self.buckets.get(&(probe.qid.as_str(), probe.sid.as_str())) else {
             return false;
         };
         // Records are sorted by qstart; only those with qstart ≤ probe.qend

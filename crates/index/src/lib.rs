@@ -6,20 +6,28 @@
 //!   integer in `0..4^W`, with O(1) rolling updates in both directions. The
 //!   code order is the total order that makes the ORIS uniqueness argument
 //!   work (a seed `SA` precedes `SB` iff `code(SA) < code(SB)`).
-//! * [`BankIndex`]: the Figure-2 structure — a dictionary of `4^W` entries
-//!   holding the first occurrence of each seed, plus an `INDEX` array
-//!   chaining every occurrence to the next one, stored over the bank's
-//!   `SEQ` code array.
+//! * [`BankIndex`]: the Figure-2 occurrence index, stored as a **CSR
+//!   inverted index** — `offsets[4^W + 1]` row boundaries over a contiguous
+//!   `positions` array — so `occurrences(code)` is a sorted `&[u32]` slice,
+//!   `count` is O(1), and step 2 streams postings instead of chasing the
+//!   paper's `int *INDEX` chains (see `structure` module docs for the
+//!   memory model).
+//! * [`LinkedBankIndex`]: the literal linked layout of Figure 2, retained
+//!   as a benchmark baseline for the layout comparison.
 //! * Asymmetric indexing (section 3.4): index only every other W-mer of one
-//!   bank, the paper's remedy for sensitivity loss with shorter seeds.
+//!   bank, the paper's remedy for sensitivity loss with shorter seeds. In
+//!   the CSR layout this halves the postings bytes too, not just the
+//!   sampled windows.
 //! * Seed-occupancy statistics used by tests and the memory experiment (E7:
-//!   the index is ≈5·N bytes, 1 byte of `SEQ` + 4 bytes of `INDEX` per
-//!   position).
+//!   ≈5·N bytes for a fully indexed bank — 1 byte of `SEQ` + 4 bytes of
+//!   postings per position).
 
+pub mod linked;
 pub mod mask;
 pub mod seedcode;
 pub mod structure;
 
+pub use linked::LinkedBankIndex;
 pub use mask::MaskSet;
 pub use seedcode::{RollingCoder, SeedCoder, MAX_SEED_LEN};
-pub use structure::{BankIndex, IndexConfig, IndexStats, SeedOccurrences};
+pub use structure::{BankIndex, IndexConfig, IndexStats};

@@ -1,0 +1,159 @@
+//! The paper's literal Figure-2 linked layout, kept as a benchmark
+//! baseline.
+//!
+//! [`LinkedBankIndex`] is the structure [`crate::BankIndex`] used before
+//! the CSR flattening: `dict[4^W]` holds the first occurrence of each
+//! seed, `next[len(SEQ)]` chains every occurrence to the following one
+//! (the paper's `int *INDEX`), and chains are kept ascending by building
+//! them with one reverse scan. Walking a chain performs one dependent load
+//! per occurrence across a `4·len(SEQ)`-byte array — the access pattern
+//! whose cost the `indexing`/`pipeline` benches and the
+//! `bench_index_snapshot` tool quantify against the CSR slices.
+//!
+//! Production code must use [`crate::BankIndex`]; nothing outside benches
+//! and tests should depend on this module.
+
+use oris_seqio::Bank;
+
+use crate::seedcode::{RollingCoder, SeedCoder};
+use crate::structure::IndexConfig;
+
+/// Sentinel marking an empty dictionary slot / end of a chain.
+const EMPTY: u32 = u32::MAX;
+
+/// The Figure-2 linked occurrence index (benchmark baseline).
+#[derive(Debug, Clone)]
+pub struct LinkedBankIndex {
+    coder: SeedCoder,
+    dict: Vec<u32>,
+    next: Vec<u32>,
+    indexed_positions: usize,
+}
+
+impl LinkedBankIndex {
+    /// Builds the linked index for `bank` under `cfg` (no masking; the
+    /// baseline exists for layout comparisons, not production use).
+    pub fn build(bank: &Bank, cfg: IndexConfig) -> LinkedBankIndex {
+        assert!(cfg.stride >= 1, "stride must be at least 1");
+        let coder = SeedCoder::new(cfg.w);
+        let data = bank.data();
+        assert!(
+            data.len() < EMPTY as usize,
+            "bank too large for u32 positions"
+        );
+
+        let mut pairs: Vec<(u32, u32)> = Vec::with_capacity(data.len());
+        for (pos, code) in RollingCoder::new(coder, data) {
+            if pos % cfg.stride != 0 {
+                continue;
+            }
+            pairs.push((pos as u32, code));
+        }
+        // Reverse scan: pushing each position onto the front of its seed's
+        // chain leaves every chain ascending.
+        let mut dict = vec![EMPTY; coder.num_seeds()];
+        let mut next = vec![EMPTY; data.len()];
+        for &(pos, code) in pairs.iter().rev() {
+            next[pos as usize] = dict[code as usize];
+            dict[code as usize] = pos;
+        }
+
+        LinkedBankIndex {
+            coder,
+            dict,
+            next,
+            indexed_positions: pairs.len(),
+        }
+    }
+
+    /// The seed coder used by this index.
+    #[inline]
+    pub fn coder(&self) -> SeedCoder {
+        self.coder
+    }
+
+    /// First occurrence of `code`, or `None`.
+    #[inline]
+    pub fn first(&self, code: u32) -> Option<u32> {
+        let p = self.dict[code as usize];
+        (p != EMPTY).then_some(p)
+    }
+
+    /// Occurrence of the same seed following position `pos`, if any — one
+    /// dependent load into the `next` array, the hop the CSR layout
+    /// eliminates.
+    #[inline]
+    pub fn next_occurrence(&self, pos: u32) -> Option<u32> {
+        let p = self.next[pos as usize];
+        (p != EMPTY).then_some(p)
+    }
+
+    /// Iterator walking the chain of `code` (ascending positions).
+    pub fn occurrences(&self, code: u32) -> impl Iterator<Item = u32> + '_ {
+        let mut cursor = self.dict[code as usize];
+        std::iter::from_fn(move || {
+            if cursor == EMPTY {
+                return None;
+            }
+            let pos = cursor;
+            cursor = self.next[pos as usize];
+            Some(pos)
+        })
+    }
+
+    /// Total indexed positions.
+    #[inline]
+    pub fn indexed_positions(&self) -> usize {
+        self.indexed_positions
+    }
+
+    /// Heap bytes used by `dict` + `next` — `4·4^W + 4·len(SEQ)` no matter
+    /// how many windows were indexed.
+    pub fn heap_bytes(&self) -> usize {
+        self.dict.len() * 4 + self.next.len() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::structure::BankIndex;
+    use oris_seqio::BankBuilder;
+
+    fn bank_of(seqs: &[&str]) -> Bank {
+        let mut b = BankBuilder::new();
+        for (i, s) in seqs.iter().enumerate() {
+            b.push_str(&format!("s{i}"), s).unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn linked_and_csr_agree_on_every_seed() {
+        let bank = bank_of(&["ACGTACGTACGTTTGGCCAA", "TTACGTGGCCAATTACGT"]);
+        for stride in [1usize, 2] {
+            let cfg = IndexConfig { w: 4, stride };
+            let linked = LinkedBankIndex::build(&bank, cfg);
+            let csr = BankIndex::build(&bank, cfg);
+            assert_eq!(linked.indexed_positions(), csr.indexed_positions());
+            for code in 0..csr.coder().num_seeds() as u32 {
+                let chain: Vec<u32> = linked.occurrences(code).collect();
+                assert_eq!(chain.as_slice(), csr.occurrences(code), "code {code}");
+                assert_eq!(linked.first(code), csr.first(code));
+            }
+        }
+    }
+
+    #[test]
+    fn linked_footprint_does_not_shrink_with_stride() {
+        // The motivating asymmetry: linked `next` is sized by the bank, CSR
+        // postings by the indexed windows.
+        let bank = bank_of(&[&"ACGTTGCA".repeat(500)]);
+        let full = LinkedBankIndex::build(&bank, IndexConfig::full(8));
+        let half = LinkedBankIndex::build(&bank, IndexConfig::asymmetric(8));
+        assert_eq!(full.heap_bytes(), half.heap_bytes());
+        let csr_full = BankIndex::build(&bank, IndexConfig::full(8));
+        let csr_half = BankIndex::build(&bank, IndexConfig::asymmetric(8));
+        assert!(csr_half.heap_bytes() < csr_full.heap_bytes());
+    }
+}

@@ -45,7 +45,11 @@ impl SeedCoder {
         );
         SeedCoder {
             w,
-            mask: if w == 16 { u32::MAX } else { (1u32 << (2 * w)) - 1 },
+            mask: if w == 16 {
+                u32::MAX
+            } else {
+                (1u32 << (2 * w)) - 1
+            },
         }
     }
 
@@ -98,8 +102,14 @@ impl SeedCoder {
 
     /// Decodes a code back to `W` nucleotide code bytes.
     pub fn decode(&self, code: u32) -> Vec<u8> {
-        assert!(code <= self.mask, "code {code} out of range for W={}", self.w);
-        (0..self.w).map(|i| ((code >> (2 * i)) & 0b11) as u8).collect()
+        assert!(
+            code <= self.mask,
+            "code {code} out of range for W={}",
+            self.w
+        );
+        (0..self.w)
+            .map(|i| ((code >> (2 * i)) & 0b11) as u8)
+            .collect()
     }
 
     /// Slides a window one position to the **right**: drops the first

@@ -1,30 +1,52 @@
-//! The bank index of the paper's Figure 2.
+//! The bank index — Figure 2 of the paper, flattened to a CSR layout.
 //!
-//! Two arrays sit on top of the bank's `SEQ` code array:
+//! The paper draws the occurrence index as a linked structure: a seed
+//! dictionary `dict[4^W]` pointing at the first occurrence of each seed,
+//! and a successor array `next[len(SEQ)]` chaining every occurrence to the
+//! next one (`int *INDEX` in the paper). That shape is faithful to the
+//! figure but hostile to step 2's inner loops: every `next` hop is a
+//! dependent, unpredictable load across a `4·len(SEQ)`-byte array.
 //!
-//! * `dict[4^W]` — global position of the **first** occurrence of each seed
-//!   (or `EMPTY`), the "seed dictionary" of Figure 2;
-//! * `next[len(SEQ)]` — for a position holding a seed occurrence, the
-//!   position of the **next** occurrence of the same seed (or `EMPTY`); the
-//!   paper's `int *INDEX` linking structure.
+//! This module stores the same information as a **compressed sparse row**
+//! (CSR) inverted index instead:
 //!
-//! Chains are kept in *increasing position order* by building them with a
-//! single reverse scan: visiting positions from right to left and pushing
-//! each onto the front of its seed's chain leaves every chain sorted
-//! ascending. Iterating a chain therefore touches `SEQ` left to right,
-//! which is what gives step 2 of ORIS its cache-friendly access pattern
-//! (all sequence portions sharing a seed are visited together).
+//! * `offsets[4^W + 1]` — row boundaries: the occurrences of seed `code`
+//!   are `positions[offsets[code] .. offsets[code + 1]]`;
+//! * `positions[indexed_positions]` — every occurrence, grouped by seed
+//!   code and in **ascending position order** within each group.
 //!
-//! Memory cost: `4·len(next) + 4·4^W` bytes on top of the 1-byte-per-residue
-//! `SEQ` array — the paper's "approximately 5·N bytes" for `N ≫ 4^W`.
+//! The build is a counting sort: one rolling scan collects the
+//! `(position, code)` pairs, a count/prefix-sum pass sizes the rows, and a
+//! forward scatter fills them. Because the scan visits positions left to
+//! right, each row comes out sorted without a comparison sort —
+//! `occurrences(code)` hands step 2 a contiguous, ascending `&[u32]` slice,
+//! so the ordered enumeration streams through memory instead of chasing
+//! pointers, `count` is O(1) arithmetic, and `stats` needs no chain walks.
+//!
+//! Memory model (heap bytes on top of the 1-byte-per-residue `SEQ` array):
+//!
+//! ```text
+//! ≈ 4·(4^W + 1)          offsets
+//! + 4·indexed_positions  postings
+//! + len(SEQ)/8           indexed-occurrence bit-set
+//! ```
+//!
+//! The linked layout cost `4·len(SEQ)` for `next` no matter how many
+//! windows were actually indexed; the CSR postings cost `4·indexed_positions`,
+//! so low-complexity masking and the asymmetric stride (section 3.4) now
+//! shrink the index itself, not just the bit-set. For a fully indexed bank
+//! (`indexed_positions ≈ len(SEQ)`) both layouts match the paper's
+//! "approximately 5·N bytes" figure.
+//!
+//! The one-bit-per-position `indexed` set is retained for the ORIS order
+//! guard: during extension the guard must ask "would the global enumeration
+//! visit a seed at this position?" — a question about *positions*, which
+//! the position-grouped CSR rows cannot answer in O(1).
 
 use oris_seqio::Bank;
 
 use crate::mask::MaskSet;
 use crate::seedcode::{RollingCoder, SeedCoder};
-
-/// Sentinel marking an empty dictionary slot / end of an occurrence chain.
-const EMPTY: u32 = u32::MAX;
 
 /// Options controlling index construction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,24 +78,29 @@ impl IndexConfig {
 pub struct IndexStats {
     /// Number of distinct seeds present.
     pub distinct_seeds: usize,
-    /// Total indexed positions (chain nodes).
+    /// Total indexed positions (postings).
     pub indexed_positions: usize,
-    /// Length of the longest occurrence chain.
+    /// Length of the longest occurrence list.
     pub max_chain_len: usize,
-    /// Heap bytes used by `dict` + `next` (excludes the bank's own array).
+    /// Heap bytes used by `offsets` + `positions` + the indexed bit-set
+    /// (excludes the bank's own array).
     pub index_bytes: usize,
-    /// Heap bytes including the underlying `SEQ` array, i.e. the paper's
-    /// ≈5·N figure.
+    /// Heap bytes including the underlying `SEQ` array — the paper's ≈5·N
+    /// figure when the bank is fully indexed.
     pub total_bytes: usize,
 }
 
-/// The Figure-2 index over one bank.
+/// The occurrence index over one bank, in CSR layout.
 #[derive(Debug, Clone)]
 pub struct BankIndex {
     coder: SeedCoder,
     stride: usize,
-    dict: Vec<u32>,
-    next: Vec<u32>,
+    /// Row boundaries: occurrences of `code` live at
+    /// `positions[offsets[code] .. offsets[code + 1]]`.
+    offsets: Vec<u32>,
+    /// All indexed positions, grouped by seed code, ascending within a
+    /// group.
+    positions: Vec<u32>,
     /// One bit per bank position: is a seed occurrence anchored here?
     ///
     /// This answers the question the ORIS order guard must ask during
@@ -82,7 +109,6 @@ pub struct BankIndex {
     /// low-complexity, skipped by the asymmetric stride, or invalid) can
     /// never own an HSP, so it must not trigger an abort.
     indexed: MaskSet,
-    indexed_positions: usize,
     bank_bytes: usize,
 }
 
@@ -100,36 +126,58 @@ impl BankIndex {
         let coder = SeedCoder::new(cfg.w);
         let data = bank.data();
         assert!(
-            data.len() < EMPTY as usize,
+            data.len() < u32::MAX as usize,
             "bank too large for u32 positions"
         );
 
-        // Collect (position, code) pairs once; a second pass in reverse
-        // builds sorted chains. The forward collection itself is O(N).
+        // Pass 1: one rolling scan collects the surviving (position, code)
+        // pairs in ascending position order.
         let mut pairs: Vec<(u32, u32)> = Vec::with_capacity(data.len());
+        let mut indexed = MaskSet::new(data.len());
         for (pos, code) in RollingCoder::new(coder, data) {
             if pos % cfg.stride != 0 || masked(pos) {
                 continue;
             }
             pairs.push((pos as u32, code));
+            indexed.set(pos);
         }
 
-        let mut dict = vec![EMPTY; coder.num_seeds()];
-        let mut next = vec![EMPTY; data.len()];
-        let mut indexed = MaskSet::new(data.len());
-        for &(pos, code) in pairs.iter().rev() {
-            next[pos as usize] = dict[code as usize];
-            dict[code as usize] = pos;
-            indexed.set(pos as usize);
+        // Pass 2: counting sort into CSR rows. Count per code (stored at
+        // `offsets[code]` for now)...
+        let num_seeds = coder.num_seeds();
+        let mut offsets = vec![0u32; num_seeds + 1];
+        for &(_, code) in &pairs {
+            offsets[code as usize] += 1;
         }
+        // ...exclusive prefix-sum in place (`offsets[c]` = start of row
+        // `c`; single accumulator, no second array)...
+        let mut sum = 0u32;
+        for slot in offsets.iter_mut() {
+            let count = *slot;
+            *slot = sum;
+            sum += count;
+        }
+        // ...and scatter, using each row's start slot as its write cursor.
+        // The forward walk preserves the ascending position order inside
+        // every row.
+        let mut positions = vec![0u32; pairs.len()];
+        for &(pos, code) in &pairs {
+            let slot = &mut offsets[code as usize];
+            positions[*slot as usize] = pos;
+            *slot += 1;
+        }
+        // After the scatter `offsets[c]` holds the END of row `c`, which
+        // is the start of row `c + 1`: shift right one slot to restore the
+        // CSR convention.
+        offsets.copy_within(0..num_seeds, 1);
+        offsets[0] = 0;
 
         BankIndex {
             coder,
             stride: cfg.stride,
-            dict,
-            next,
+            offsets,
+            positions,
             indexed,
-            indexed_positions: pairs.len(),
             bank_bytes: data.len(),
         }
     }
@@ -160,36 +208,39 @@ impl BankIndex {
     /// First occurrence of `code`, or `None` if the seed is absent.
     #[inline]
     pub fn first(&self, code: u32) -> Option<u32> {
-        let p = self.dict[code as usize];
-        (p != EMPTY).then_some(p)
+        self.occurrences(code).first().copied()
     }
 
-    /// Occurrence of the same seed following position `pos`, if any.
+    /// All occurrences of `code` as a contiguous slice, in increasing
+    /// position order.
     #[inline]
-    pub fn next_occurrence(&self, pos: u32) -> Option<u32> {
-        let p = self.next[pos as usize];
-        (p != EMPTY).then_some(p)
+    pub fn occurrences(&self, code: u32) -> &[u32] {
+        let lo = self.offsets[code as usize] as usize;
+        let hi = self.offsets[code as usize + 1] as usize;
+        &self.positions[lo..hi]
     }
 
-    /// Iterator over all occurrences of `code`, in increasing position
-    /// order.
+    /// Number of occurrences of `code` — O(1) offset arithmetic.
     #[inline]
-    pub fn occurrences(&self, code: u32) -> SeedOccurrences<'_> {
-        SeedOccurrences {
-            index: self,
-            cursor: self.dict[code as usize],
-        }
-    }
-
-    /// Number of occurrences of `code` (walks the chain).
     pub fn count(&self, code: u32) -> usize {
-        self.occurrences(code).count()
+        (self.offsets[code as usize + 1] - self.offsets[code as usize]) as usize
+    }
+
+    /// The CSR row-boundary array, `4^W + 1` entries: the occurrences of
+    /// seed `code` are `positions()[offsets()[code] .. offsets()[code+1]]`.
+    ///
+    /// Step 2's work-balanced scheduler reads per-code occurrence counts
+    /// straight from here (`offsets[c+1] − offsets[c]`) without touching
+    /// the postings.
+    #[inline]
+    pub fn offsets(&self) -> &[u32] {
+        &self.offsets
     }
 
     /// Total indexed positions.
     #[inline]
     pub fn indexed_positions(&self) -> usize {
-        self.indexed_positions
+        self.positions.len()
     }
 
     /// Whether a seed occurrence is anchored at global position `pos`
@@ -199,53 +250,32 @@ impl BankIndex {
         self.indexed.contains(pos)
     }
 
-    /// Computes occupancy/footprint statistics.
+    /// Computes occupancy/footprint statistics — pure offset arithmetic,
+    /// no postings traversal.
     pub fn stats(&self) -> IndexStats {
         let mut distinct = 0usize;
         let mut max_chain = 0usize;
-        for code in 0..self.dict.len() {
-            if self.dict[code] != EMPTY {
+        for w in self.offsets.windows(2) {
+            let len = (w[1] - w[0]) as usize;
+            if len > 0 {
                 distinct += 1;
-                let len = self.occurrences(code as u32).count();
                 max_chain = max_chain.max(len);
             }
         }
-        let index_bytes =
-            self.dict.len() * 4 + self.next.len() * 4 + self.indexed.heap_bytes();
+        let index_bytes = self.heap_bytes();
         IndexStats {
             distinct_seeds: distinct,
-            indexed_positions: self.indexed_positions,
+            indexed_positions: self.positions.len(),
             max_chain_len: max_chain,
             index_bytes,
             total_bytes: index_bytes + self.bank_bytes,
         }
     }
 
-    /// Heap bytes used by the index arrays (dictionary, successor chains
-    /// and the indexed-position bit vector).
+    /// Heap bytes used by the index arrays (row offsets, postings and the
+    /// indexed-position bit vector).
     pub fn heap_bytes(&self) -> usize {
-        self.dict.len() * 4 + self.next.len() * 4 + self.indexed.heap_bytes()
-    }
-}
-
-/// Iterator over the occurrence chain of one seed.
-#[derive(Debug, Clone)]
-pub struct SeedOccurrences<'a> {
-    index: &'a BankIndex,
-    cursor: u32,
-}
-
-impl<'a> Iterator for SeedOccurrences<'a> {
-    type Item = u32;
-
-    #[inline]
-    fn next(&mut self) -> Option<u32> {
-        if self.cursor == EMPTY {
-            return None;
-        }
-        let pos = self.cursor;
-        self.cursor = self.index.next[pos as usize];
-        Some(pos)
+        self.offsets.len() * 4 + self.positions.len() * 4 + self.indexed.heap_bytes()
     }
 }
 
@@ -285,9 +315,8 @@ mod tests {
         let idx = BankIndex::build(&bank, IndexConfig::full(4));
         let coder = idx.coder();
         let code = coder.string_to_code("ACGT").unwrap();
-        let occ: Vec<u32> = idx.occurrences(code).collect();
         // positions are global (bank data starts with a sentinel at 0)
-        assert_eq!(occ, vec![1, 5, 9]);
+        assert_eq!(idx.occurrences(code), &[1, 5, 9]);
     }
 
     #[test]
@@ -297,10 +326,10 @@ mod tests {
         let bank = bank_of(&["TTACGT", "ACGTTT"]);
         let idx = BankIndex::build(&bank, IndexConfig::full(4));
         let code = idx.coder().string_to_code("ACGT").unwrap();
-        let occ: Vec<u32> = idx.occurrences(code).collect();
+        let occ = idx.occurrences(code);
         assert_eq!(occ.len(), 2);
         // Every occurrence is fully inside one record.
-        for p in occ {
+        for &p in occ {
             let rec = bank.locate(p as usize).unwrap();
             assert!(p as usize + 4 <= bank.record(rec).end());
         }
@@ -323,6 +352,7 @@ mod tests {
         let code = idx.coder().string_to_code("GGG").unwrap();
         assert_eq!(idx.first(code), None);
         assert_eq!(idx.count(code), 0);
+        assert!(idx.occurrences(code).is_empty());
     }
 
     #[test]
@@ -339,23 +369,72 @@ mod tests {
         let bank = bank_of(&["ACGTACGT"]);
         let idx = BankIndex::build_filtered(&bank, IndexConfig::full(4), |p| p < 3);
         let code = idx.coder().string_to_code("ACGT").unwrap();
-        let occ: Vec<u32> = idx.occurrences(code).collect();
-        assert_eq!(occ, vec![5]);
+        assert_eq!(idx.occurrences(code), &[5]);
+    }
+
+    /// The CSR footprint model: 4 bytes per offsets slot (4^W + 1), 4
+    /// bytes per *indexed* position, 1 bit per bank position for the
+    /// occurrence set.
+    fn expected_index_bytes(bank: &Bank, w: usize, indexed_positions: usize) -> usize {
+        let n = bank.data().len();
+        4 * ((1usize << (2 * w)) + 1) + 4 * indexed_positions + n.div_ceil(64) * 8
     }
 
     #[test]
-    fn stats_match_paper_footprint_model() {
+    fn stats_match_footprint_model_full() {
         let bank = bank_of(&[&"ACGTTGCA".repeat(2000)]); // 16 kb
         let idx = BankIndex::build(&bank, IndexConfig::full(8));
         let stats = idx.stats();
         let n = bank.data().len();
-        // 4 bytes per position + 4 bytes per dictionary slot + 1 bit per
-        // position for the indexed-occurrence set
-        assert_eq!(stats.index_bytes, 4 * n + 4 * (1 << 16) + n.div_ceil(64) * 8);
+        assert_eq!(
+            stats.index_bytes,
+            expected_index_bytes(&bank, 8, stats.indexed_positions)
+        );
         assert_eq!(stats.total_bytes, stats.index_bytes + n);
         assert!(stats.indexed_positions > 0);
         assert!(stats.distinct_seeds > 0);
         assert!(stats.max_chain_len >= 1);
+        // Fully indexed: postings = one entry per valid window, the
+        // paper's ≈5·N regime (4 bytes of postings + 1 byte of SEQ per
+        // position).
+        assert_eq!(stats.indexed_positions, bank.num_residues() - 7);
+    }
+
+    #[test]
+    fn stats_match_footprint_model_masked() {
+        let bank = bank_of(&[&"ACGTTGCA".repeat(2000)]);
+        let n = bank.data().len();
+        // Mask the first half of the bank: the postings array must shrink
+        // by (roughly) the masked windows, unlike the linked layout whose
+        // `next` array stayed at 4·N bytes regardless.
+        let idx = BankIndex::build_filtered(&bank, IndexConfig::full(8), |p| p < n / 2);
+        let stats = idx.stats();
+        assert_eq!(
+            stats.index_bytes,
+            expected_index_bytes(&bank, 8, stats.indexed_positions)
+        );
+        let full = BankIndex::build(&bank, IndexConfig::full(8)).stats();
+        assert!(stats.indexed_positions * 2 <= full.indexed_positions + 16);
+        assert!(stats.index_bytes < full.index_bytes);
+    }
+
+    #[test]
+    fn stats_match_footprint_model_asymmetric() {
+        let bank = bank_of(&[&"ACGTTGCA".repeat(2000)]);
+        let idx = BankIndex::build(&bank, IndexConfig::asymmetric(8));
+        let stats = idx.stats();
+        assert_eq!(
+            stats.index_bytes,
+            expected_index_bytes(&bank, 8, stats.indexed_positions)
+        );
+        // Half the windows → half the postings bytes (+offsets/bit-set,
+        // which don't depend on the stride).
+        let full = BankIndex::build(&bank, IndexConfig::full(8)).stats();
+        assert!(stats.indexed_positions * 2 <= full.indexed_positions + 2);
+        assert_eq!(
+            full.index_bytes - stats.index_bytes,
+            4 * (full.indexed_positions - stats.indexed_positions)
+        );
     }
 
     #[test]
@@ -366,9 +445,20 @@ mod tests {
         assert_eq!(idx.stats().distinct_seeds, 0);
     }
 
+    #[test]
+    fn offsets_are_monotonic_and_cover_positions() {
+        let bank = bank_of(&["ACGTACGTTTGGCCAAACGT"]);
+        let idx = BankIndex::build(&bank, IndexConfig::full(4));
+        let off = idx.offsets();
+        assert_eq!(off.len(), idx.coder().num_seeds() + 1);
+        assert_eq!(off[0], 0);
+        assert!(off.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(*off.last().unwrap() as usize, idx.indexed_positions());
+    }
+
     proptest! {
-        /// The chained index reproduces the brute-force occurrence list for
-        /// every seed, in sorted order.
+        /// The CSR index reproduces the brute-force occurrence list for
+        /// every seed, in sorted order, for random banks and strides.
         #[test]
         fn index_equals_bruteforce(
             seqs in proptest::collection::vec("[ACGTN]{0,40}", 1..4),
@@ -384,10 +474,12 @@ mod tests {
 
             let mut got: Vec<(u32, u32)> = Vec::new();
             for code in 0..idx.coder().num_seeds() as u32 {
-                let occ: Vec<u32> = idx.occurrences(code).collect();
-                // chains are sorted ascending
+                let occ = idx.occurrences(code);
+                // rows are sorted ascending
                 prop_assert!(occ.windows(2).all(|p| p[0] < p[1]));
-                got.extend(occ.into_iter().map(|p| (p, code)));
+                // count agrees with the slice
+                prop_assert_eq!(idx.count(code), occ.len());
+                got.extend(occ.iter().map(|&p| (p, code)));
             }
             let mut expected_sorted = expected.clone();
             expected_sorted.sort();

@@ -133,7 +133,10 @@ impl Bank {
 
     /// Renders sequence `seq_index` as an ASCII string (ambiguous → `N`).
     pub fn sequence_string(&self, seq_index: usize) -> String {
-        self.sequence(seq_index).iter().map(|&c| code_to_char(c)).collect()
+        self.sequence(seq_index)
+            .iter()
+            .map(|&c| code_to_char(c))
+            .collect()
     }
 
     /// Iterates over `(global_start, record)` pairs.

@@ -63,7 +63,7 @@ mod tests {
     #[test]
     fn io_error_is_source() {
         use std::error::Error;
-        let e = SeqIoError::from(std::io::Error::new(std::io::ErrorKind::Other, "boom"));
+        let e = SeqIoError::from(std::io::Error::other("boom"));
         assert!(e.source().is_some());
     }
 }

@@ -21,9 +21,7 @@ pub mod error;
 pub mod fasta;
 pub mod packed;
 
-pub use alphabet::{
-    code_to_char, complement_code, nuc_from_char, Nuc, AMBIG, NUC_CODES, SENTINEL,
-};
+pub use alphabet::{code_to_char, complement_code, nuc_from_char, Nuc, AMBIG, NUC_CODES, SENTINEL};
 pub use bank::{Bank, BankBuilder, SeqRecord};
 pub use error::SeqIoError;
 pub use fasta::{parse_fasta, read_fasta_file, write_fasta, FastaRecord};

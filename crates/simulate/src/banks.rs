@@ -76,17 +76,105 @@ pub struct NamedBank {
 pub fn paper_bank_specs() -> Vec<BankSpec> {
     use BankKind::*;
     vec![
-        BankSpec { name: "EST1", kind: Est, paper_mbp: 6.44, paper_seqs: 13013, unit_nt: 644_000, unit_seqs: 0, seed: 101 },
-        BankSpec { name: "EST2", kind: Est, paper_mbp: 6.65, paper_seqs: 11220, unit_nt: 665_000, unit_seqs: 0, seed: 102 },
-        BankSpec { name: "EST3", kind: Est, paper_mbp: 14.64, paper_seqs: 37483, unit_nt: 1_464_000, unit_seqs: 0, seed: 103 },
-        BankSpec { name: "EST4", kind: Est, paper_mbp: 14.87, paper_seqs: 34902, unit_nt: 1_487_000, unit_seqs: 0, seed: 104 },
-        BankSpec { name: "EST5", kind: Est, paper_mbp: 25.48, paper_seqs: 50537, unit_nt: 2_548_000, unit_seqs: 0, seed: 105 },
-        BankSpec { name: "EST6", kind: Est, paper_mbp: 25.20, paper_seqs: 53550, unit_nt: 2_520_000, unit_seqs: 0, seed: 106 },
-        BankSpec { name: "EST7", kind: Est, paper_mbp: 40.08, paper_seqs: 88452, unit_nt: 4_008_000, unit_seqs: 0, seed: 107 },
-        BankSpec { name: "VRL", kind: Viral, paper_mbp: 65.84, paper_seqs: 72113, unit_nt: 3_292_000, unit_seqs: 3600, seed: 201 },
-        BankSpec { name: "BCT", kind: Bacterial, paper_mbp: 98.10, paper_seqs: 59, unit_nt: 4_905_000, unit_seqs: 8, seed: 202 },
-        BankSpec { name: "H10", kind: Chromosome, paper_mbp: 131.73, paper_seqs: 19, unit_nt: 6_586_000, unit_seqs: 3, seed: 203 },
-        BankSpec { name: "H19", kind: Chromosome, paper_mbp: 56.03, paper_seqs: 6, unit_nt: 2_801_000, unit_seqs: 2, seed: 204 },
+        BankSpec {
+            name: "EST1",
+            kind: Est,
+            paper_mbp: 6.44,
+            paper_seqs: 13013,
+            unit_nt: 644_000,
+            unit_seqs: 0,
+            seed: 101,
+        },
+        BankSpec {
+            name: "EST2",
+            kind: Est,
+            paper_mbp: 6.65,
+            paper_seqs: 11220,
+            unit_nt: 665_000,
+            unit_seqs: 0,
+            seed: 102,
+        },
+        BankSpec {
+            name: "EST3",
+            kind: Est,
+            paper_mbp: 14.64,
+            paper_seqs: 37483,
+            unit_nt: 1_464_000,
+            unit_seqs: 0,
+            seed: 103,
+        },
+        BankSpec {
+            name: "EST4",
+            kind: Est,
+            paper_mbp: 14.87,
+            paper_seqs: 34902,
+            unit_nt: 1_487_000,
+            unit_seqs: 0,
+            seed: 104,
+        },
+        BankSpec {
+            name: "EST5",
+            kind: Est,
+            paper_mbp: 25.48,
+            paper_seqs: 50537,
+            unit_nt: 2_548_000,
+            unit_seqs: 0,
+            seed: 105,
+        },
+        BankSpec {
+            name: "EST6",
+            kind: Est,
+            paper_mbp: 25.20,
+            paper_seqs: 53550,
+            unit_nt: 2_520_000,
+            unit_seqs: 0,
+            seed: 106,
+        },
+        BankSpec {
+            name: "EST7",
+            kind: Est,
+            paper_mbp: 40.08,
+            paper_seqs: 88452,
+            unit_nt: 4_008_000,
+            unit_seqs: 0,
+            seed: 107,
+        },
+        BankSpec {
+            name: "VRL",
+            kind: Viral,
+            paper_mbp: 65.84,
+            paper_seqs: 72113,
+            unit_nt: 3_292_000,
+            unit_seqs: 3600,
+            seed: 201,
+        },
+        BankSpec {
+            name: "BCT",
+            kind: Bacterial,
+            paper_mbp: 98.10,
+            paper_seqs: 59,
+            unit_nt: 4_905_000,
+            unit_seqs: 8,
+            seed: 202,
+        },
+        BankSpec {
+            name: "H10",
+            kind: Chromosome,
+            paper_mbp: 131.73,
+            paper_seqs: 19,
+            unit_nt: 6_586_000,
+            unit_seqs: 3,
+            seed: 203,
+        },
+        BankSpec {
+            name: "H19",
+            kind: Chromosome,
+            paper_mbp: 56.03,
+            paper_seqs: 6,
+            unit_nt: 2_801_000,
+            unit_seqs: 2,
+            seed: 204,
+        },
     ]
 }
 
@@ -128,19 +216,34 @@ pub fn build(spec: &BankSpec, cfg: SimConfig) -> NamedBank {
         BankKind::Viral => {
             let lib = RepeatLibrary::paper_default();
             let seqs = ((spec.unit_seqs as f64 * cfg.scale) as usize).max(4);
-            genome_bank(&lib, spec.seed, spec.name, &GenomeConfig::viral_like(seqs, nt))
+            genome_bank(
+                &lib,
+                spec.seed,
+                spec.name,
+                &GenomeConfig::viral_like(seqs, nt),
+            )
         }
         BankKind::Bacterial => {
             // Bacteria carry their own repeat families — no homology with
             // the eukaryotic/viral banks, as in the paper (H10 vs BCT: 0).
             let lib = RepeatLibrary::bacterial_default();
             let seqs = spec.unit_seqs.max(1);
-            genome_bank(&lib, spec.seed, spec.name, &GenomeConfig::bacterial_like(seqs, nt))
+            genome_bank(
+                &lib,
+                spec.seed,
+                spec.name,
+                &GenomeConfig::bacterial_like(seqs, nt),
+            )
         }
         BankKind::Chromosome => {
             let lib = RepeatLibrary::paper_default();
             let seqs = spec.unit_seqs.max(1);
-            genome_bank(&lib, spec.seed, spec.name, &GenomeConfig::chromosome_like(seqs, nt))
+            genome_bank(
+                &lib,
+                spec.seed,
+                spec.name,
+                &GenomeConfig::chromosome_like(seqs, nt),
+            )
         }
     };
     NamedBank {

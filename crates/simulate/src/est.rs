@@ -168,7 +168,11 @@ mod tests {
         };
         let bank = est_bank(&pool, 9, &cfg);
         assert!(bank.num_residues() >= 50_000);
-        assert!(bank.num_residues() < 55_000, "overshoot: {}", bank.num_residues());
+        assert!(
+            bank.num_residues() < 55_000,
+            "overshoot: {}",
+            bank.num_residues()
+        );
     }
 
     #[test]
@@ -252,7 +256,8 @@ mod tests {
             polya_prob: 0.0,
             ..Default::default()
         };
-        let with = est_bank_with_contaminants(&pool, 5, &cfg, &[contaminant.clone()], 0.3);
+        let with =
+            est_bank_with_contaminants(&pool, 5, &cfg, std::slice::from_ref(&contaminant), 0.3);
         let without = est_bank(&pool, 5, &cfg);
         let src: HashSet<&[u8]> = contaminant.windows(16).collect();
         let count_hits = |bank: &Bank| {

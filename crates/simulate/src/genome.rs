@@ -267,9 +267,6 @@ mod tests {
     fn deterministic_bank() {
         let l = lib();
         let cfg = GenomeConfig::bacterial_like(2, 30_000);
-        assert_eq!(
-            genome_bank(&l, 7, "x", &cfg),
-            genome_bank(&l, 7, "x", &cfg)
-        );
+        assert_eq!(genome_bank(&l, 7, "x", &cfg), genome_bank(&l, 7, "x", &cfg));
     }
 }

@@ -30,7 +30,9 @@ pub mod est;
 pub mod genome;
 pub mod mutate;
 
-pub use banks::{paper_bank, paper_bank_specs, paper_banks, BankKind, BankSpec, NamedBank, SimConfig};
+pub use banks::{
+    paper_bank, paper_bank_specs, paper_banks, BankKind, BankSpec, NamedBank, SimConfig,
+};
 pub use dna::{random_bank, random_codes};
 pub use est::{est_bank, est_bank_with_contaminants, EstBankConfig, GenePool};
 pub use genome::{genome_bank, GenomeConfig, RepeatLibrary};

@@ -178,10 +178,7 @@ mod tests {
         let model = MutationModel::substitutions_only(0.5);
         let out = mutate(&mut r, &seq, &model);
         let to_g = out.iter().filter(|&&c| c == CODE_G).count() as f64;
-        let to_ct = out
-            .iter()
-            .filter(|&&c| c == CODE_C || c == CODE_T)
-            .count() as f64;
+        let to_ct = out.iter().filter(|&&c| c == CODE_C || c == CODE_T).count() as f64;
         let ts_frac = to_g / (to_g + to_ct);
         assert!((ts_frac - 2.0 / 3.0).abs() < 0.03, "ts fraction {ts_frac}");
     }

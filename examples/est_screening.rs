@@ -34,7 +34,10 @@ fn main() {
 
     println!("\nper-step timing (paper Figure 1 structure):");
     println!("  step 1 (indexing) : {:>8.3} s", s.index_secs);
-    println!("  step 2 (hits)     : {:>8.3} s  ({} HSPs)", s.step2_secs, s.hsps);
+    println!(
+        "  step 2 (hits)     : {:>8.3} s  ({} HSPs)",
+        s.step2_secs, s.hsps
+    );
     println!(
         "  step 3 (gapped)   : {:>8.3} s  ({} alignments)",
         s.step3_secs, s.raw_alignments
@@ -71,8 +74,14 @@ fn main() {
         };
         histo[bin] += 1;
     }
-    println!("\nidentity distribution of {} alignments:", result.alignments.len());
-    for (label, n) in ["<80%", "80-90%", "90-95%", "95-99%", "99%+"].iter().zip(histo) {
+    println!(
+        "\nidentity distribution of {} alignments:",
+        result.alignments.len()
+    );
+    for (label, n) in ["<80%", "80-90%", "90-95%", "95-99%", "99%+"]
+        .iter()
+        .zip(histo)
+    {
         println!("  {label:>7}: {n}");
     }
 

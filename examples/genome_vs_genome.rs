@@ -11,8 +11,8 @@
 //! cargo run --release --example genome_vs_genome
 //! ```
 
-use oris::prelude::*;
 use oris::core::FilterKind;
+use oris::prelude::*;
 
 fn main() {
     let scale = 0.2;

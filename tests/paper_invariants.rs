@@ -58,8 +58,8 @@ proptest! {
         let coder = i1.coder();
         let mut brute = std::collections::HashSet::new();
         for code in 0..coder.num_seeds() as u32 {
-            for a in i1.occurrences(code) {
-                for b in i2.occurrences(code) {
+            for &a in i1.occurrences(code) {
+                for &b in i2.occurrences(code) {
                     if let ExtensionOutcome::Hsp { score, left, right } = extend_hit(
                         b1.data(), b2.data(), a as usize, b as usize,
                         code, coder, &params, OrderGuard::None,
@@ -128,7 +128,7 @@ proptest! {
         core in "[ACGT]{30,50}",
     ) {
         let b1 = bank_from(&[format!("{s1}{core}")]);
-        let b2 = bank_from(&[core.clone()]);
+        let b2 = bank_from(std::slice::from_ref(&core));
         let cfg = oris::core::OrisConfig::small(7);
         let r = compare_banks(&b1, &b2, &cfg);
         if let Some(best) = r.alignments.first() {

@@ -17,8 +17,10 @@ fn engines_agree_on_synthetic_est_banks() {
     // (this is tighter than the paper's ~3 % mutual misses, which come
     // from the *differing* filters).
     let (b1, b2) = small_est_pair();
-    let mut oris_cfg = OrisConfig::default();
-    oris_cfg.filter = FilterKind::Dust;
+    let oris_cfg = OrisConfig {
+        filter: FilterKind::Dust,
+        ..OrisConfig::default()
+    };
     let mut blast_cfg = BlastConfig::matched(&oris_cfg);
     blast_cfg.filter = FilterKind::Dust;
 
@@ -48,7 +50,10 @@ fn differing_filters_produce_small_mutual_misses() {
     assert!(rep.a_total > 10, "too few alignments to compare: {rep:?}");
     let miss_a = rep.a_miss_pct().unwrap_or(0.0);
     let miss_b = rep.b_miss_pct().unwrap_or(0.0);
-    assert!(miss_a < 25.0, "SCORISmiss too large: {miss_a:.1}% ({rep:?})");
+    assert!(
+        miss_a < 25.0,
+        "SCORISmiss too large: {miss_a:.1}% ({rep:?})"
+    );
     assert!(miss_b < 25.0, "BLASTmiss too large: {miss_b:.1}% ({rep:?})");
 }
 
@@ -66,8 +71,10 @@ fn batched_baseline_matches_one_pass_records() {
 #[test]
 fn oris_pipeline_deterministic_across_runs_and_threads() {
     let (b1, b2) = small_est_pair();
-    let mut cfg = OrisConfig::default();
-    cfg.threads = Some(1);
+    let mut cfg = OrisConfig {
+        threads: Some(1),
+        ..OrisConfig::default()
+    };
     let r1 = compare_banks(&b1, &b2, &cfg);
     cfg.threads = Some(4);
     let r4 = compare_banks(&b1, &b2, &cfg);

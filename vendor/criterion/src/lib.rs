@@ -1,0 +1,306 @@
+//! Minimal vendored subset of the `criterion` API.
+//!
+//! The build environment has no crates.io access; this shim implements the
+//! pieces the workspace's benches use — `criterion_group!`/`criterion_main!`,
+//! benchmark groups, `bench_function`, `bench_with_input`, `Throughput`,
+//! `sample_size` — with a simple adaptive timer instead of criterion's
+//! statistical machinery.
+//!
+//! `--test` on the command line (as passed by `cargo bench -- --test`, the
+//! mode CI uses) runs every benchmark body exactly once and prints nothing
+//! but a pass line, so benches double as smoke tests. In normal mode each
+//! benchmark is auto-calibrated to ~`50 ms` per sample and reported as
+//! mean ± spread with optional throughput.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Input size in bytes per iteration.
+    Bytes(u64),
+    /// Logical elements per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier: `function_id/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// Passed to benchmark closures; `iter` runs and times the body.
+pub struct Bencher<'a> {
+    test_mode: bool,
+    sample_size: usize,
+    /// Measured sample means (seconds per iteration), filled by `iter`.
+    samples: &'a mut Vec<f64>,
+}
+
+impl Bencher<'_> {
+    /// Runs the benchmark body repeatedly and records per-iteration time.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f());
+            return;
+        }
+        // Calibrate: how many iterations fit in ~50 ms?
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(20));
+        let iters =
+            (Duration::from_millis(50).as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as usize;
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let dt = t0.elapsed().as_secs_f64() / iters as f64;
+            self.samples.push(dt);
+        }
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+fn report(label: &str, samples: &[f64], throughput: Option<Throughput>) {
+    if samples.is_empty() {
+        println!("{label:<40} (no samples)");
+        return;
+    }
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = samples.iter().cloned().fold(0.0f64, f64::max);
+    let thr = match throughput {
+        Some(Throughput::Bytes(b)) => {
+            format!("  {:>10.1} MiB/s", b as f64 / mean / (1024.0 * 1024.0))
+        }
+        Some(Throughput::Elements(e)) => format!("  {:>10.2} Melem/s", e as f64 / mean / 1e6),
+        None => String::new(),
+    };
+    println!(
+        "{label:<40} time: [{} {} {}]{}",
+        fmt_time(min),
+        fmt_time(mean),
+        fmt_time(max),
+        thr
+    );
+}
+
+/// Top-level benchmark driver (subset of criterion's `Criterion`).
+pub struct Criterion {
+    test_mode: bool,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            test_mode: false,
+            sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Reads `--test` from the command line (`cargo bench -- --test`);
+    /// every other flag cargo's bench harness passes is ignored.
+    pub fn configure_from_args(mut self) -> Criterion {
+        self.test_mode = std::env::args().any(|a| a == "--test");
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            test_mode: self.test_mode,
+            sample_size: self.sample_size,
+            throughput: None,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        run_one(&id.to_string(), self.test_mode, self.sample_size, None, f);
+        self
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher<'_>)>(
+    label: &str,
+    test_mode: bool,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut samples = Vec::new();
+    let mut b = Bencher {
+        test_mode,
+        sample_size,
+        samples: &mut samples,
+    };
+    f(&mut b);
+    if test_mode {
+        println!("{label:<40} ok (test mode)");
+    } else {
+        report(label, &samples, throughput);
+    }
+}
+
+/// A group of related benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    test_mode: bool,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    // Lifetime tied to the parent Criterion to mirror the real API shape.
+    _marker: std::marker::PhantomData<&'c ()>,
+}
+
+// Separate impl block so the struct literal in `benchmark_group` stays
+// readable despite the phantom field.
+impl BenchmarkGroup<'_> {
+    /// Sets samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotates throughput for subsequent benchmarks in the group.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmarks a closure under `group/id`.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.test_mode, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Benchmarks a closure with an explicit input under `group/id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(
+            &label,
+            self.test_mode,
+            self.sample_size,
+            self.throughput,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group (prints nothing extra; parity with criterion).
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_in_test_mode() {
+        let mut c = Criterion {
+            test_mode: true,
+            sample_size: 10,
+        };
+        let mut ran = 0;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(3).throughput(Throughput::Bytes(100));
+            g.bench_function("f", |b| b.iter(|| ran += 1));
+            g.bench_with_input(BenchmarkId::new("p", 42), &5usize, |b, &x| {
+                b.iter(|| black_box(x * 2))
+            });
+            g.finish();
+        }
+        assert_eq!(ran, 1, "test mode runs the body exactly once");
+    }
+
+    #[test]
+    fn timed_mode_collects_samples() {
+        let mut samples = Vec::new();
+        let mut b = Bencher {
+            test_mode: false,
+            sample_size: 3,
+            samples: &mut samples,
+        };
+        b.iter(|| black_box(2 + 2));
+        assert_eq!(samples.len(), 3);
+        assert!(samples.iter().all(|&s| s > 0.0));
+    }
+
+    #[test]
+    fn id_formats_with_parameter() {
+        assert_eq!(
+            BenchmarkId::new("full_w11", "16kb").to_string(),
+            "full_w11/16kb"
+        );
+    }
+}

@@ -1,0 +1,418 @@
+//! Minimal vendored subset of the `proptest` API.
+//!
+//! The build environment has no crates.io access, so this crate implements
+//! the slice of proptest the workspace's property tests use:
+//!
+//! * the [`proptest!`] macro with an optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` header;
+//! * [`prop_assert!`] / [`prop_assert_eq!`];
+//! * strategies: string patterns of the form `"[CHARS]{m,n}"` (a character
+//!   class with a repeat count — the only regex shape used here), integer
+//!   ranges (`0u8..4`, `2usize..6`, …), and
+//!   [`collection::vec`]`(strategy, len_range)`;
+//! * a deterministic per-test RNG (FNV-hashed test name, overridable with
+//!   the `PROPTEST_SEED` environment variable).
+//!
+//! There is **no shrinking**: a failing case panics with the full input
+//! values printed, which is enough to reproduce (the RNG is deterministic)
+//! and keeps the shim small.
+
+/// Runner configuration (subset of proptest's `ProptestConfig`).
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of random cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+pub mod test_runner {
+    //! Case RNG and failure type used by the generated test bodies.
+
+    pub use crate::ProptestConfig as Config;
+
+    /// A failed property case (message only; no shrinking).
+    #[derive(Debug)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        /// Builds a failure with the given message.
+        pub fn fail(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError(msg.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "{}", self.0)
+        }
+    }
+
+    /// Deterministic SplitMix64 stream for one test function.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds from the test name (FNV-1a) xor `PROPTEST_SEED` if set.
+        pub fn for_test(name: &str) -> TestRng {
+            let mut h: u64 = 0xcbf29ce484222325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+            if let Ok(s) = std::env::var("PROPTEST_SEED") {
+                if let Ok(v) = s.parse::<u64>() {
+                    h ^= v;
+                }
+            }
+            TestRng { state: h }
+        }
+
+        /// Next 64 random bits.
+        #[inline]
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw from `[lo, hi]` (inclusive).
+        #[inline]
+        pub fn in_range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+            debug_assert!(lo <= hi);
+            let span = hi - lo + 1;
+            if span == 0 {
+                // full u64 range
+                return self.next_u64();
+            }
+            lo + self.next_u64() % span
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+/// A value generator (subset of proptest's `Strategy`).
+///
+/// Implementors produce one random value per call; there is no shrinking.
+pub trait Strategy {
+    /// Generated value type.
+    type Value: std::fmt::Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                rng.in_range_u64(self.start as u64, self.end as u64 - 1) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.in_range_u64(*self.start() as u64, *self.end() as u64) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+/// String pattern strategy: a sequence of atoms, each a literal character
+/// or a `[class]`, optionally followed by `{m}` or `{m,n}`.
+///
+/// This covers every pattern in the workspace's tests (`"[ACGT]{30,90}"`
+/// and friends). Unsupported regex syntax panics loudly rather than
+/// silently generating wrong data.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        let chars: Vec<char> = self.chars().collect();
+        let mut i = 0usize;
+        while i < chars.len() {
+            // Parse one atom.
+            let class: Vec<char> = match chars[i] {
+                '[' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == ']')
+                        .unwrap_or_else(|| panic!("unclosed [ in pattern {self:?}"));
+                    let cls = chars[i + 1..i + close].to_vec();
+                    assert!(
+                        !cls.is_empty() && !cls.contains(&'-') && !cls.contains(&'^'),
+                        "unsupported char class in pattern {self:?}"
+                    );
+                    i += close + 1;
+                    cls
+                }
+                '{' | '}' | ']' | '(' | ')' | '|' | '*' | '+' | '?' | '.' | '\\' => {
+                    panic!(
+                        "unsupported regex syntax {:?} in pattern {self:?}",
+                        chars[i]
+                    )
+                }
+                c => {
+                    i += 1;
+                    vec![c]
+                }
+            };
+            // Parse an optional {m} / {m,n} quantifier.
+            let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .unwrap_or_else(|| panic!("unclosed {{ in pattern {self:?}"));
+                let body: String = chars[i + 1..i + close].iter().collect();
+                i += close + 1;
+                match body.split_once(',') {
+                    Some((m, n)) => (
+                        m.trim().parse::<usize>().expect("bad quantifier"),
+                        n.trim().parse::<usize>().expect("bad quantifier"),
+                    ),
+                    None => {
+                        let m = body.trim().parse::<usize>().expect("bad quantifier");
+                        (m, m)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            let count = rng.in_range_u64(lo as u64, hi as u64) as usize;
+            for _ in 0..count {
+                let k = rng.in_range_u64(0, class.len() as u64 - 1) as usize;
+                out.push(class[k]);
+            }
+        }
+        out
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{Strategy, TestRng};
+
+    /// Strategy producing `Vec`s of `elem` values with a length drawn from
+    /// `len` (exclusive upper bound, like `proptest::collection::vec`).
+    pub struct VecStrategy<S> {
+        elem: S,
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    /// Length specifications accepted by [`vec`]: an exact `usize` or a
+    /// half-open `Range<usize>` (the shim's stand-in for `SizeRange`).
+    pub trait IntoLenRange {
+        /// `(lo, hi_exclusive)` bounds.
+        fn bounds(self) -> (usize, usize);
+    }
+
+    impl IntoLenRange for usize {
+        fn bounds(self) -> (usize, usize) {
+            (self, self + 1)
+        }
+    }
+
+    impl IntoLenRange for std::ops::Range<usize> {
+        fn bounds(self) -> (usize, usize) {
+            assert!(self.start < self.end, "empty length range");
+            (self.start, self.end)
+        }
+    }
+
+    /// Vector of values drawn from `elem`, with length in `len`.
+    pub fn vec<S: Strategy>(elem: S, len: impl IntoLenRange) -> VecStrategy<S> {
+        let (lo, hi_exclusive) = len.bounds();
+        VecStrategy {
+            elem,
+            lo,
+            hi_exclusive,
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.in_range_u64(self.lo as u64, self.hi_exclusive as u64 - 1) as usize;
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! The imports `use proptest::prelude::*` is expected to provide.
+
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+}
+
+/// Property-test macro (subset of proptest's).
+///
+/// Supports an optional `#![proptest_config(expr)]` header followed by
+/// `#[test] fn name(arg in strategy, ...) { body }` items. Each generated
+/// test runs `config.cases` random cases and panics with the offending
+/// inputs on the first failure.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_items {
+    (($cfg:expr); $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                let mut __rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                for __case in 0..__config.cases {
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                    let __inputs = {
+                        let mut s = ::std::string::String::new();
+                        $(s.push_str(&::std::format!(
+                            "  {} = {:?}\n", stringify!($arg), &$arg
+                        ));)+
+                        s
+                    };
+                    let __result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(e) = __result {
+                        ::std::panic!(
+                            "property failed at case #{}: {}\ninputs:\n{}",
+                            __case, e, __inputs
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    l,
+                    r
+                ),
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn string_pattern_shapes() {
+        let mut rng = TestRng::for_test("string_pattern_shapes");
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[ACGT]{3,7}", &mut rng);
+            assert!((3..=7).contains(&s.len()), "{s}");
+            assert!(s.chars().all(|c| "ACGT".contains(c)));
+        }
+        let exact = Strategy::generate(&"[AB]{4}", &mut rng);
+        assert_eq!(exact.len(), 4);
+        let lit = Strategy::generate(&"XY", &mut rng);
+        assert_eq!(lit, "XY");
+    }
+
+    #[test]
+    fn range_strategy_bounds() {
+        let mut rng = TestRng::for_test("range_strategy_bounds");
+        for _ in 0..200 {
+            let v = Strategy::generate(&(2usize..6), &mut rng);
+            assert!((2..6).contains(&v));
+            let b = Strategy::generate(&(0u8..4), &mut rng);
+            assert!(b < 4);
+        }
+    }
+
+    #[test]
+    fn vec_strategy_lengths() {
+        let mut rng = TestRng::for_test("vec_strategy_lengths");
+        for _ in 0..100 {
+            let v = Strategy::generate(&crate::collection::vec("[AC]{1,3}", 1..4), &mut rng);
+            assert!((1..4).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_name() {
+        let mut a = TestRng::for_test("same");
+        let mut b = TestRng::for_test("same");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    // The macro itself, exercised end to end.
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_generates_and_asserts(s in "[ACGT]{0,10}", n in 1usize..5) {
+            prop_assert!(s.len() <= 10);
+            prop_assert_eq!(n.min(10), n);
+        }
+    }
+}

@@ -1,0 +1,363 @@
+//! Minimal vendored subset of the `rayon` API.
+//!
+//! The build environment has no network access to crates.io, so this crate
+//! provides the small slice of rayon the workspace actually uses, backed by
+//! `std::thread::scope`:
+//!
+//! * [`join`] — two-way fork-join;
+//! * [`ThreadPoolBuilder`] / [`ThreadPool::install`] — a *logical* pool: it
+//!   sets the worker count observed by [`current_num_threads`] and used by
+//!   parallel iterators for the duration of the closure (threads themselves
+//!   are scoped per operation, not pooled);
+//! * `into_par_iter()` / `par_iter()` / `map` / `map_init` / `collect` —
+//!   eager parallel map over contiguous chunks, **order-preserving**: the
+//!   output equals the sequential map regardless of worker count, which is
+//!   the property the ORIS step-2/step-3 determinism tests rely on.
+//!
+//! Work is split into one contiguous chunk per worker. This is cruder than
+//! rayon's work stealing, which is precisely why step 2 now partitions the
+//! seed-code space by estimated work before handing ranges to the pool (see
+//! `oris-core::step2`).
+
+use std::cell::Cell;
+
+thread_local! {
+    /// Worker count installed by [`ThreadPool::install`] on this thread.
+    static INSTALLED_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Number of worker threads parallel operations will use on this thread.
+pub fn current_num_threads() -> usize {
+    INSTALLED_THREADS.with(|c| c.get()).unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Runs both closures, potentially in parallel, and returns both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        return (a(), b());
+    }
+    let installed = INSTALLED_THREADS.with(|c| c.get());
+    std::thread::scope(|s| {
+        let hb = s.spawn(move || {
+            INSTALLED_THREADS.with(|c| c.set(installed));
+            b()
+        });
+        let ra = a();
+        (ra, hb.join().expect("rayon::join worker panicked"))
+    })
+}
+
+/// Error building a thread pool (never produced by this shim).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with default settings.
+    pub fn new() -> ThreadPoolBuilder {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Sets the worker count (0 = automatic).
+    pub fn num_threads(mut self, n: usize) -> ThreadPoolBuilder {
+        self.num_threads = if n == 0 { None } else { Some(n) };
+        self
+    }
+
+    /// Builds the logical pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads.unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            }),
+        })
+    }
+}
+
+/// A logical thread pool: a worker count scoped to [`ThreadPool::install`].
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `f` with this pool's worker count visible to
+    /// [`current_num_threads`] and the parallel iterators.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let prev = INSTALLED_THREADS.with(|c| c.replace(Some(self.num_threads)));
+        let out = f();
+        INSTALLED_THREADS.with(|c| c.set(prev));
+        out
+    }
+
+    /// The configured worker count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// Runs `f` over `items`, in parallel chunks, preserving input order.
+fn run_chunked<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let threads = current_num_threads();
+    if threads <= 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let n = items.len();
+    let chunk = n.div_ceil(threads);
+    let mut slots: Vec<Vec<T>> = Vec::new();
+    let mut it = items.into_iter();
+    loop {
+        let c: Vec<T> = it.by_ref().take(chunk).collect();
+        if c.is_empty() {
+            break;
+        }
+        slots.push(c);
+    }
+    let fref = &f;
+    let parts: Vec<Vec<R>> = std::thread::scope(|s| {
+        let handles: Vec<_> = slots
+            .into_iter()
+            .map(|part| s.spawn(move || part.into_iter().map(fref).collect::<Vec<R>>()))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel worker panicked"))
+            .collect()
+    });
+    let mut out = Vec::with_capacity(n);
+    for p in parts {
+        out.extend(p);
+    }
+    out
+}
+
+/// Eager parallel iterator over an owned item vector.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Parallel map, order-preserving.
+    pub fn map<R, F>(self, f: F) -> MappedParIter<R>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        MappedParIter {
+            results: run_chunked(self.items, f),
+        }
+    }
+
+    /// Parallel map with one per-worker scratch value built by `init`.
+    ///
+    /// `init` runs once per chunk (≈ once per worker), mirroring rayon's
+    /// `map_init` contract that the scratch value is reused across items of
+    /// the same worker.
+    pub fn map_init<I, R, INIT, F>(self, init: INIT, f: F) -> MappedParIter<R>
+    where
+        R: Send,
+        INIT: Fn() -> I + Sync,
+        F: Fn(&mut I, T) -> R + Sync,
+    {
+        let threads = current_num_threads();
+        if threads <= 1 || self.items.len() <= 1 {
+            let mut scratch = init();
+            return MappedParIter {
+                results: self.items.into_iter().map(|t| f(&mut scratch, t)).collect(),
+            };
+        }
+        let n = self.items.len();
+        let chunk = n.div_ceil(threads);
+        let mut slots: Vec<Vec<T>> = Vec::new();
+        let mut it = self.items.into_iter();
+        loop {
+            let c: Vec<T> = it.by_ref().take(chunk).collect();
+            if c.is_empty() {
+                break;
+            }
+            slots.push(c);
+        }
+        let (iref, fref) = (&init, &f);
+        let parts: Vec<Vec<R>> = std::thread::scope(|s| {
+            let handles: Vec<_> = slots
+                .into_iter()
+                .map(|part| {
+                    s.spawn(move || {
+                        let mut scratch = iref();
+                        part.into_iter()
+                            .map(|t| fref(&mut scratch, t))
+                            .collect::<Vec<R>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("parallel worker panicked"))
+                .collect()
+        });
+        let mut out = Vec::with_capacity(n);
+        for p in parts {
+            out.extend(p);
+        }
+        MappedParIter { results: out }
+    }
+}
+
+/// Result of a parallel map; already materialized in input order.
+pub struct MappedParIter<R> {
+    results: Vec<R>,
+}
+
+impl<R> MappedParIter<R> {
+    /// Collects into any `FromIterator` container, preserving order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        self.results.into_iter().collect()
+    }
+}
+
+/// Conversion into an eager parallel iterator (subset of rayon's trait).
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item: Send;
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<u32> {
+    type Item = u32;
+    fn into_par_iter(self) -> ParIter<u32> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+/// `par_iter()` over a borrowed slice/vec (subset of rayon's ref trait).
+pub trait IntoParallelRefIterator<'a> {
+    /// Borrowed item type.
+    type Item: Send + 'a;
+    /// Parallel iterator over references.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// The traits user code imports with `use rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let v: Vec<usize> = (0..1000).collect();
+        let out: Vec<usize> = v.into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn install_scopes_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.install(current_num_threads), 3);
+        let nested = ThreadPoolBuilder::new().num_threads(7).build().unwrap();
+        pool.install(|| {
+            assert_eq!(nested.install(current_num_threads), 7);
+            assert_eq!(current_num_threads(), 3);
+        });
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 1 + 1, || "x".to_string());
+        assert_eq!(a, 2);
+        assert_eq!(b, "x");
+    }
+
+    #[test]
+    fn map_init_reuses_scratch_per_chunk() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let v: Vec<usize> = (0..100).collect();
+        let out: Vec<usize> = pool.install(|| {
+            v.into_par_iter()
+                .map_init(Vec::<usize>::new, |scratch, x| {
+                    scratch.push(x);
+                    x + scratch.len() - scratch.len()
+                })
+                .collect()
+        });
+        assert_eq!(out, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_over_refs() {
+        let v = vec![1u32, 2, 3];
+        let out: Vec<u32> = v.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+}
