@@ -121,8 +121,18 @@ fn bench_step2_layout(c: &mut Criterion) {
     g.bench_function("linked_chains", |b| {
         b.iter(|| oris_bench::find_hsps_linked_reference(&b1, &l1, &b2, &l2, &i1, &i2, &cfg))
     });
+    // Explicit OrderedIndexed (not find_hsps' auto-selection, which picks
+    // the probe-free fast path on these fully indexed banks): the linked
+    // reference runs the same guard, so this group isolates the *layout*
+    // difference. The guard representations have their own bench (guard.rs).
+    let guard = OrderGuard::OrderedIndexed {
+        idx1: &i1,
+        idx2: &i2,
+    };
     g.bench_function("csr_slices", |b| {
-        b.iter(|| pool.install(|| oris_core::step2::find_hsps(&b1, &i1, &b2, &i2, &cfg)))
+        b.iter(|| {
+            pool.install(|| oris_core::step2::find_hsps_with_guard(&b1, &i1, &b2, &i2, &cfg, guard))
+        })
     });
     g.finish();
 }

@@ -1,16 +1,23 @@
-//! Perf snapshot for the occurrence-index layout and step-2 scheduling.
+//! Perf snapshot for the occurrence-index layout, step-2 scheduling and
+//! the order-guard representations.
 //!
-//! Measures the "before vs after" of the CSR flattening PR:
+//! Measures the "before vs after" of the CSR flattening PR and of the
+//! guard-specialization PR:
 //!
 //! * **before** — the linked (Figure-2 literal) layout: chain-walking
-//!   step 2, `4·len(SEQ)`-byte `next` array, equal-width scheduling;
+//!   step 2, `4·len(SEQ)`-byte `next` array, equal-width scheduling, and
+//!   the always-probing `OrderedIndexed` guard (two random-access bit-set
+//!   loads per candidate seed);
 //! * **after** — the CSR layout: slice-streaming step 2,
-//!   `4·indexed_positions`-byte postings, work-balanced scheduling.
+//!   `4·indexed_positions`-byte postings, work-balanced scheduling, and
+//!   guard specialization (probe-free `OrderedFull` fast path on fully
+//!   indexed banks, rolled word-cursor guard under masking).
 //!
-//! Three sections: index build time + heap bytes (EST bank, full and
+//! Four sections: index build time + heap bytes (EST bank, full and
 //! asymmetric), step 2 on the skewed-seed benchmark (linked chains vs CSR
-//! slices, identical extensions), and scheduling (equal-width vs
-//! work-balanced) per thread count.
+//! slices, identical extensions and guard), scheduling (equal-width vs
+//! work-balanced) per thread count, and the guard comparison (probe
+//! baseline vs rolled vs fast path, fully indexed and half-masked).
 //!
 //! Writes `BENCH_index.json` (repo root by default; `--out PATH` to
 //! override, `--scale F` for the EST bank size) so future PRs have a perf
@@ -20,8 +27,10 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use oris_align::OrderGuard;
-use oris_bench::{find_hsps_linked_reference, skewed_pair};
-use oris_core::step2::{find_hsps, find_hsps_partitioned, PartitionStrategy};
+use oris_bench::{find_hsps_linked_reference, half_masked_index, skewed_pair};
+use oris_core::step2::{
+    find_hsps, find_hsps_partitioned, find_hsps_with_guard, select_guard, PartitionStrategy,
+};
 use oris_core::OrisConfig;
 use oris_index::{BankIndex, IndexConfig, LinkedBankIndex};
 
@@ -85,17 +94,66 @@ fn main() {
         .num_threads(1)
         .build()
         .unwrap();
-    let (t_step2_linked, t_step2_csr) = time2(
-        reps,
-        || find_hsps_linked_reference(&b1, &l1, &b2, &l2, &i1, &i2, &cfg),
-        || serial.install(|| find_hsps(&b1, &i1, &b2, &i2, &cfg)),
-    );
-
-    // ---- scheduling: equal-width vs work-balanced per thread count ------
-    let guard = OrderGuard::OrderedIndexed {
+    // Both sides run the rolled OrderedIndexed guard (not find_hsps'
+    // auto-selection, which would pick the probe-free fast path here), so
+    // this comparison isolates the *layout* difference; the guard
+    // representations get their own section below.
+    let guard_rolled = OrderGuard::OrderedIndexed {
         idx1: &i1,
         idx2: &i2,
     };
+    let (t_step2_linked, t_step2_csr) = time2(
+        reps,
+        || find_hsps_linked_reference(&b1, &l1, &b2, &l2, &i1, &i2, &cfg),
+        || serial.install(|| find_hsps_with_guard(&b1, &i1, &b2, &i2, &cfg, guard_rolled)),
+    );
+
+    // ---- guard representations on the skewed benchmark ------------------
+    // Fully indexed: the seed's always-probing behaviour vs the rolled
+    // register vs the auto-selected probe-free fast path. The probe
+    // baseline is measured once per paired comparison (time2 cancels
+    // clock drift within a pair, not across pairs), and both probe
+    // timings are published so every emitted speedup is reproducible
+    // from the snapshot's own numbers: fast_path_speedup =
+    // probe_baseline_secs / full_fast_path_secs, rolled_speedup =
+    // probe_baseline_rerun_secs / rolled_indexed_secs.
+    let guard_probe = OrderGuard::OrderedIndexedProbe {
+        idx1: &i1,
+        idx2: &i2,
+    };
+    assert!(
+        matches!(select_guard(&i1, &i2), OrderGuard::OrderedFull),
+        "fully indexed banks must auto-select OrderedFull"
+    );
+    let (t_guard_probe, t_guard_full) = time2(
+        reps,
+        || serial.install(|| find_hsps_with_guard(&b1, &i1, &b2, &i2, &cfg, guard_probe)),
+        || serial.install(|| find_hsps(&b1, &i1, &b2, &i2, &cfg)),
+    );
+    let (t_guard_probe2, t_guard_rolled) = time2(
+        reps,
+        || serial.install(|| find_hsps_with_guard(&b1, &i1, &b2, &i2, &cfg, guard_probe)),
+        || serial.install(|| find_hsps_with_guard(&b1, &i1, &b2, &i2, &cfg, guard_rolled)),
+    );
+    // Half-masked banks: the fast path is illegal; probe vs rolled.
+    let m1 = half_masked_index(&b1, cfg.w);
+    let m2 = half_masked_index(&b2, cfg.w);
+    assert!(
+        matches!(select_guard(&m1, &m2), OrderGuard::OrderedIndexed { .. }),
+        "masked banks must keep the indexed guard"
+    );
+    let masked_probe = OrderGuard::OrderedIndexedProbe {
+        idx1: &m1,
+        idx2: &m2,
+    };
+    let (t_masked_probe, t_masked_rolled) = time2(
+        reps,
+        || serial.install(|| find_hsps_with_guard(&b1, &m1, &b2, &m2, &cfg, masked_probe)),
+        || serial.install(|| find_hsps(&b1, &m1, &b2, &m2, &cfg)),
+    );
+
+    // ---- scheduling: equal-width vs work-balanced per thread count ------
+    let guard = guard_rolled;
     let mut sched_rows = String::new();
     let hw = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -160,6 +218,18 @@ fn main() {
          \"subject_residues\": {},\n    \
          \"linked_chain_secs\": {t_step2_linked:.6},\n    \
          \"csr_slice_secs\": {t_step2_csr:.6},\n    \"speedup\": {:.3}\n  }},\n  \
+         \"step2_guard_skewed\": {{\n    \
+         \"fully_indexed\": {{\n      \
+         \"probe_baseline_secs\": {t_guard_probe:.6},\n      \
+         \"full_fast_path_secs\": {t_guard_full:.6},\n      \
+         \"fast_path_speedup\": {:.3},\n      \
+         \"probe_baseline_rerun_secs\": {t_guard_probe2:.6},\n      \
+         \"rolled_indexed_secs\": {t_guard_rolled:.6},\n      \
+         \"rolled_speedup\": {:.3}\n    }},\n    \
+         \"masked_half\": {{\n      \
+         \"probe_baseline_secs\": {t_masked_probe:.6},\n      \
+         \"rolled_indexed_secs\": {t_masked_rolled:.6},\n      \
+         \"rolled_speedup\": {:.3}\n    }}\n  }},\n  \
          \"step2_scheduling_skewed\": [\n{sched_rows}  ]\n}}\n",
         est.num_residues(),
         csr.indexed_positions(),
@@ -169,6 +239,9 @@ fn main() {
         b1.num_residues(),
         b2.num_residues(),
         t_step2_linked / t_step2_csr,
+        t_guard_probe / t_guard_full,
+        t_guard_probe2 / t_guard_rolled,
+        t_masked_probe / t_masked_rolled,
     );
     std::fs::write(&out_path, &json).expect("failed to write snapshot");
     print!("{json}");

@@ -31,7 +31,7 @@ use oris_align::{extend_hit, ExtensionOutcome, OrderGuard, UngappedParams};
 use oris_blast::{BlastConfig, BlastResult};
 use oris_core::{Hsp, OrisConfig, OrisResult};
 use oris_eval::{MissReport, SpeedupRow};
-use oris_index::{BankIndex, LinkedBankIndex};
+use oris_index::{BankIndex, IndexConfig, LinkedBankIndex};
 use oris_seqio::Bank;
 use oris_simulate::paper_bank;
 
@@ -186,6 +186,19 @@ pub fn skewed_pair(query_seqs: usize, subject_seqs: usize, seq_len: usize) -> (B
     (mk(101, query_seqs), mk(202, subject_seqs))
 }
 
+/// An index over `bank` with roughly half of its positions masked away in
+/// alternating 256-position blocks — the masked regime of the guard
+/// benches (`bench_guard`, `bench_index_snapshot`).
+///
+/// Blocky masking mirrors what a real low-complexity filter produces
+/// (runs, not salt-and-pepper): the rolled guard crosses a masked/unmasked
+/// boundary only every few words, while the probe baseline still pays two
+/// random-access loads per candidate. The build is *not* fully indexed, so
+/// `oris_core::step2::select_guard` keeps the indexed guard.
+pub fn half_masked_index(bank: &Bank, w: usize) -> BankIndex {
+    BankIndex::build_filtered(bank, IndexConfig::full(w), |p| (p / 256) % 2 == 0)
+}
+
 /// Step 2 against the linked (Figure-2 literal) occurrence index — the
 /// pre-CSR baseline, kept callable so the layout benches and the
 /// `bench_index_snapshot` tool can measure what the flattening bought.
@@ -235,7 +248,9 @@ pub fn find_hsps_linked_reference(
                 if let ExtensionOutcome::Hsp { score, left, right } =
                     extend_hit(d1, d2, a as usize, b as usize, code, coder, &params, guard)
                 {
-                    if score > cfg.min_hsp_score {
+                    // `>=` — min_hsp_score is the minimum score to keep,
+                    // matching oris_core::step2::process_code_range.
+                    if score >= cfg.min_hsp_score {
                         out.push(Hsp {
                             start1: a - left as u32,
                             start2: b - left as u32,

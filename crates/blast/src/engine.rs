@@ -131,11 +131,11 @@ fn run_batched(bank1: &Bank, bank2: &Bank, cfg: &BlastConfig, batch_nt: usize) -
     }
 
     // Global e-value sort across batches (matches the one-pass order).
+    // total_cmp: NaN-safe, same comparator as step 4 and the strand merge.
     let t0 = std::time::Instant::now();
     records.sort_by(|x, y| {
         x.evalue
-            .partial_cmp(&y.evalue)
-            .unwrap()
+            .total_cmp(&y.evalue)
             .then_with(|| x.qid.cmp(&y.qid))
             .then_with(|| x.sid.cmp(&y.sid))
             .then_with(|| x.qstart.cmp(&y.qstart))

@@ -153,7 +153,10 @@ fn scan_record(
                     // Mark the diagonal as covered up to the extension end
                     // so later seeds inside this HSP are suppressed.
                     diags.set_end(diag, start1 + len);
-                    if score > min_score {
+                    // `>=`: min_hsp_score is the minimum score to keep —
+                    // kept in lockstep with ORIS step 2 so the HSP-set
+                    // agreement tests compare like for like.
+                    if score >= min_score {
                         stats.kept += 1;
                         out.push(Hsp {
                             start1,

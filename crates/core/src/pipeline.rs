@@ -75,7 +75,16 @@ fn build_index(bank: &Bank, cfg: IndexConfig, mask: &Option<oris_dust::MaskSet>)
     }
 }
 
-fn run_pipeline(bank1: &Bank, bank2: &Bank, cfg: &OrisConfig) -> OrisResult {
+/// Which subject strand a pipeline run searches. `Minus` means `bank2`
+/// is the reverse complement of the original subject bank and step 4 maps
+/// subject coordinates back to the original records (`sstart > send`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SubjectStrand {
+    Plus,
+    Minus,
+}
+
+fn run_pipeline(bank1: &Bank, bank2: &Bank, cfg: &OrisConfig, strand: SubjectStrand) -> OrisResult {
     let mut stats = PipelineStats::default();
 
     // ---- Step 1: masking + indexing ------------------------------------
@@ -120,7 +129,14 @@ fn run_pipeline(bank1: &Bank, bank2: &Bank, cfg: &OrisConfig) -> OrisResult {
 
     // ---- Step 4: records -------------------------------------------------
     let t0 = std::time::Instant::now();
-    let (records, s4) = step4::display_records(bank1, bank2, &alns, cfg);
+    let (records, s4) = match strand {
+        SubjectStrand::Plus => step4::display_records(bank1, bank2, &alns, cfg),
+        // Subject coordinates are mapped back to the original records
+        // *here*, where each alignment resolves to a record index — a
+        // name-keyed mapping after the fact would corrupt coordinates
+        // whenever bank 2 carries duplicate record names.
+        SubjectStrand::Minus => step4::display_records_minus_strand(bank1, bank2, &alns, cfg),
+    };
     stats.step4 = s4;
     stats.step4_secs = t0.elapsed().as_secs_f64();
 
@@ -130,37 +146,18 @@ fn run_pipeline(bank1: &Bank, bank2: &Bank, cfg: &OrisConfig) -> OrisResult {
     }
 }
 
-/// Rewrites minus-strand records to original bank-2 coordinates.
-///
-/// A hit at subject positions `[s, e]` of the reverse-complemented record
-/// of length `L` corresponds to `[L−s+1, L−e+1]` on the original record's
-/// minus strand; BLAST reports such alignments with `sstart > send`.
-fn flip_minus_strand_records(records: &mut [M8Record], bank2: &Bank) {
-    use std::collections::HashMap;
-    let lengths: HashMap<&str, usize> = bank2
-        .records()
-        .iter()
-        .map(|r| (r.name.as_str(), r.len))
-        .collect();
-    for r in records.iter_mut() {
-        let len = *lengths
-            .get(r.sid.as_str())
-            .expect("minus-strand record names a bank-2 sequence");
-        let (s, e) = (r.sstart, r.send);
-        r.sstart = len - s + 1;
-        r.send = len - e + 1;
-    }
-}
-
 /// Merges plus- and minus-strand runs into one e-value-sorted result.
-fn merge_strands(mut plus: OrisResult, mut minus: OrisResult, bank2: &Bank) -> OrisResult {
-    flip_minus_strand_records(&mut minus.alignments, bank2);
+/// Minus-strand records already carry original subject coordinates
+/// (`sstart > send`) — see `SubjectStrand::Minus`.
+fn merge_strands(mut plus: OrisResult, mut minus: OrisResult) -> OrisResult {
     let mut alignments = plus.alignments;
     alignments.append(&mut minus.alignments);
+    // total_cmp, not partial_cmp().unwrap(): a NaN e-value (degenerate
+    // Karlin–Altschul parameters) must sort deterministically instead of
+    // panicking mid-merge.
     alignments.sort_by(|x, y| {
         x.evalue
-            .partial_cmp(&y.evalue)
-            .unwrap()
+            .total_cmp(&y.evalue)
             .then_with(|| x.qid.cmp(&y.qid))
             .then_with(|| x.sid.cmp(&y.sid))
             .then_with(|| x.qstart.cmp(&y.qstart))
@@ -205,23 +202,23 @@ pub fn compare_banks(bank1: &Bank, bank2: &Bank, cfg: &OrisConfig) -> OrisResult
     if let Err(e) = cfg.validate() {
         panic!("invalid ORIS configuration: {e}");
     }
-    let run = |b2: &Bank| match cfg.threads {
-        None => run_pipeline(bank1, b2, cfg),
+    let run = |b2: &Bank, strand: SubjectStrand| match cfg.threads {
+        None => run_pipeline(bank1, b2, cfg, strand),
         Some(n) => {
             let pool = rayon::ThreadPoolBuilder::new()
                 .num_threads(n)
                 .build()
                 .expect("failed to build thread pool");
-            pool.install(|| run_pipeline(bank1, b2, cfg))
+            pool.install(|| run_pipeline(bank1, b2, cfg, strand))
         }
     };
-    let plus = run(bank2);
+    let plus = run(bank2, SubjectStrand::Plus);
     if !cfg.both_strands {
         return plus;
     }
     let rc = bank2.reverse_complement();
-    let minus = run(&rc);
-    merge_strands(plus, minus, bank2)
+    let minus = run(&rc, SubjectStrand::Minus);
+    merge_strands(plus, minus)
 }
 
 #[cfg(test)]
@@ -468,6 +465,76 @@ mod strand_tests {
         let r = compare_banks(&b1, &b2, &cfg);
         assert!(r.stats.masked_fraction1 > 0.0);
         assert!(r.stats.masked_fraction2 > 0.0);
+    }
+
+    #[test]
+    fn duplicate_subject_names_flip_with_the_right_length() {
+        // Two subject records share the name "dup" but have different
+        // lengths; the minus-strand homology sits in the FIRST one. The
+        // old name-keyed length map silently took the last length,
+        // corrupting the flipped coordinates. Resolving by record index
+        // must produce coordinates that reverse-complement back to the
+        // query.
+        let core = "ATGGCGTACGTTAGCCTAGGCTTAACGGATCG";
+        let b1 = bank(&[core]);
+        let mut bb = BankBuilder::new();
+        bb.push_str("dup", &format!("GGTTCCAA{}AACCGGTT", revcomp(core)))
+            .unwrap();
+        // Same name, much longer record, no homology.
+        bb.push_str("dup", &"GATTACAA".repeat(40)).unwrap();
+        let b2 = bb.finish();
+        let mut cfg = OrisConfig::small(8);
+        cfg.both_strands = true;
+        let r = compare_banks(&b1, &b2, &cfg);
+        assert_eq!(r.alignments.len(), 1, "{:?}", r.alignments);
+        let a = &r.alignments[0];
+        assert!(a.sstart > a.send, "minus strand flips to sstart > send");
+        // The subject slice read on the plus strand of record 0 must
+        // reverse-complement to the query slice — only true if the flip
+        // used record 0's length, not its namesake's.
+        let subj = b2.sequence_string(0);
+        let plus_slice = &subj[a.send - 1..a.sstart];
+        let q = b1.sequence_string(0);
+        let q_slice = &q[a.qstart - 1..a.qend];
+        assert_eq!(revcomp(plus_slice), q_slice);
+    }
+
+    #[test]
+    fn merge_survives_nan_evalues() {
+        // partial_cmp().unwrap() panicked when an e-value was NaN (e.g.
+        // degenerate Karlin–Altschul parameters); total_cmp must sort
+        // deterministically instead.
+        use oris_eval::M8Record;
+        let rec = |sid: &str, evalue: f64| M8Record {
+            qid: "q".into(),
+            sid: sid.into(),
+            pident: 100.0,
+            length: 10,
+            mismatch: 0,
+            gapopen: 0,
+            qstart: 1,
+            qend: 10,
+            sstart: 1,
+            send: 10,
+            evalue,
+            bitscore: 20.0,
+        };
+        let plus = OrisResult {
+            alignments: vec![rec("a", f64::NAN), rec("b", 1e-5)],
+            stats: PipelineStats::default(),
+        };
+        let minus = OrisResult {
+            alignments: vec![rec("c", 1e-9), rec("d", f64::NAN)],
+            stats: PipelineStats::default(),
+        };
+        let merged = super::merge_strands(plus, minus);
+        assert_eq!(merged.alignments.len(), 4);
+        // Finite e-values sort ahead of NaN (total_cmp places NaN last),
+        // and the call above not panicking is the regression being pinned.
+        assert_eq!(merged.alignments[0].sid, "c");
+        assert_eq!(merged.alignments[1].sid, "b");
+        assert!(merged.alignments[2].evalue.is_nan());
+        assert!(merged.alignments[3].evalue.is_nan());
     }
 
     #[test]

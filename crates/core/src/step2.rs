@@ -15,6 +15,15 @@
 //!   CSR index the X1/X2 occurrence lists are contiguous sorted slices, so
 //!   the inner loops stream through memory with no pointer chasing at all.
 //!
+//! **Guard selection.** The ordered-seed abort rule needs to know whether
+//! a candidate seed is actually enumerated. [`find_hsps`] picks the
+//! cheapest correct answer from the indexes' build-time exclusion
+//! provenance ([`select_guard`]): both banks fully indexed → the
+//! probe-free `OrderedFull` fast path; any masking or stride exclusion →
+//! the rolled `OrderedIndexed` guard, whose bit-set cursors advance with
+//! the extension and whose bank-1 state is prepared once per occurrence
+//! (shared across the whole X2 slice).
+//!
 //! Because uniqueness is a property of the *rule*, not of the visit
 //! order, the outer loop parallelizes embarrassingly (paper section 4).
 //! [`find_hsps`] splits the code space into contiguous ranges processed by
@@ -32,7 +41,9 @@
 //! contiguous and in code order, so results concatenate in range order and
 //! the output stays thread-count-independent.
 
-use oris_align::{extend_hit, ExtensionOutcome, OrderGuard, UngappedParams};
+use oris_align::{
+    extend_hit_prepared, ExtensionOutcome, OrderGuard, PreparedGuard, UngappedParams,
+};
 use oris_index::BankIndex;
 use oris_seqio::Bank;
 use rayon::prelude::*;
@@ -80,8 +91,10 @@ pub enum PartitionStrategy {
 
 /// Splits `0..num_codes` into contiguous ranges under `strategy`, aiming
 /// for `chunks` ranges. Ranges always cover the whole code space in order;
-/// the work-balanced strategy may return slightly fewer or more ranges
-/// than requested (greedy cuts), never more than `2·chunks`.
+/// the work-balanced strategy may return fewer ranges than requested
+/// (greedy cuts), and never more than `chunks + 1`: each cut closes a
+/// range holding at least `⌈total/chunks⌉` work, so at most `chunks` cuts
+/// can fire, plus one trailing range for the remainder.
 #[allow(clippy::single_range_in_vec_init)] // a Vec<Range> is the schedule, not a typo'd range
 pub fn partition_codes(
     idx1: &BankIndex,
@@ -166,12 +179,18 @@ fn process_code_range(
             continue;
         }
         for &a in x1 {
+            // Resolve the guard once per bank-1 occurrence: `a`'s guard
+            // words (and the guard-shape dispatch) are shared across every
+            // partner in X2, so the inner loop only builds bank-2 state.
+            let prepared = PreparedGuard::prepare(guard, a as usize);
             for &b in x2 {
                 stats.pairs_examined += 1;
-                match extend_hit(d1, d2, a as usize, b as usize, code, coder, params, guard) {
+                match extend_hit_prepared(
+                    d1, d2, a as usize, b as usize, code, coder, params, &prepared,
+                ) {
                     ExtensionOutcome::Aborted => stats.aborted += 1,
                     ExtensionOutcome::Hsp { score, left, right } => {
-                        if score > min_score {
+                        if score >= min_score {
                             stats.kept += 1;
                             out.push(Hsp {
                                 start1: a - left as u32,
@@ -190,8 +209,29 @@ fn process_code_range(
     (out, stats)
 }
 
+/// Picks the cheapest correct order guard for a pair of indexes, from
+/// their build-time exclusion provenance.
+///
+/// The indexed guard is required whenever positions may be excluded from
+/// an index (low-complexity masking, asymmetric stride): the rule must
+/// not defer to a seed the enumeration will never visit. But when **both**
+/// banks are fully indexed ([`BankIndex::is_fully_indexed`]), every
+/// "would the enumeration visit this candidate?" probe answers yes — the
+/// candidate's run of `W` matches already proves a valid window — so the
+/// probe-free [`OrderGuard::OrderedFull`] is behaviourally identical and
+/// strictly cheaper. The guard-equivalence proptests below pin the
+/// identity.
+pub fn select_guard<'a>(idx1: &'a BankIndex, idx2: &'a BankIndex) -> OrderGuard<'a> {
+    if idx1.is_fully_indexed() && idx2.is_fully_indexed() {
+        OrderGuard::OrderedFull
+    } else {
+        OrderGuard::OrderedIndexed { idx1, idx2 }
+    }
+}
+
 /// Enumerates all seeds in code order and returns the unique HSPs,
-/// sorted by diagonal (the step-3 input order).
+/// sorted by diagonal (the step-3 input order). The order guard is
+/// auto-selected from the indexes' exclusion provenance ([`select_guard`]).
 pub fn find_hsps(
     bank1: &Bank,
     idx1: &BankIndex,
@@ -199,17 +239,7 @@ pub fn find_hsps(
     idx2: &BankIndex,
     cfg: &OrisConfig,
 ) -> (Vec<Hsp>, Step2Stats) {
-    // The indexed guard is required whenever positions may be excluded
-    // from an index (low-complexity masking, asymmetric stride): the rule
-    // must not defer to a seed the enumeration will never visit.
-    find_hsps_with_guard(
-        bank1,
-        idx1,
-        bank2,
-        idx2,
-        cfg,
-        OrderGuard::OrderedIndexed { idx1, idx2 },
-    )
+    find_hsps_with_guard(bank1, idx1, bank2, idx2, cfg, select_guard(idx1, idx2))
 }
 
 /// Same enumeration with an explicit guard (the ablation uses
@@ -316,7 +346,7 @@ mod tests {
     fn cfg(w: usize) -> OrisConfig {
         OrisConfig {
             w,
-            min_hsp_score: w as i32, // keep anything extending past the seed
+            min_hsp_score: w as i32, // keep anything scoring at least a bare seed
             ..OrisConfig::small(w)
         }
     }
@@ -379,6 +409,24 @@ mod tests {
         for w in hsps.windows(2) {
             assert!(Hsp::diag_order(&w[0], &w[1]) != std::cmp::Ordering::Greater);
         }
+    }
+
+    #[test]
+    fn hsp_scoring_exactly_min_score_is_kept() {
+        // min_hsp_score is the *minimum score to keep* (the paper's S1):
+        // the boundary case must pass, not be dropped by an off-by-one.
+        // A lone 6-mer with no extendable context scores exactly 6.
+        let s = "ATGGCG";
+        let b1 = bank(&[s]);
+        let b2 = bank(&[s]);
+        let mut c = cfg(6);
+        c.min_hsp_score = 6;
+        let hsps = run(&b1, &b2, &c);
+        assert_eq!(hsps.len(), 1, "{hsps:?}");
+        assert_eq!(hsps[0].score, 6);
+        // One above the score: dropped.
+        c.min_hsp_score = 7;
+        assert!(run(&b1, &b2, &c).is_empty());
     }
 
     #[test]
@@ -578,7 +626,9 @@ mod tests {
                         &params,
                         OrderGuard::None,
                     ) {
-                        if score > c.min_hsp_score {
+                        // `>=`: min_hsp_score is the minimum score to KEEP
+                        // (the paper's S1) — matches process_code_range.
+                        if score >= c.min_hsp_score {
                             brute.insert((
                                 a - left as u32,
                                 b - left as u32,
@@ -594,5 +644,136 @@ mod tests {
             .map(|h| (h.start1, h.start2, h.len))
             .collect();
         assert_eq!(ordered, brute);
+    }
+
+    #[test]
+    fn guard_auto_selection_follows_provenance() {
+        let b = bank(&["ACGTACGTTTGGCCAAACGT"]);
+        let full = BankIndex::build(&b, IndexConfig::full(4));
+        let masked = BankIndex::build_filtered(&b, IndexConfig::full(4), |p| p == 2);
+        let strided = BankIndex::build(&b, IndexConfig::asymmetric(4));
+        assert!(matches!(
+            select_guard(&full, &full),
+            OrderGuard::OrderedFull
+        ));
+        assert!(matches!(
+            select_guard(&full, &masked),
+            OrderGuard::OrderedIndexed { .. }
+        ));
+        assert!(matches!(
+            select_guard(&masked, &full),
+            OrderGuard::OrderedIndexed { .. }
+        ));
+        assert!(matches!(
+            select_guard(&full, &strided),
+            OrderGuard::OrderedIndexed { .. }
+        ));
+    }
+
+    use oris_align::OrderGuard;
+    use proptest::prelude::*;
+
+    fn banks_from(seqs: &[String]) -> Bank {
+        let refs: Vec<&str> = seqs.iter().map(|s| s.as_str()).collect();
+        bank(&refs)
+    }
+
+    proptest! {
+        /// On fully indexed banks the auto-selected probe-free fast path
+        /// (`OrderedFull`), the rolled indexed guard and the probe
+        /// baseline are byte-identical: same HSP vector (order included)
+        /// and same `Step2Stats`.
+        #[test]
+        fn full_and_indexed_guards_agree_on_fully_indexed_banks(
+            seqs1 in proptest::collection::vec("[ACGTN]{5,60}", 1..4),
+            seqs2 in proptest::collection::vec("[ACGTN]{5,60}", 1..4),
+            w in 3usize..6,
+        ) {
+            let b1 = banks_from(&seqs1);
+            let b2 = banks_from(&seqs2);
+            let c = cfg(w);
+            let i1 = BankIndex::build(&b1, IndexConfig::full(w));
+            let i2 = BankIndex::build(&b2, IndexConfig::full(w));
+            prop_assert!(matches!(select_guard(&i1, &i2), OrderGuard::OrderedFull));
+
+            let auto = find_hsps(&b1, &i1, &b2, &i2, &c);
+            let indexed = find_hsps_with_guard(
+                &b1, &i1, &b2, &i2, &c,
+                OrderGuard::OrderedIndexed { idx1: &i1, idx2: &i2 },
+            );
+            let probe = find_hsps_with_guard(
+                &b1, &i1, &b2, &i2, &c,
+                OrderGuard::OrderedIndexedProbe { idx1: &i1, idx2: &i2 },
+            );
+            prop_assert_eq!(&auto, &indexed);
+            prop_assert_eq!(&auto, &probe);
+        }
+
+        /// Masked / asymmetric builds keep the indexed guard, and the
+        /// rolled representation reproduces the seed's random-probe
+        /// behaviour exactly (HSPs and stats).
+        #[test]
+        fn masked_builds_select_indexed_guard_and_match_seed_behavior(
+            seqs1 in proptest::collection::vec("[ACGTN]{5,60}", 1..4),
+            seqs2 in proptest::collection::vec("[ACGTN]{5,60}", 1..4),
+            w in 3usize..6,
+            mask_mod in 2usize..7,
+            stride in 1usize..3,
+        ) {
+            let b1 = banks_from(&seqs1);
+            let b2 = banks_from(&seqs2);
+            let c = cfg(w);
+            let i1 = BankIndex::build_filtered(
+                &b1, IndexConfig::full(w), |p| p % mask_mod == 0,
+            );
+            let i2 = BankIndex::build(&b2, IndexConfig { w, stride });
+            // The mask predicate fires on any non-trivial bank, so the
+            // indexed guard must be selected whenever something was
+            // actually excluded.
+            if !i1.is_fully_indexed() || !i2.is_fully_indexed() {
+                prop_assert!(matches!(
+                    select_guard(&i1, &i2),
+                    OrderGuard::OrderedIndexed { .. }
+                ));
+            }
+            let auto = find_hsps(&b1, &i1, &b2, &i2, &c);
+            let seed_behavior = find_hsps_with_guard(
+                &b1, &i1, &b2, &i2, &c,
+                OrderGuard::OrderedIndexedProbe { idx1: &i1, idx2: &i2 },
+            );
+            prop_assert_eq!(&auto, &seed_behavior);
+        }
+
+        /// The work-balanced partition returns at most `chunks + 1`
+        /// contiguous, in-order ranges covering the whole code space —
+        /// the documented greedy-cut bound — for random offset arrays.
+        #[test]
+        fn partition_bound_holds_for_random_offsets(
+            seqs1 in proptest::collection::vec("[ACGT]{0,80}", 1..4),
+            seqs2 in proptest::collection::vec("[ACGT]{0,80}", 1..4),
+            w in 2usize..5,
+            chunks in 1u32..40,
+        ) {
+            let b1 = banks_from(&seqs1);
+            let b2 = banks_from(&seqs2);
+            let i1 = BankIndex::build(&b1, IndexConfig::full(w));
+            let i2 = BankIndex::build(&b2, IndexConfig::full(w));
+            let num_codes = i1.coder().num_seeds() as u32;
+            for strategy in [PartitionStrategy::EqualWidth, PartitionStrategy::WorkBalanced] {
+                let ranges = partition_codes(&i1, &i2, strategy, chunks);
+                prop_assert!(!ranges.is_empty());
+                prop_assert_eq!(ranges.first().unwrap().start, 0);
+                prop_assert_eq!(ranges.last().unwrap().end, num_codes);
+                for pair in ranges.windows(2) {
+                    prop_assert_eq!(pair[0].end, pair[1].start);
+                }
+                if matches!(strategy, PartitionStrategy::WorkBalanced) {
+                    prop_assert!(
+                        ranges.len() <= chunks as usize + 1,
+                        "{} ranges for {} chunks", ranges.len(), chunks
+                    );
+                }
+            }
+        }
     }
 }

@@ -55,6 +55,39 @@ pub fn display_records_with_query_space(
     cfg: &OrisConfig,
     query_residues: usize,
 ) -> (Vec<M8Record>, Step4Stats) {
+    display_records_inner(bank1, bank2, alignments, cfg, query_residues, false)
+}
+
+/// Minus-strand variant: `rc_bank2` is the reverse complement of the
+/// original subject bank, and emitted subject coordinates are mapped back
+/// to the original records' plus-strand numbering, BLAST style
+/// (`sstart > send`).
+///
+/// The mapping happens *here*, where each alignment still resolves to a
+/// record **index** via [`Bank::locate`] — a hit inside the record of
+/// length `L` at local `[s, e]` becomes `[L − s + 1, L − e + 1]`. Mapping
+/// later from the final records would have to go through the record
+/// *name*, which silently picks the wrong length when the subject bank
+/// contains duplicate record names (the pre-fix behaviour).
+/// `reverse_complement()` preserves record order and lengths, so the
+/// index-resolved `rec2.len` is always the right one.
+pub fn display_records_minus_strand(
+    bank1: &Bank,
+    rc_bank2: &Bank,
+    alignments: &[GappedAlignment],
+    cfg: &OrisConfig,
+) -> (Vec<M8Record>, Step4Stats) {
+    display_records_inner(bank1, rc_bank2, alignments, cfg, bank1.num_residues(), true)
+}
+
+fn display_records_inner(
+    bank1: &Bank,
+    bank2: &Bank,
+    alignments: &[GappedAlignment],
+    cfg: &OrisConfig,
+    query_residues: usize,
+    flip_subject: bool,
+) -> (Vec<M8Record>, Step4Stats) {
     let model = EValueModel::dna(cfg.scheme.matsch, cfg.scheme.mismatch);
     let m = query_residues;
     let mut stats = Step4Stats::default();
@@ -79,6 +112,20 @@ pub fn display_records_with_query_space(
             continue;
         }
         stats.emitted += 1;
+        let (sstart, send) = if flip_subject {
+            // rc-local `[s, e]` ↦ original plus-strand `[L − s + 1, L − e + 1]`
+            // (1-based): reported with sstart > send, BLAST's minus-strand
+            // convention.
+            (
+                rec2.len - rec2.to_local(a.start2),
+                rec2.len - (rec2.to_local(a.start2) + a.len2) + 1,
+            )
+        } else {
+            (
+                rec2.to_local(a.start2) + 1,
+                rec2.to_local(a.start2) + a.len2,
+            )
+        };
         out.push(M8Record {
             qid: rec1.name.clone(),
             sid: rec2.name.clone(),
@@ -88,18 +135,19 @@ pub fn display_records_with_query_space(
             gapopen: a.stats.gap_opens,
             qstart: rec1.to_local(a.start1) + 1,
             qend: rec1.to_local(a.start1) + a.len1,
-            sstart: rec2.to_local(a.start2) + 1,
-            send: rec2.to_local(a.start2) + a.len2,
+            sstart,
+            send,
             evalue,
             bitscore: model.bit_score(a.score),
         });
     }
 
-    // Sort by e-value, tie-broken deterministically by coordinates.
+    // Sort by e-value (total_cmp: a NaN from a degenerate statistical
+    // model must not panic the comparator), tie-broken deterministically
+    // by coordinates.
     out.sort_by(|x, y| {
         x.evalue
-            .partial_cmp(&y.evalue)
-            .unwrap()
+            .total_cmp(&y.evalue)
             .then_with(|| x.qid.cmp(&y.qid))
             .then_with(|| x.sid.cmp(&y.sid))
             .then_with(|| x.qstart.cmp(&y.qstart))

@@ -103,6 +103,21 @@ impl MaskSet {
         out
     }
 
+    /// The backing bit words: position `p` is bit `p % 64` of word
+    /// `p / 64` (set = masked). The slice covers `len().div_ceil(64)`
+    /// words; bits at or beyond `len()` are always clear.
+    ///
+    /// This is the word-level accessor the rolled order guard builds on:
+    /// an extension walk moves by one position per step, so a cursor over
+    /// these words answers one membership query per step with a shift,
+    /// touching a new word only every 64 steps — instead of re-deriving
+    /// `word/bit` from scratch per random-access [`MaskSet::contains`]
+    /// probe.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.bits
+    }
+
     /// Heap bytes used by the bit vector.
     pub fn heap_bytes(&self) -> usize {
         self.bits.len() * 8
@@ -213,6 +228,24 @@ mod tests {
         m.set_range(3, 7);
         m.set(12);
         assert_eq!(m.dilated_left(1), m);
+    }
+
+    #[test]
+    fn words_agree_with_contains() {
+        let mut m = MaskSet::new(200);
+        for p in [0usize, 1, 63, 64, 65, 127, 128, 199] {
+            m.set(p);
+        }
+        let words = m.words();
+        assert_eq!(words.len(), 200usize.div_ceil(64));
+        for p in 0..200 {
+            let bit = words[p / 64] & (1u64 << (p % 64)) != 0;
+            assert_eq!(bit, m.contains(p), "position {p}");
+        }
+        // bits beyond len are clear
+        for w in &words[199 / 64 + 1..] {
+            assert_eq!(*w, 0);
+        }
     }
 
     #[test]

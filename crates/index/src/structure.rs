@@ -41,7 +41,30 @@
 //! The one-bit-per-position `indexed` set is retained for the ORIS order
 //! guard: during extension the guard must ask "would the global enumeration
 //! visit a seed at this position?" — a question about *positions*, which
-//! the position-grouped CSR rows cannot answer in O(1).
+//! the position-grouped CSR rows cannot answer in O(1). The guard reads the
+//! set two ways: random-access probes via [`BankIndex::is_indexed`], and —
+//! the hot path — a rolling word cursor over [`BankIndex::indexed_words`]
+//! that walks with the extension (see `oris-align::ungapped`).
+//!
+//! **Exclusion provenance.** The build also records *why* positions are
+//! absent from the index. Windows can be missing for two very different
+//! reasons:
+//!
+//! * **window validity** — the window runs off the bank, crosses a record
+//!   sentinel, or contains an ambiguous base. These exclusions are
+//!   *implied by the guard's run-of-matches invariant*: the guard only
+//!   probes a position after observing `W` consecutive matching
+//!   nucleotides there, which is itself proof of a valid window, so a
+//!   validity-excluded position can never be probed;
+//! * **policy** — low-complexity masking or the asymmetric stride
+//!   deliberately discarded a *valid* window. Only these exclusions make
+//!   the bit-set observable to the guard.
+//!
+//! [`BankIndex::is_fully_indexed`] is true exactly when no policy
+//! exclusion occurred (stride 1, no masked rejection). When both banks of
+//! a comparison qualify, every guard probe would answer "yes" and step 2
+//! selects the probe-free `OrderedFull` guard instead — the fast path for
+//! the common unmasked full-stride case.
 
 use oris_seqio::Bank;
 
@@ -109,6 +132,10 @@ pub struct BankIndex {
     /// low-complexity, skipped by the asymmetric stride, or invalid) can
     /// never own an HSP, so it must not trigger an abort.
     indexed: MaskSet,
+    /// Exclusion provenance: `true` iff no *policy* exclusion occurred
+    /// during the build — stride 1 and no valid window rejected by the
+    /// mask predicate. See [`BankIndex::is_fully_indexed`].
+    fully_indexed: bool,
     bank_bytes: usize,
 }
 
@@ -134,8 +161,14 @@ impl BankIndex {
         // pairs in ascending position order.
         let mut pairs: Vec<(u32, u32)> = Vec::with_capacity(data.len());
         let mut indexed = MaskSet::new(data.len());
+        // Policy exclusions only: every window the rolling coder yields is
+        // *valid* (inside one record, no ambiguous base), so any rejection
+        // here is a stride/mask decision — the provenance that decides
+        // whether the order guard may skip its bit-set probes entirely.
+        let mut policy_excluded = 0usize;
         for (pos, code) in RollingCoder::new(coder, data) {
             if pos % cfg.stride != 0 || masked(pos) {
+                policy_excluded += 1;
                 continue;
             }
             pairs.push((pos as u32, code));
@@ -178,6 +211,7 @@ impl BankIndex {
             offsets,
             positions,
             indexed,
+            fully_indexed: cfg.stride == 1 && policy_excluded == 0,
             bank_bytes: data.len(),
         }
     }
@@ -248,6 +282,35 @@ impl BankIndex {
     #[inline]
     pub fn is_indexed(&self, pos: usize) -> bool {
         self.indexed.contains(pos)
+    }
+
+    /// Whether every *valid* window of the bank is indexed — exclusion
+    /// provenance recorded at build time.
+    ///
+    /// `true` iff the stride is 1 and the mask predicate rejected no
+    /// window the rolling scan yielded. Windows missing only for validity
+    /// reasons (record boundaries, ambiguous bases) do not count: the
+    /// order guard probes a position only after observing a run of `W`
+    /// matching nucleotides there, which already implies the window is
+    /// valid. Consequently, when both banks of a comparison are fully
+    /// indexed, every guard probe would return `true` and the probe-free
+    /// `OrderedFull` guard is behaviourally identical — step 2 uses this
+    /// predicate to auto-select it.
+    #[inline]
+    pub fn is_fully_indexed(&self) -> bool {
+        self.fully_indexed
+    }
+
+    /// The indexed-occurrence bit-set as raw 64-bit words (bit `p % 64`
+    /// of word `p / 64` set ⟺ [`BankIndex::is_indexed`]`(p)`).
+    ///
+    /// The rolled order guard walks these words with a cursor that
+    /// advances one bit per extension step, replacing two random-access
+    /// probes per candidate seed with a shift (and one word load every 64
+    /// steps).
+    #[inline]
+    pub fn indexed_words(&self) -> &[u64] {
+        self.indexed.words()
     }
 
     /// Computes occupancy/footprint statistics — pure offset arithmetic,
@@ -443,6 +506,51 @@ mod tests {
         let idx = BankIndex::build(&bank, IndexConfig::full(4));
         assert_eq!(idx.indexed_positions(), 0);
         assert_eq!(idx.stats().distinct_seeds, 0);
+        // No window was policy-excluded (vacuously): the fast path is safe.
+        assert!(idx.is_fully_indexed());
+    }
+
+    #[test]
+    fn provenance_full_build_is_fully_indexed() {
+        // Ambiguous bases and record boundaries exclude windows for
+        // *validity* only — they must not disqualify the fast path.
+        let bank = bank_of(&["ACGTNACGT", "TTGGCC"]);
+        let idx = BankIndex::build(&bank, IndexConfig::full(4));
+        assert!(idx.is_fully_indexed());
+    }
+
+    #[test]
+    fn provenance_mask_that_never_fires_is_fully_indexed() {
+        // Provenance tracks what *happened*, not what was requested: a
+        // predicate that rejects nothing leaves the index complete.
+        let bank = bank_of(&["ACGTACGTACGT"]);
+        let idx = BankIndex::build_filtered(&bank, IndexConfig::full(4), |_| false);
+        assert!(idx.is_fully_indexed());
+    }
+
+    #[test]
+    fn provenance_masked_build_is_not_fully_indexed() {
+        let bank = bank_of(&["ACGTACGTACGT"]);
+        let idx = BankIndex::build_filtered(&bank, IndexConfig::full(4), |p| p == 1);
+        assert!(!idx.is_fully_indexed());
+    }
+
+    #[test]
+    fn provenance_strided_build_is_not_fully_indexed() {
+        let bank = bank_of(&["ACGTACGTACGT"]);
+        let idx = BankIndex::build(&bank, IndexConfig::asymmetric(4));
+        assert!(!idx.is_fully_indexed());
+    }
+
+    #[test]
+    fn indexed_words_agree_with_is_indexed() {
+        let bank = bank_of(&["ACGTNACGTTTGG", "CCAA"]);
+        let idx = BankIndex::build_filtered(&bank, IndexConfig::full(4), |p| p % 5 == 0);
+        let words = idx.indexed_words();
+        for p in 0..bank.data().len() {
+            let bit = words[p / 64] & (1u64 << (p % 64)) != 0;
+            assert_eq!(bit, idx.is_indexed(p), "position {p}");
+        }
     }
 
     #[test]

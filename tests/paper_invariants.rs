@@ -37,7 +37,15 @@ proptest! {
 
         let cfg = oris::core::OrisConfig {
             w,
-            min_hsp_score: w as i32,
+            // min_hsp_score is inclusive (keep score ≥ S1). One above the
+            // bare-seed score: an HSP of score exactly W contains only its
+            // own seed, and under a *saturating* xdrop the walk (which
+            // carries the abort rule far beyond the final extent) may
+            // legitimately reassign it to a smaller-code seed whose own
+            // maximal extension does not cover it — so bare seeds sit
+            // outside the exactly-once ⇔ brute-dedup equivalence this
+            // test pins.
+            min_hsp_score: w as i32 + 1,
             // saturating xdrop: extension extents become path-independent
             xdrop_ungapped: 10_000,
             ..oris::core::OrisConfig::small(w)
@@ -64,7 +72,9 @@ proptest! {
                         b1.data(), b2.data(), a as usize, b as usize,
                         code, coder, &params, OrderGuard::None,
                     ) {
-                        if score > cfg.min_hsp_score {
+                        // `>=`: min_hsp_score is the minimum score to keep
+                        // (matches step 2's corrected threshold).
+                        if score >= cfg.min_hsp_score {
                             brute.insert((a - left as u32, b - left as u32,
                                           left as u32 + w as u32 + right as u32));
                         }
