@@ -13,11 +13,16 @@
 //!   guard specialization (probe-free `OrderedFull` fast path on fully
 //!   indexed banks, rolled word-cursor guard under masking).
 //!
-//! Four sections: index build time + heap bytes (EST bank, full and
-//! asymmetric), step 2 on the skewed-seed benchmark (linked chains vs CSR
-//! slices, identical extensions and guard), scheduling (equal-width vs
-//! work-balanced) per thread count, and the guard comparison (probe
-//! baseline vs rolled vs fast path, fully indexed and half-masked).
+//! Six sections: index build time + heap bytes (EST bank, full and
+//! asymmetric), the CSR build-strategy comparison (full-sweep counting
+//! sort vs the radix-partitioned build, on a large and a small bank),
+//! step 2 on the skewed-seed benchmark (linked chains vs CSR slices,
+//! identical extensions and guard), scheduling (equal-width vs
+//! work-balanced) per thread count, the guard comparison (probe baseline
+//! vs rolled vs fast path, fully indexed and half-masked), and the
+//! prepared-reuse benchmark (N query banks against one prepared subject:
+//! per-query subject rebuild vs one session build, outputs asserted
+//! identical).
 //!
 //! Writes `BENCH_index.json` (repo root by default; `--out PATH` to
 //! override, `--scale F` for the EST bank size) so future PRs have a perf
@@ -31,8 +36,8 @@ use oris_bench::{find_hsps_linked_reference, half_masked_index, skewed_pair};
 use oris_core::step2::{
     find_hsps, find_hsps_partitioned, find_hsps_with_guard, select_guard, PartitionStrategy,
 };
-use oris_core::OrisConfig;
-use oris_index::{BankIndex, IndexConfig, LinkedBankIndex};
+use oris_core::{compare_banks, OrisConfig, Session};
+use oris_index::{BankIndex, BuildStrategy, IndexConfig, LinkedBankIndex};
 
 /// Paired comparison: alternates `a` and `b` per repetition so slow clock
 /// drift (VM throttling, noisy neighbours) hits both sides equally, then
@@ -81,6 +86,25 @@ fn main() {
     // The linked layout's next[] is sized by the bank, so its asymmetric
     // footprint equals its full footprint; the CSR postings halve.
     let csr_asym = BankIndex::build(&est, IndexConfig::asymmetric(w));
+
+    // ---- build strategies: full-sweep vs radix-partitioned --------------
+    // Large bank: postings work dominates, the strategies should be close.
+    // Small bank: the full sweep's serial 4^W prefix-sum dominates — the
+    // regime the radix partitioning exists for.
+    let build_with = |bank: &oris_seqio::Bank, strategy: BuildStrategy| {
+        BankIndex::build_filtered_with(bank, IndexConfig::full(w), |_| false, strategy)
+    };
+    let (t_sweep_est, t_radix_est) = time2(
+        reps,
+        || build_with(&est, BuildStrategy::FullSweep),
+        || build_with(&est, BuildStrategy::RadixPartitioned),
+    );
+    let small = oris_simulate::random_bank(11, 20, 500, 0.5);
+    let (t_sweep_small, t_radix_small) = time2(
+        reps.max(20),
+        || build_with(&small, BuildStrategy::FullSweep),
+        || build_with(&small, BuildStrategy::RadixPartitioned),
+    );
 
     // ---- step 2 on the skewed-seed benchmark ----------------------------
     let (b1, b2) = skewed_pair(50, 40_000, 250);
@@ -206,12 +230,58 @@ fn main() {
         .unwrap();
     }
 
+    // ---- prepared reuse: N query banks vs one prepared subject ----------
+    // The intensive-comparison scenario the engine exists for: a stream
+    // of small query banks against one large subject. The naive path
+    // rebuilds the subject mask+index inside every compare_banks call;
+    // the session path builds it once (inside the timed region) and
+    // amortizes it. Timed with the same rep-paired `time2` as every other
+    // section, so VM clock drift cancels; outputs are asserted identical
+    // pairwise on a separate untimed run.
+    let pipeline_cfg = OrisConfig::default();
+    let subject = &est;
+    let num_queries = 6usize;
+    let query_banks: Vec<oris_seqio::Bank> = (0..num_queries)
+        .map(|i| oris_simulate::random_bank(300 + i as u64, 60, 400, 0.5))
+        .collect();
+    let run_naive = || -> Vec<oris_core::OrisResult> {
+        query_banks
+            .iter()
+            .map(|q| compare_banks(q, subject, &pipeline_cfg))
+            .collect()
+    };
+    let run_session = || -> Vec<oris_core::OrisResult> {
+        let session = Session::new(subject, &pipeline_cfg).expect("valid config");
+        query_banks.iter().map(|q| session.run(q)).collect()
+    };
+    let (t_reuse_naive, t_reuse_session) = time2(reps, run_naive, run_session);
+    let naive_results = run_naive();
+    let session = Session::new(subject, &pipeline_cfg).expect("valid config");
+    assert_eq!(session.subject_stats().builds, 1);
+    for (n, q) in naive_results.iter().zip(&query_banks) {
+        let s = session.run(q);
+        assert_eq!(n.alignments, s.alignments, "prepared reuse changed output");
+        assert_eq!(s.stats.index_builds, 1);
+        assert_eq!(n.stats.index_builds, 2);
+    }
+
     let json = format!(
         "{{\n  \"bench\": \"index_layout_and_step2_scheduling\",\n  \
          \"est_scale\": {scale},\n  \"est_residues\": {},\n  \
          \"w\": {w},\n  \"est_indexed_positions\": {},\n  \
          \"build_est\": {{\n    \"linked_secs\": {t_linked_build:.6},\n    \
          \"csr_secs\": {t_csr_build:.6}\n  }},\n  \
+         \"csr_build_strategy\": {{\n    \
+         \"est\": {{\n      \"full_sweep_secs\": {t_sweep_est:.6},\n      \
+         \"radix_secs\": {t_radix_est:.6},\n      \"radix_speedup\": {:.3}\n    }},\n    \
+         \"small_bank\": {{\n      \"residues\": {},\n      \
+         \"full_sweep_secs\": {t_sweep_small:.6},\n      \
+         \"radix_secs\": {t_radix_small:.6},\n      \"radix_speedup\": {:.3}\n    }}\n  }},\n  \
+         \"prepared_reuse\": {{\n    \"queries\": {num_queries},\n    \
+         \"subject_residues\": {},\n    \
+         \"rebuild_per_query_secs\": {t_reuse_naive:.6},\n    \
+         \"session_secs\": {t_reuse_session:.6},\n    \
+         \"amortized_speedup\": {:.3}\n  }},\n  \
          \"heap_bytes_est\": {{\n    \"linked_full\": {},\n    \
          \"csr_full\": {},\n    \"csr_asymmetric\": {}\n  }},\n  \
          \"step2_skewed\": {{\n    \"query_residues\": {},\n    \
@@ -233,6 +303,11 @@ fn main() {
          \"step2_scheduling_skewed\": [\n{sched_rows}  ]\n}}\n",
         est.num_residues(),
         csr.indexed_positions(),
+        t_sweep_est / t_radix_est,
+        small.num_residues(),
+        t_sweep_small / t_radix_small,
+        est.num_residues(),
+        t_reuse_naive / t_reuse_session,
         linked.heap_bytes(),
         csr.heap_bytes(),
         csr_asym.heap_bytes(),

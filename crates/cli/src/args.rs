@@ -1,8 +1,8 @@
 //! Minimal command-line argument parser.
 //!
-//! Supports `--flag`, `--key value` and positional arguments; short
-//! aliases are declared by the caller. No dependency, no macros — just
-//! enough for the two binaries.
+//! Supports `--flag`, `--key value`, `--key=value` and positional
+//! arguments; short aliases are declared by the caller. No dependency, no
+//! macros — just enough for the binaries.
 
 use std::collections::HashMap;
 
@@ -56,14 +56,27 @@ impl Args {
                 && arg.len() > 1
                 && !arg.chars().nth(1).unwrap().is_ascii_digit()
             {
-                let name = canon(arg);
+                // `--key=value` spelling: split on the first `=`; the
+                // value keeps any further `=` signs verbatim.
+                let (raw, inline_value) = match arg.split_once('=') {
+                    Some((head, tail)) => (head, Some(tail)),
+                    None => (arg.as_str(), None),
+                };
+                let name = canon(raw);
                 if flag_keys.contains(&name.as_str()) {
+                    if inline_value.is_some() {
+                        return Err(ArgError(format!("flag --{name} takes no value")));
+                    }
                     out.flags.push(name);
                 } else if value_keys.contains(&name.as_str()) {
-                    let val = it
-                        .next()
-                        .ok_or_else(|| ArgError(format!("option --{name} needs a value")))?;
-                    out.options.insert(name, val.clone());
+                    let val = match inline_value {
+                        Some(v) => v.to_string(),
+                        None => it
+                            .next()
+                            .ok_or_else(|| ArgError(format!("option --{name} needs a value")))?
+                            .clone(),
+                    };
+                    out.options.insert(name, val);
                 } else {
                     return Err(ArgError(format!("unknown option {arg}")));
                 }
@@ -128,6 +141,42 @@ mod tests {
     #[test]
     fn missing_value_is_error() {
         assert!(Args::parse(&argv(&["--word"]), &["word"], &[], &[]).is_err());
+    }
+
+    #[test]
+    fn key_equals_value_spelling() {
+        let a = Args::parse(
+            &argv(&["--word=11", "-e=0.001", "a.fa"]),
+            &["word", "evalue"],
+            &[],
+            &[("e", "evalue")],
+        )
+        .unwrap();
+        assert_eq!(a.get_or("word", 0usize).unwrap(), 11);
+        assert_eq!(a.get_or("evalue", 1.0f64).unwrap(), 0.001);
+        assert_eq!(a.positional, vec!["a.fa"]);
+    }
+
+    #[test]
+    fn equals_value_keeps_further_equals_signs() {
+        let a = Args::parse(&argv(&["--out=a=b=c"]), &["out"], &[], &[]).unwrap();
+        assert_eq!(a.options.get("out").unwrap(), "a=b=c");
+    }
+
+    #[test]
+    fn empty_equals_value_is_empty_string() {
+        let a = Args::parse(&argv(&["--out="]), &["out"], &[], &[]).unwrap();
+        assert_eq!(a.options.get("out").unwrap(), "");
+    }
+
+    #[test]
+    fn flag_with_equals_value_is_error() {
+        assert!(Args::parse(&argv(&["--stats=yes"]), &[], &["stats"], &[]).is_err());
+    }
+
+    #[test]
+    fn unknown_key_equals_value_is_error() {
+        assert!(Args::parse(&argv(&["--nope=1"]), &["word"], &[], &[]).is_err());
     }
 
     #[test]

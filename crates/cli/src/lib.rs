@@ -1,17 +1,23 @@
 //! # oris-cli — command-line front ends
 //!
-//! Two binaries:
+//! Three binaries:
 //!
 //! * **`scoris-n`** — the paper's prototype as a tool: compares two FASTA
 //!   banks and writes BLAST `-m 8` records to stdout or a file. The
 //!   `--engine blast` flag runs the BLASTN-style baseline instead, so the
 //!   paper's timing methodology (`time scoris-n A B` vs the baseline) can
-//!   be replayed from a shell.
+//!   be replayed from a shell. With `--index FILE` the subject bank's
+//!   index is loaded from a `mkindex` file instead of being rebuilt —
+//!   the intensive-comparison workflow, with byte-identical output.
+//! * **`mkindex`** — builds a bank's occurrence index once (mask + CSR
+//!   arrays, exactly as `scoris-n` would for its second bank) and
+//!   persists it in the versioned `oris-index` on-disk format.
 //! * **`mkbank`** — materializes the synthetic paper banks (EST1…H19) or
 //!   custom random banks as FASTA files.
 //!
 //! Argument parsing is hand-rolled (the sanctioned dependency set carries
-//! no CLI crate); [`args`] holds the tiny parser shared by both binaries.
+//! no CLI crate); [`args`] holds the tiny parser shared by the binaries.
+//! It accepts `--key value` and `--key=value` spellings interchangeably.
 
 pub mod args;
 

@@ -14,6 +14,30 @@ pub enum FilterKind {
     Dust,
 }
 
+impl FilterKind {
+    /// Stable numeric tag stored in persisted index files
+    /// (`oris_index::IndexMeta::filter_code`), so a loader can refuse an
+    /// index prepared under a different filter than the run requests.
+    pub fn code(self) -> u32 {
+        match self {
+            FilterKind::None => 0,
+            FilterKind::Entropy => 1,
+            FilterKind::Dust => 2,
+        }
+    }
+
+    /// Inverse of [`FilterKind::code`]; `None` for unknown tags (an index
+    /// written by a newer filter this build does not know).
+    pub fn from_code(code: u32) -> Option<FilterKind> {
+        match code {
+            0 => Some(FilterKind::None),
+            1 => Some(FilterKind::Entropy),
+            2 => Some(FilterKind::Dust),
+            _ => None,
+        }
+    }
+}
+
 /// Configuration of the ORIS pipeline.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OrisConfig {
@@ -85,6 +109,24 @@ impl OrisConfig {
             self.w.saturating_sub(1).max(1)
         } else {
             self.w
+        }
+    }
+
+    /// Index configuration for the query side (bank 1): always full
+    /// stride at the effective word length.
+    pub fn query_index_config(&self) -> oris_index::IndexConfig {
+        oris_index::IndexConfig::full(self.indexed_w())
+    }
+
+    /// Index configuration for the subject side (bank 2): stride 2 in
+    /// asymmetric mode (section 3.4), full otherwise. This is the
+    /// configuration `mkindex` must use for an index that `scoris-n
+    /// --index` will accept.
+    pub fn subject_index_config(&self) -> oris_index::IndexConfig {
+        if self.asymmetric {
+            oris_index::IndexConfig::asymmetric(self.indexed_w())
+        } else {
+            oris_index::IndexConfig::full(self.indexed_w())
         }
     }
 

@@ -1,0 +1,658 @@
+//! The prepared-bank engine: build indexes once, run many comparisons.
+//!
+//! The paper's scenario is *intensive* comparison — a bank is indexed once
+//! and the cost amortized over a large stream of comparisons. This module
+//! is that separation made explicit:
+//!
+//! * [`PreparedBank`] — a bank together with its low-complexity mask
+//!   statistics and its [`BankIndex`], built once (or loaded from a file
+//!   written by `oris_index::persist`, in which case nothing is built at
+//!   all).
+//! * [`Session`] — one prepared subject (both strands when the
+//!   configuration asks for them) plus the worker pool, against which any
+//!   number of query banks can be run. Step 1 runs once per bank per
+//!   session, not once per comparison: a `both_strands` run prepares the
+//!   query exactly once, and a stream of N queries prepares the subject
+//!   exactly once.
+//!
+//! [`crate::compare_banks`] is a thin wrapper — one throwaway session, one
+//! query — so single-shot callers keep their API while paying the same
+//! costs as before. Every result carries `PipelineStats::index_builds`, a
+//! counter of mask+index constructions attributed to it, which is how the
+//! tests pin the amortization down (a session run reports only its query's
+//! build; the subject's one-time build is reported by
+//! [`Session::subject_stats`]).
+
+use std::borrow::Cow;
+use std::time::Instant;
+
+use oris_dust::{DustMasker, EntropyMasker, Masker};
+use oris_index::{BankIndex, IndexConfig};
+use oris_seqio::Bank;
+
+use crate::config::{FilterKind, OrisConfig};
+use crate::pipeline::{merge_strands, run_prepared_pipeline, OrisResult, SubjectStrand};
+
+/// Cost and footprint of preparing one bank (mask + index).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PrepareStats {
+    /// Seconds spent masking + building (0 for an index loaded from disk).
+    pub build_secs: f64,
+    /// Fraction of bank positions masked by the low-complexity filter.
+    pub masked_fraction: f64,
+    /// Heap bytes of the index arrays.
+    pub index_bytes: usize,
+    /// Number of mask+index builds performed (1 for a fresh build, 0 for
+    /// an index loaded from disk).
+    pub builds: u32,
+}
+
+fn mask_for(filter: FilterKind, bank: &Bank) -> Option<oris_dust::MaskSet> {
+    match filter {
+        FilterKind::None => None,
+        FilterKind::Entropy => Some(EntropyMasker::default().mask_bank(bank)),
+        FilterKind::Dust => Some(DustMasker::default().mask_bank(bank)),
+    }
+}
+
+fn build_index(bank: &Bank, cfg: IndexConfig, mask: &Option<oris_dust::MaskSet>) -> BankIndex {
+    match mask {
+        Some(m) => {
+            // BLAST masking semantics: discard a word when it *overlaps*
+            // a masked region (not only when it starts inside one).
+            let dilated = m.dilated_left(cfg.w);
+            BankIndex::build_filtered(bank, cfg, |p| dilated.contains(p))
+        }
+        None => BankIndex::build(bank, cfg),
+    }
+}
+
+/// A bank with its step-1 artifacts: low-complexity mask statistics and
+/// the occurrence index, built exactly once.
+#[derive(Debug, Clone)]
+pub struct PreparedBank<'a> {
+    bank: Cow<'a, Bank>,
+    index: BankIndex,
+    stats: PrepareStats,
+    /// The low-complexity filter this bank was prepared under — recorded
+    /// so a session can refuse a bank prepared under a different filter
+    /// than its configuration (two strands of one subject searching
+    /// different effective sequences is silent wrong output, not an
+    /// error, downstream).
+    filter: FilterKind,
+}
+
+impl<'a> PreparedBank<'a> {
+    /// Runs step 1 (masking + indexing) on a borrowed bank.
+    pub fn prepare(bank: &'a Bank, filter: FilterKind, icfg: IndexConfig) -> PreparedBank<'a> {
+        Self::prepare_cow(Cow::Borrowed(bank), filter, icfg)
+    }
+
+    /// Runs step 1 on an owned bank (e.g. a reverse complement that has
+    /// no other owner).
+    pub fn prepare_owned(
+        bank: Bank,
+        filter: FilterKind,
+        icfg: IndexConfig,
+    ) -> PreparedBank<'static> {
+        PreparedBank::<'static>::prepare_cow(Cow::Owned(bank), filter, icfg)
+    }
+
+    fn prepare_cow(bank: Cow<'a, Bank>, filter: FilterKind, icfg: IndexConfig) -> PreparedBank<'a> {
+        let t0 = Instant::now();
+        let mask = mask_for(filter, &bank);
+        let index = build_index(&bank, icfg, &mask);
+        let stats = PrepareStats {
+            build_secs: t0.elapsed().as_secs_f64(),
+            masked_fraction: mask.as_ref().map_or(0.0, |m| m.masked_fraction()),
+            index_bytes: index.heap_bytes(),
+            builds: 1,
+        };
+        PreparedBank {
+            bank,
+            index,
+            stats,
+            filter,
+        }
+    }
+
+    /// Attaches a pre-built index (typically loaded from an
+    /// `oris_index::persist` file) to its bank, skipping step 1 entirely.
+    ///
+    /// `meta` is the preparation provenance recorded next to the index;
+    /// the mask itself is not needed — steps 2–4 only consult the index.
+    ///
+    /// Three identity checks protect the attach, because a wrong pairing
+    /// produces wrong alignments, not an error, downstream:
+    ///
+    /// * the index must cover a bank of exactly this length;
+    /// * when the file recorded a bank content hash
+    ///   (`IndexMeta::bank_hash != 0`), it must match this bank — same
+    ///   length is not same content (the stale-index trap: a bank edited
+    ///   after `mkindex` ran);
+    /// * an `is_fully_indexed` claim is re-verified against the bank (the
+    ///   valid-window count must equal the posting count), since a false
+    ///   claim would switch step 2 onto the probe-free guard and change
+    ///   output. The claim-false direction needs no check — the indexed
+    ///   guard consults the (already validated) bit-set and stays correct;
+    /// * `meta.filter_code` must name a filter this build knows
+    ///   ([`FilterKind::from_code`]) — it becomes the prepared bank's
+    ///   recorded filter, which [`Session`] checks against its
+    ///   configuration so a subject indexed under one filter is never
+    ///   paired with strands or queries masked under another.
+    pub fn from_index(
+        bank: &'a Bank,
+        index: BankIndex,
+        meta: &oris_index::IndexMeta,
+    ) -> Result<PreparedBank<'a>, String> {
+        let filter = FilterKind::from_code(meta.filter_code).ok_or_else(|| {
+            format!(
+                "index was prepared with an unknown filter (code {})",
+                meta.filter_code
+            )
+        })?;
+        if index.bank_len() != bank.data().len() {
+            return Err(format!(
+                "index was built over a bank of {} positions, this bank has {}",
+                index.bank_len(),
+                bank.data().len()
+            ));
+        }
+        if meta.bank_hash != 0 {
+            let actual = oris_index::persist::fnv1a(bank.data());
+            if actual != meta.bank_hash {
+                return Err(format!(
+                    "index was built over different bank content \
+                     (recorded hash {:#018x}, this bank hashes to {actual:#018x})",
+                    meta.bank_hash
+                ));
+            }
+        }
+        if index.is_fully_indexed() {
+            let valid_windows = oris_index::RollingCoder::new(index.coder(), bank.data()).count();
+            if valid_windows != index.indexed_positions() {
+                return Err(format!(
+                    "index claims to be fully indexed but holds {} postings \
+                     for {valid_windows} valid windows",
+                    index.indexed_positions()
+                ));
+            }
+        }
+        let stats = PrepareStats {
+            build_secs: 0.0,
+            masked_fraction: meta.masked_fraction,
+            index_bytes: index.heap_bytes(),
+            builds: 0,
+        };
+        Ok(PreparedBank {
+            bank: Cow::Borrowed(bank),
+            index,
+            stats,
+            filter,
+        })
+    }
+
+    /// The low-complexity filter this bank was prepared under.
+    #[inline]
+    pub fn filter(&self) -> FilterKind {
+        self.filter
+    }
+
+    /// The underlying bank.
+    #[inline]
+    pub fn bank(&self) -> &Bank {
+        &self.bank
+    }
+
+    /// The occurrence index.
+    #[inline]
+    pub fn index(&self) -> &BankIndex {
+        &self.index
+    }
+
+    /// Preparation cost and footprint.
+    #[inline]
+    pub fn stats(&self) -> &PrepareStats {
+        &self.stats
+    }
+}
+
+/// A many-query comparison session against one prepared subject.
+///
+/// Construction runs step 1 on the subject — both strands when
+/// `cfg.both_strands` — and builds the worker pool; [`Session::run`] then
+/// executes steps 2–4 (plus the query's own step 1) per query. The
+/// subject is never re-indexed, and the returned per-run statistics count
+/// only the work done for that run ([`PipelineStats::index_builds`] is 1
+/// per `run`, 0 per [`Session::run_prepared`]); the subject's one-time
+/// cost is reported by [`Session::subject_stats`].
+///
+/// [`PipelineStats::index_builds`]: crate::PipelineStats::index_builds
+pub struct Session<'a> {
+    cfg: OrisConfig,
+    plus: PreparedBank<'a>,
+    minus: Option<PreparedBank<'static>>,
+    pool: Option<rayon::ThreadPool>,
+}
+
+impl<'a> Session<'a> {
+    /// Prepares `subject` (and its reverse complement when
+    /// `cfg.both_strands`) under `cfg` and builds the worker pool. The
+    /// two strands are prepared concurrently (`rayon::join`).
+    pub fn new(subject: &'a Bank, cfg: &OrisConfig) -> Result<Session<'a>, String> {
+        cfg.validate()?;
+        let pool = Self::pool_for(cfg)?;
+        let (plus, minus) = match &pool {
+            Some(p) => p.install(|| Self::prepare_strands(subject, cfg)),
+            None => Self::prepare_strands(subject, cfg),
+        };
+        Ok(Session {
+            cfg: *cfg,
+            plus,
+            minus,
+            pool,
+        })
+    }
+
+    /// One-shot constructor for [`crate::compare_banks`]: prepares the
+    /// subject (both strands) and the query concurrently in the session's
+    /// pool, preserving the step-1 parallelism the per-call pipeline had.
+    pub(crate) fn new_with_query<'q>(
+        subject: &'a Bank,
+        query: &'q Bank,
+        cfg: &OrisConfig,
+    ) -> Result<(Session<'a>, PreparedBank<'q>), String> {
+        cfg.validate()?;
+        let pool = Self::pool_for(cfg)?;
+        let qcfg = cfg.query_index_config();
+        let work = || {
+            rayon::join(
+                || Self::prepare_strands(subject, cfg),
+                || PreparedBank::prepare(query, cfg.filter, qcfg),
+            )
+        };
+        let ((plus, minus), prepared_query) = match &pool {
+            Some(p) => p.install(work),
+            None => work(),
+        };
+        Ok((
+            Session {
+                cfg: *cfg,
+                plus,
+                minus,
+                pool,
+            },
+            prepared_query,
+        ))
+    }
+
+    /// Builds a session around an already prepared subject — typically
+    /// one whose index was loaded from disk via
+    /// [`PreparedBank::from_index`].
+    ///
+    /// The prepared index must match the configuration (same effective
+    /// word length and stride); with `cfg.both_strands` the minus-strand
+    /// index is built here (an index file stores one strand).
+    pub fn with_subject(
+        subject: PreparedBank<'a>,
+        cfg: &OrisConfig,
+    ) -> Result<Session<'a>, String> {
+        cfg.validate()?;
+        let icfg = cfg.subject_index_config();
+        if subject.index().w() != icfg.w {
+            return Err(format!(
+                "subject index uses word length {}, configuration needs {}",
+                subject.index().w(),
+                icfg.w
+            ));
+        }
+        if subject.index().stride() != icfg.stride {
+            return Err(format!(
+                "subject index uses stride {}, configuration needs {}",
+                subject.index().stride(),
+                icfg.stride
+            ));
+        }
+        if subject.filter() != cfg.filter {
+            // Accepting this would let the two strands of one subject (or
+            // the subject and its queries) search different effective
+            // sequences — strand-asymmetric output with no error.
+            return Err(format!(
+                "subject was prepared with filter {:?}, configuration needs {:?}",
+                subject.filter(),
+                cfg.filter
+            ));
+        }
+        let pool = Self::pool_for(cfg)?;
+        let minus = if cfg.both_strands {
+            let prepare = || Self::prepare_minus(subject.bank(), cfg);
+            Some(match &pool {
+                Some(p) => p.install(prepare),
+                None => prepare(),
+            })
+        } else {
+            None
+        };
+        Ok(Session {
+            cfg: *cfg,
+            plus: subject,
+            minus,
+            pool,
+        })
+    }
+
+    /// Step 1 for a subject bank: the plus strand, and — concurrently —
+    /// the minus strand when the configuration searches both.
+    fn prepare_strands<'s>(
+        subject: &'s Bank,
+        cfg: &OrisConfig,
+    ) -> (PreparedBank<'s>, Option<PreparedBank<'static>>) {
+        let icfg = cfg.subject_index_config();
+        if cfg.both_strands {
+            let (plus, minus) = rayon::join(
+                || PreparedBank::prepare(subject, cfg.filter, icfg),
+                || Self::prepare_minus(subject, cfg),
+            );
+            (plus, Some(minus))
+        } else {
+            (PreparedBank::prepare(subject, cfg.filter, icfg), None)
+        }
+    }
+
+    /// Step 1 for the minus strand: index the reverse complement under
+    /// the subject configuration.
+    fn prepare_minus(subject: &Bank, cfg: &OrisConfig) -> PreparedBank<'static> {
+        PreparedBank::prepare_owned(
+            subject.reverse_complement(),
+            cfg.filter,
+            cfg.subject_index_config(),
+        )
+    }
+
+    fn pool_for(cfg: &OrisConfig) -> Result<Option<rayon::ThreadPool>, String> {
+        match cfg.threads {
+            None => Ok(None),
+            Some(n) => rayon::ThreadPoolBuilder::new()
+                .num_threads(n)
+                .build()
+                .map(Some)
+                .map_err(|e| format!("failed to build thread pool: {e}")),
+        }
+    }
+
+    fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        match &self.pool {
+            Some(p) => p.install(f),
+            None => f(),
+        }
+    }
+
+    /// The session configuration.
+    #[inline]
+    pub fn config(&self) -> &OrisConfig {
+        &self.cfg
+    }
+
+    /// The prepared plus-strand subject.
+    #[inline]
+    pub fn subject(&self) -> &PreparedBank<'a> {
+        &self.plus
+    }
+
+    /// Total one-time subject preparation cost: both strands summed
+    /// (build seconds and build count), and the bytes of all indexes the
+    /// session holds resident.
+    pub fn subject_stats(&self) -> PrepareStats {
+        let mut s = self.plus.stats;
+        if let Some(minus) = &self.minus {
+            s.build_secs += minus.stats.build_secs;
+            s.index_bytes += minus.stats.index_bytes;
+            s.builds += minus.stats.builds;
+            s.masked_fraction = s.masked_fraction.max(minus.stats.masked_fraction);
+        }
+        s
+    }
+
+    /// Prepares `query` (step 1, counted in the returned stats) and runs
+    /// it against the prepared subject.
+    pub fn run(&self, query: &Bank) -> OrisResult {
+        let prep = self.install(|| {
+            PreparedBank::prepare(query, self.cfg.filter, self.cfg.query_index_config())
+        });
+        let mut r = self.run_prepared(&prep);
+        r.stats.index_secs += prep.stats.build_secs;
+        r.stats.index_builds += prep.stats.builds;
+        r
+    }
+
+    /// Runs an already prepared query against the prepared subject —
+    /// steps 2–4 only, no index construction at all
+    /// (`stats.index_builds == 0`).
+    ///
+    /// # Panics
+    /// Panics if the query was not prepared under this session's
+    /// configuration — same word length, stride 1
+    /// ([`OrisConfig::query_index_config`]), same filter. (The asymmetric
+    /// stride belongs to the *subject* side only; a strided query index
+    /// would silently drop half the query's seed occurrences, and a
+    /// differently filtered query would search a different effective
+    /// sequence — both are refused loudly.)
+    pub fn run_prepared(&self, query: &PreparedBank<'_>) -> OrisResult {
+        let qcfg = self.cfg.query_index_config();
+        assert_eq!(
+            query.index().w(),
+            qcfg.w,
+            "query index word length does not match the session configuration"
+        );
+        assert_eq!(
+            query.index().stride(),
+            qcfg.stride,
+            "query index stride does not match the session configuration \
+             (asymmetric sampling applies to the subject bank only)"
+        );
+        assert_eq!(
+            query.filter(),
+            self.cfg.filter,
+            "query was prepared under a different filter than the session"
+        );
+        self.install(|| {
+            let plus = run_prepared_pipeline(query, &self.plus, &self.cfg, SubjectStrand::Plus);
+            match &self.minus {
+                None => plus,
+                Some(minus) => {
+                    let minus =
+                        run_prepared_pipeline(query, minus, &self.cfg, SubjectStrand::Minus);
+                    merge_strands(plus, minus)
+                }
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::compare_banks;
+    use oris_seqio::BankBuilder;
+
+    fn bank(seqs: &[&str]) -> Bank {
+        let mut b = BankBuilder::new();
+        for (i, s) in seqs.iter().enumerate() {
+            b.push_str(&format!("s{i}"), s).unwrap();
+        }
+        b.finish()
+    }
+
+    const CORE: &str = "ATGGCGTACGTTAGCCTAGGCTTAACGGATCGATCCGGTAAGCT";
+
+    #[test]
+    fn session_matches_compare_banks() {
+        let subject = bank(&[&format!("CCGGAACCTT{CORE}TTGGCCAACGGT")]);
+        let queries = [
+            bank(&[&format!("TTACCGGTTAACC{CORE}GGTTACGCAT")]),
+            bank(&[CORE]),
+            bank(&["ATATATATGCGCGCGCATATATAT"]),
+            bank(&[&format!("{CORE}{CORE}")]),
+        ];
+        let cfg = OrisConfig::small(8);
+        let session = Session::new(&subject, &cfg).unwrap();
+        assert_eq!(session.subject_stats().builds, 1);
+        for q in &queries {
+            let via_session = session.run(q);
+            let via_compare = compare_banks(q, &subject, &cfg);
+            assert_eq!(via_session.alignments, via_compare.alignments);
+            // Amortized accounting: the run built only the query index.
+            assert_eq!(via_session.stats.index_builds, 1);
+        }
+    }
+
+    #[test]
+    fn run_prepared_builds_nothing() {
+        let subject = bank(&[&format!("AA{CORE}TT")]);
+        let query = bank(&[CORE]);
+        let cfg = OrisConfig::small(8);
+        let session = Session::new(&subject, &cfg).unwrap();
+        let prep = PreparedBank::prepare(&query, cfg.filter, cfg.query_index_config());
+        let r = session.run_prepared(&prep);
+        assert_eq!(r.stats.index_builds, 0);
+        assert_eq!(r.alignments, session.run(&query).alignments);
+    }
+
+    #[test]
+    fn both_strands_session_builds_subject_twice_query_once() {
+        let subject = bank(&[&format!("AA{CORE}TT")]);
+        let query = bank(&[CORE]);
+        let mut cfg = OrisConfig::small(8);
+        cfg.both_strands = true;
+        let session = Session::new(&subject, &cfg).unwrap();
+        // Plus and minus subject strands.
+        assert_eq!(session.subject_stats().builds, 2);
+        let r = session.run(&query);
+        // The query was prepared exactly once despite two strand runs.
+        assert_eq!(r.stats.index_builds, 1);
+        assert_eq!(
+            r.alignments,
+            compare_banks(&query, &subject, &cfg).alignments
+        );
+    }
+
+    #[test]
+    fn from_index_rejects_wrong_bank() {
+        let b1 = bank(&[CORE]);
+        let b2 = bank(&[&format!("{CORE}EXTRA_LENGTH_PADDING")]);
+        let idx = BankIndex::build(&b1, IndexConfig::full(8));
+        assert!(PreparedBank::from_index(&b2, idx, &oris_index::IndexMeta::default()).is_err());
+    }
+
+    #[test]
+    fn from_index_rejects_same_length_different_content() {
+        // The stale-index trap: the bank is edited after mkindex ran but
+        // keeps its length. The recorded content hash must catch it.
+        let original = bank(&[CORE]);
+        let mut edited_seq = CORE.to_string();
+        // One substitution, same length.
+        edited_seq.replace_range(5..6, "C");
+        let edited = bank(&[&edited_seq]);
+        assert_eq!(original.data().len(), edited.data().len());
+        let idx = BankIndex::build(&original, IndexConfig::full(8));
+        let meta = oris_index::IndexMeta {
+            bank_hash: oris_index::persist::fnv1a(original.data()),
+            ..Default::default()
+        };
+        assert!(PreparedBank::from_index(&original, idx.clone(), &meta).is_ok());
+        let err = PreparedBank::from_index(&edited, idx, &meta).unwrap_err();
+        assert!(err.contains("different bank content"), "{err}");
+    }
+
+    #[test]
+    fn from_index_rejects_false_fully_indexed_claim() {
+        // A crafted file could carry a masked index with the
+        // fully_indexed flag forced on (and a recomputed checksum); the
+        // attach must re-verify the claim against the bank, because a
+        // false claim silently switches step 2 onto the probe-free guard.
+        let subject = bank(&[CORE]);
+        let masked = BankIndex::build_filtered(&subject, IndexConfig::full(8), |p| p == 3);
+        let mut bytes = Vec::new();
+        oris_index::persist::write_index(&mut bytes, &masked, &oris_index::IndexMeta::default())
+            .unwrap();
+        // Forge: set flags bit 0 (offset 20) and restamp the trailing
+        // whole-stream checksum so the file parses.
+        bytes[20] |= 1;
+        let body = bytes.len() - 8;
+        let h = oris_index::persist::fnv1a(&bytes[..body]);
+        bytes[body..].copy_from_slice(&h.to_le_bytes());
+        let (forged, meta) = oris_index::persist::read_index(&mut bytes.as_slice()).unwrap();
+        assert!(forged.is_fully_indexed(), "forgery must have taken");
+        let err = PreparedBank::from_index(&subject, forged, &meta).unwrap_err();
+        assert!(err.contains("claims to be fully indexed"), "{err}");
+    }
+
+    #[test]
+    fn with_subject_rejects_mismatched_config() {
+        let subject = bank(&[CORE]);
+        let cfg = OrisConfig::small(8);
+        // Wrong word length.
+        let idx = BankIndex::build(&subject, IndexConfig::full(7));
+        let prep =
+            PreparedBank::from_index(&subject, idx, &oris_index::IndexMeta::default()).unwrap();
+        assert!(Session::with_subject(prep, &cfg).is_err());
+        // Wrong stride.
+        let idx = BankIndex::build(&subject, IndexConfig::asymmetric(8));
+        let prep =
+            PreparedBank::from_index(&subject, idx, &oris_index::IndexMeta::default()).unwrap();
+        assert!(Session::with_subject(prep, &cfg).is_err());
+        // Wrong filter: the index was prepared under Dust, the session
+        // wants None (OrisConfig::small) — accepting it would let the two
+        // strands search differently masked sequences.
+        let idx = BankIndex::build(&subject, IndexConfig::full(8));
+        let meta = oris_index::IndexMeta {
+            filter_code: FilterKind::Dust.code(),
+            ..Default::default()
+        };
+        let prep = PreparedBank::from_index(&subject, idx, &meta).unwrap();
+        let err = match Session::with_subject(prep, &cfg) {
+            Err(e) => e,
+            Ok(_) => panic!("filter mismatch must be rejected"),
+        };
+        assert!(err.contains("filter"), "{err}");
+        // Unknown filter code: refused at attach.
+        let idx = BankIndex::build(&subject, IndexConfig::full(8));
+        let meta = oris_index::IndexMeta {
+            filter_code: 99,
+            ..Default::default()
+        };
+        assert!(PreparedBank::from_index(&subject, idx, &meta).is_err());
+    }
+
+    #[test]
+    fn loaded_subject_session_matches_fresh_session() {
+        let subject = bank(&[&format!("CCGGAACCTT{CORE}TTGGCCAACGGT")]);
+        let query = bank(&[&format!("TT{CORE}GG")]);
+        let cfg = OrisConfig::small(8);
+
+        // "Load": serialize the subject index and read it back.
+        let fresh = PreparedBank::prepare(&subject, cfg.filter, cfg.subject_index_config());
+        let mut bytes = Vec::new();
+        oris_index::persist::write_index(
+            &mut bytes,
+            fresh.index(),
+            &oris_index::IndexMeta {
+                masked_fraction: fresh.stats().masked_fraction,
+                filter_code: cfg.filter.code(),
+                bank_hash: oris_index::persist::fnv1a(subject.data()),
+            },
+        )
+        .unwrap();
+        let (loaded, meta) = oris_index::persist::read_index(&mut bytes.as_slice()).unwrap();
+        let prep = PreparedBank::from_index(&subject, loaded, &meta).unwrap();
+        assert_eq!(prep.stats().builds, 0);
+
+        let loaded_session = Session::with_subject(prep, &cfg).unwrap();
+        let fresh_session = Session::new(&subject, &cfg).unwrap();
+        let a = loaded_session.run(&query);
+        let b = fresh_session.run(&query);
+        assert_eq!(a.alignments, b.alignments);
+        assert!(!a.alignments.is_empty());
+        assert_eq!(loaded_session.subject_stats().builds, 0);
+    }
+}

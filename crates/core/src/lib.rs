@@ -1,8 +1,37 @@
 //! # oris-core — the Ordered Index Seed (ORIS) pipeline
 //!
-//! The paper's primary contribution, structured exactly as its Figure 1:
+//! The paper's primary contribution, restructured around its *intensive
+//! comparison* premise: index construction is separated from query
+//! execution so one build amortizes over many comparisons.
 //!
-//! 1. **Step 1 — indexing** ([`pipeline`]): both banks are indexed with
+//! * [`engine::PreparedBank`] — a bank with its low-complexity mask
+//!   statistics and occurrence index, built **once** (or attached from an
+//!   index file written by `oris_index::persist`, skipping the build
+//!   entirely).
+//! * [`engine::Session`] — one prepared subject (both strands if
+//!   configured) plus the worker pool; any number of query banks run
+//!   against it without the subject ever being re-indexed.
+//! * [`compare_banks`] — the single-shot wrapper (one throwaway session,
+//!   one query) that keeps the original two-bank API; a `both_strands`
+//!   call now prepares each bank exactly once instead of rebuilding the
+//!   query per strand.
+//!
+//! ```no_run
+//! # let subject = oris_seqio::parse_fasta(">s\nACGT\n").unwrap();
+//! # let queries: Vec<oris_seqio::Bank> = vec![];
+//! use oris_core::{OrisConfig, Session};
+//!
+//! let cfg = OrisConfig::default();
+//! let session = Session::new(&subject, &cfg).unwrap(); // step 1, once
+//! for query in &queries {
+//!     let result = session.run(query); // steps 2–4 (+ query's step 1)
+//!     println!("{} alignments", result.alignments.len());
+//! }
+//! ```
+//!
+//! The pipeline itself is structured exactly as the paper's Figure 1:
+//!
+//! 1. **Step 1 — indexing** ([`engine`]): both banks are indexed with
 //!    the Figure-2 structure (`oris-index`), optionally after discarding
 //!    low-complexity words (`oris-dust`).
 //! 2. **Step 2 — hit extension** ([`step2`]): all `4^W` seeds are
@@ -32,6 +61,7 @@
 
 pub mod ablation;
 pub mod config;
+pub mod engine;
 pub mod hsp;
 pub mod pipeline;
 pub mod step2;
@@ -39,6 +69,7 @@ pub mod step3;
 pub mod step4;
 
 pub use config::{FilterKind, OrisConfig};
+pub use engine::{PrepareStats, PreparedBank, Session};
 pub use hsp::Hsp;
 pub use pipeline::{compare_banks, OrisResult, PipelineStats};
 

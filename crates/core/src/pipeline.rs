@@ -1,11 +1,14 @@
-//! The full 4-step ORIS pipeline (paper Figure 1).
+//! The full 4-step ORIS pipeline (paper Figure 1), expressed over
+//! prepared banks: step 1 lives in [`crate::engine`] (build-once), this
+//! module runs steps 2–4 against the prepared artifacts and merges
+//! strands. [`compare_banks`] is the single-shot wrapper that glues the
+//! two together.
 
-use oris_dust::{DustMasker, EntropyMasker, Masker};
 use oris_eval::M8Record;
-use oris_index::{BankIndex, IndexConfig};
 use oris_seqio::Bank;
 
-use crate::config::{FilterKind, OrisConfig};
+use crate::config::OrisConfig;
+use crate::engine::{PreparedBank, Session};
 use crate::step2::{self, Step2Stats};
 use crate::step3::{self, Step3Stats};
 use crate::step4::{self, Step4Stats};
@@ -13,8 +16,16 @@ use crate::step4::{self, Step4Stats};
 /// Timing and counter report for one pipeline run.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct PipelineStats {
-    /// Seconds spent in step 1 (masking + indexing).
+    /// Seconds spent in step 1 (masking + indexing) *for this result*.
+    /// A session run counts only its query's build here; the subject's
+    /// one-time cost is reported by `Session::subject_stats` (and folded
+    /// back in by the single-shot [`compare_banks`] wrapper).
     pub index_secs: f64,
+    /// Number of mask+index builds attributed to this result. A
+    /// `both_strands` [`compare_banks`] performs 3 (query once, subject
+    /// twice — one per strand); a session run performs 1 (its query);
+    /// `Session::run_prepared` performs 0.
+    pub index_builds: u32,
     /// Seconds spent in step 2 (hit extension).
     pub step2_secs: f64,
     /// Seconds spent in step 3 (gapped extension).
@@ -55,67 +66,34 @@ pub struct OrisResult {
     pub stats: PipelineStats,
 }
 
-fn mask_for(filter: FilterKind, bank: &Bank) -> Option<oris_dust::MaskSet> {
-    match filter {
-        FilterKind::None => None,
-        FilterKind::Entropy => Some(EntropyMasker::default().mask_bank(bank)),
-        FilterKind::Dust => Some(DustMasker::default().mask_bank(bank)),
-    }
-}
-
-fn build_index(bank: &Bank, cfg: IndexConfig, mask: &Option<oris_dust::MaskSet>) -> BankIndex {
-    match mask {
-        Some(m) => {
-            // BLAST masking semantics: discard a word when it *overlaps*
-            // a masked region (not only when it starts inside one).
-            let dilated = m.dilated_left(cfg.w);
-            BankIndex::build_filtered(bank, cfg, |p| dilated.contains(p))
-        }
-        None => BankIndex::build(bank, cfg),
-    }
-}
-
 /// Which subject strand a pipeline run searches. `Minus` means `bank2`
 /// is the reverse complement of the original subject bank and step 4 maps
 /// subject coordinates back to the original records (`sstart > send`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum SubjectStrand {
+pub(crate) enum SubjectStrand {
     Plus,
     Minus,
 }
 
-fn run_pipeline(bank1: &Bank, bank2: &Bank, cfg: &OrisConfig, strand: SubjectStrand) -> OrisResult {
+/// Steps 2–4 against prepared banks. Step 1 does not run here: the
+/// report's step-1 fields describe the prepared artifacts (masked
+/// fractions, resident index bytes) with zero build time and zero builds.
+pub(crate) fn run_prepared_pipeline(
+    query: &PreparedBank<'_>,
+    subject: &PreparedBank<'_>,
+    cfg: &OrisConfig,
+    strand: SubjectStrand,
+) -> OrisResult {
     let mut stats = PipelineStats::default();
-
-    // ---- Step 1: masking + indexing ------------------------------------
-    let t0 = std::time::Instant::now();
-    let w = cfg.indexed_w();
-    let icfg1 = IndexConfig::full(w);
-    let icfg2 = if cfg.asymmetric {
-        IndexConfig::asymmetric(w)
-    } else {
-        IndexConfig::full(w)
-    };
-    let ((mask1, idx1), (mask2, idx2)) = rayon::join(
-        || {
-            let m = mask_for(cfg.filter, bank1);
-            let i = build_index(bank1, icfg1, &m);
-            (m, i)
-        },
-        || {
-            let m = mask_for(cfg.filter, bank2);
-            let i = build_index(bank2, icfg2, &m);
-            (m, i)
-        },
-    );
-    stats.masked_fraction1 = mask1.as_ref().map_or(0.0, |m| m.masked_fraction());
-    stats.masked_fraction2 = mask2.as_ref().map_or(0.0, |m| m.masked_fraction());
+    let (bank1, idx1) = (query.bank(), query.index());
+    let (bank2, idx2) = (subject.bank(), subject.index());
+    stats.masked_fraction1 = query.stats().masked_fraction;
+    stats.masked_fraction2 = subject.stats().masked_fraction;
     stats.index_bytes = idx1.heap_bytes() + idx2.heap_bytes();
-    stats.index_secs = t0.elapsed().as_secs_f64();
 
     // ---- Step 2: ordered hit extension ----------------------------------
     let t0 = std::time::Instant::now();
-    let (hsps, s2) = step2::find_hsps(bank1, &idx1, bank2, &idx2, cfg);
+    let (hsps, s2) = step2::find_hsps(bank1, idx1, bank2, idx2, cfg);
     stats.hsps = hsps.len();
     stats.step2 = s2;
     stats.step2_secs = t0.elapsed().as_secs_f64();
@@ -149,7 +127,7 @@ fn run_pipeline(bank1: &Bank, bank2: &Bank, cfg: &OrisConfig, strand: SubjectStr
 /// Merges plus- and minus-strand runs into one e-value-sorted result.
 /// Minus-strand records already carry original subject coordinates
 /// (`sstart > send`) — see `SubjectStrand::Minus`.
-fn merge_strands(mut plus: OrisResult, mut minus: OrisResult) -> OrisResult {
+pub(crate) fn merge_strands(mut plus: OrisResult, mut minus: OrisResult) -> OrisResult {
     let mut alignments = plus.alignments;
     alignments.append(&mut minus.alignments);
     // total_cmp, not partial_cmp().unwrap(): a NaN e-value (degenerate
@@ -165,6 +143,7 @@ fn merge_strands(mut plus: OrisResult, mut minus: OrisResult) -> OrisResult {
     });
     let s = &minus.stats;
     plus.stats.index_secs += s.index_secs;
+    plus.stats.index_builds += s.index_builds;
     plus.stats.step2_secs += s.step2_secs;
     plus.stats.step3_secs += s.step3_secs;
     plus.stats.step4_secs += s.step4_secs;
@@ -190,11 +169,19 @@ fn merge_strands(mut plus: OrisResult, mut minus: OrisResult) -> OrisResult {
 
 /// Compares two banks with the ORIS algorithm.
 ///
-/// This is the library's main entry point — the equivalent of running the
-/// SCORIS-N prototype on two FASTA banks. `cfg.threads` selects the worker
-/// count (a dedicated rayon pool); `None` uses the global pool. With
-/// `cfg.both_strands` the complementary strand of bank 2 is searched too
-/// (minus-strand records carry `sstart > send`, BLAST style).
+/// This is the library's single-shot entry point — the equivalent of
+/// running the SCORIS-N prototype on two FASTA banks — implemented as a
+/// thin wrapper over a one-query [`Session`]: bank 2 is prepared once
+/// (both strands when `cfg.both_strands`, so a dual-strand run no longer
+/// rebuilds bank 1's mask+index a second time), bank 1 once, and the
+/// subject's preparation cost is folded back into the returned stats so
+/// the report covers the whole call. For *many* queries against one
+/// subject, hold a [`Session`] instead and pay the subject build once.
+///
+/// `cfg.threads` selects the worker count (a dedicated rayon pool);
+/// `None` uses the global pool. With `cfg.both_strands` the complementary
+/// strand of bank 2 is searched too (minus-strand records carry
+/// `sstart > send`, BLAST style).
 ///
 /// # Panics
 /// Panics if the configuration fails [`OrisConfig::validate`].
@@ -202,28 +189,22 @@ pub fn compare_banks(bank1: &Bank, bank2: &Bank, cfg: &OrisConfig) -> OrisResult
     if let Err(e) = cfg.validate() {
         panic!("invalid ORIS configuration: {e}");
     }
-    let run = |b2: &Bank, strand: SubjectStrand| match cfg.threads {
-        None => run_pipeline(bank1, b2, cfg, strand),
-        Some(n) => {
-            let pool = rayon::ThreadPoolBuilder::new()
-                .num_threads(n)
-                .build()
-                .expect("failed to build thread pool");
-            pool.install(|| run_pipeline(bank1, b2, cfg, strand))
-        }
-    };
-    let plus = run(bank2, SubjectStrand::Plus);
-    if !cfg.both_strands {
-        return plus;
-    }
-    let rc = bank2.reverse_complement();
-    let minus = run(&rc, SubjectStrand::Minus);
-    merge_strands(plus, minus)
+    // Subject strands and query are prepared concurrently (the step-1
+    // parallelism the per-call pipeline had), so index_secs sums per-bank
+    // build seconds that may overlap in wall-clock.
+    let (session, query) = Session::new_with_query(bank2, bank1, cfg)
+        .unwrap_or_else(|e| panic!("failed to start comparison session: {e}"));
+    let mut r = session.run_prepared(&query);
+    let subject = session.subject_stats();
+    r.stats.index_secs += query.stats().build_secs + subject.build_secs;
+    r.stats.index_builds += query.stats().builds + subject.builds;
+    r
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::FilterKind;
     use oris_seqio::BankBuilder;
 
     fn bank(seqs: &[&str]) -> Bank {
@@ -332,6 +313,7 @@ mod tests {
 #[cfg(test)]
 mod strand_tests {
     use super::*;
+    use crate::config::FilterKind;
     use oris_seqio::BankBuilder;
 
     fn bank(seqs: &[&str]) -> Bank {
@@ -497,6 +479,23 @@ mod strand_tests {
         let q = b1.sequence_string(0);
         let q_slice = &q[a.qstart - 1..a.qend];
         assert_eq!(revcomp(plus_slice), q_slice);
+    }
+
+    #[test]
+    fn both_strands_builds_query_index_exactly_once() {
+        // The prepared-bank engine's accounting: a single-strand compare
+        // builds two indexes (query + subject); a both-strands compare
+        // builds three (query ONCE, subject once per strand) — not the
+        // four the per-strand pipeline used to pay.
+        let core = "ATGGCGTACGTTAGCCTAGGCTTAACGGATCG";
+        let b1 = bank(&[core]);
+        let b2 = bank(&[&format!("TT{core}AA{}GG", revcomp(core))]);
+        let mut cfg = OrisConfig::small(8);
+        let single = compare_banks(&b1, &b2, &cfg);
+        assert_eq!(single.stats.index_builds, 2);
+        cfg.both_strands = true;
+        let both = compare_banks(&b1, &b2, &cfg);
+        assert_eq!(both.stats.index_builds, 3);
     }
 
     #[test]

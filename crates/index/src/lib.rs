@@ -1,6 +1,10 @@
 //! # oris-index — seed coding and the ordered bank index
 //!
-//! This crate implements section 2.1 of the paper:
+//! This crate implements section 2.1 of the paper, built around the
+//! *build-once* premise of intensive comparison: a [`BankIndex`] is
+//! constructed once per bank and then amortized over many step-2 runs —
+//! within a process (see `oris-core`'s `Session`) or across processes via
+//! the versioned on-disk format in [`persist`].
 //!
 //! * [`SeedCoder`]: the `codeSEED` function mapping a W-nucleotide word to an
 //!   integer in `0..4^W`, with O(1) rolling updates in both directions. The
@@ -11,7 +15,14 @@
 //!   `positions` array — so `occurrences(code)` is a sorted `&[u32]` slice,
 //!   `count` is O(1), and step 2 streams postings instead of chasing the
 //!   paper's `int *INDEX` chains (see `structure` module docs for the
-//!   memory model).
+//!   memory model). Construction is a radix-partitioned counting sort by
+//!   default ([`BuildStrategy`]): codes are partitioned by high bits and
+//!   each partition prefix-sums its own offsets stretch, so a small bank
+//!   no longer pays a serial sweep over all `4^W` slots.
+//! * [`persist`]: the on-disk index format (magic + version + config +
+//!   little-endian array sections). A loaded index is behaviourally
+//!   identical to a fresh build, including the `is_fully_indexed`
+//!   provenance that drives step 2's guard auto-selection.
 //! * [`LinkedBankIndex`]: the literal linked layout of Figure 2, retained
 //!   as a benchmark baseline for the layout comparison.
 //! * Asymmetric indexing (section 3.4): index only every other W-mer of one
@@ -24,10 +35,12 @@
 
 pub mod linked;
 pub mod mask;
+pub mod persist;
 pub mod seedcode;
 pub mod structure;
 
 pub use linked::LinkedBankIndex;
 pub use mask::MaskSet;
+pub use persist::{read_index_file, write_index_file, IndexMeta, PersistError};
 pub use seedcode::{RollingCoder, SeedCoder, MAX_SEED_LEN};
-pub use structure::{BankIndex, IndexConfig, IndexStats};
+pub use structure::{BankIndex, BuildStrategy, IndexConfig, IndexStats};

@@ -21,6 +21,28 @@ impl MaskSet {
         }
     }
 
+    /// Rebuilds a mask from its raw bit words (the persistence path).
+    ///
+    /// Validates the [`MaskSet::words`] invariants: exactly
+    /// `len.div_ceil(64)` words, with every bit at or beyond `len` clear.
+    /// The masked count is recomputed from the words. Returns `None` on
+    /// violation instead of constructing a set whose word-cursor guard
+    /// walks would read garbage.
+    pub(crate) fn from_raw_words(bits: Vec<u64>, len: usize) -> Option<MaskSet> {
+        if bits.len() != len.div_ceil(64) {
+            return None;
+        }
+        if !len.is_multiple_of(64) {
+            if let Some(last) = bits.last() {
+                if last >> (len % 64) != 0 {
+                    return None;
+                }
+            }
+        }
+        let masked = bits.iter().map(|w| w.count_ones() as usize).sum();
+        Some(MaskSet { bits, len, masked })
+    }
+
     /// Number of addressable positions.
     pub fn len(&self) -> usize {
         self.len

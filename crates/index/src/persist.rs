@@ -1,0 +1,666 @@
+//! Versioned on-disk format for the CSR bank index.
+//!
+//! The paper's premise is *intensive* comparison: one bank is indexed once
+//! and amortized over a large stream of comparisons. This module makes the
+//! amortization cross *processes*, not just calls — `mkindex` writes the
+//! index of a subject bank to a file, `scoris-n --index` (or any embedder
+//! via [`read_index_file`]) loads it back in one sequential read and skips
+//! step 1 entirely. A loaded index is behaviourally identical to a fresh
+//! build: same `occurrences()` slices, same `stats()`, and the same
+//! [`BankIndex::is_fully_indexed`] provenance, so step 2's guard
+//! auto-selection makes the same choice it would have made in memory.
+//!
+//! ## Format (version 1, all integers little-endian)
+//!
+//! ```text
+//! magic             8 B   "ORISIDX\0"
+//! version           u32   1
+//! w                 u32   seed length
+//! stride            u32   sampling stride (1 = full, 2 = asymmetric)
+//! flags             u32   bit 0 = fully_indexed; other bits reserved (must be 0)
+//! bank_len          u64   global coordinate space of the bank
+//! masked_fraction   f64   fraction of bank positions the filter masked
+//! filter_code       u32   caller-defined filter tag (see [`IndexMeta`])
+//! bank_hash         u64   FNV-1a of the bank data (0 = not recorded)
+//! num_offsets       u64   must equal 4^w + 1
+//! num_positions     u64   number of postings
+//! num_bitset_words  u64   must equal bank_len.div_ceil(64)
+//! offsets           num_offsets × u32
+//! positions         num_positions × u32
+//! bitset            num_bitset_words × u64
+//! checksum          u64   FNV-1a of every preceding byte of the stream
+//! ```
+//!
+//! `masked_fraction` and `filter_code` describe how the index was
+//! *prepared* (the mask itself is not persisted — steps 2–4 never consult
+//! it), so a loader can refuse an index built under a different filter and
+//! still report faithful masking statistics. `bank_hash` identifies the
+//! *sequence data* the index was built over — `oris-core` refuses to
+//! attach a loaded index to a bank whose content hash differs, catching
+//! the stale-index trap (bank edited after `mkindex`, same length).
+//!
+//! ## Robustness
+//!
+//! [`read_index`] must never panic on hostile input: every header field is
+//! validated before it sizes an allocation, sections are read through
+//! bounded `take` readers (a truncated file errors out instead of
+//! over-allocating), and the reassembled arrays go through the same
+//! structural validation (`offsets` monotonicity, row ordering, bit-set
+//! agreement) that protects step 2 from a corrupt index. The trailing
+//! whole-stream checksum catches the corruptions structural validation
+//! cannot — a flipped provenance flag, a perturbed position that still
+//! happens to satisfy every invariant — so no random corruption can
+//! silently change step 2's behaviour. Wrong magic, unknown version,
+//! reserved flags, truncation, checksum mismatch and trailing bytes are
+//! all distinct, typed errors. (A deliberately *crafted* file with a
+//! recomputed checksum is outside this threat model; the one crafted lie
+//! that could change output — a false `fully_indexed` claim — is
+//! re-verified against the bank when the index is attached, see
+//! `oris_core::PreparedBank::from_index`.)
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::mask::MaskSet;
+use crate::seedcode::MAX_SEED_LEN;
+use crate::structure::BankIndex;
+
+/// File magic, first 8 bytes of every index file.
+pub const MAGIC: [u8; 8] = *b"ORISIDX\0";
+
+/// Current (and only) format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Preparation provenance stored alongside the index arrays.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct IndexMeta {
+    /// Fraction of bank positions the low-complexity filter masked when
+    /// the index was built (0.0 when unfiltered).
+    pub masked_fraction: f64,
+    /// Caller-defined tag for the filter that produced the mask. The
+    /// format does not interpret it; `oris-core` stores its `FilterKind`
+    /// here so a loader can refuse an index prepared under a different
+    /// filter than the run requests.
+    pub filter_code: u32,
+    /// [`fnv1a`] hash of the bank data the index was built over, or 0
+    /// when not recorded. A loader that holds the bank should refuse the
+    /// index when the hashes differ — same length is not same content.
+    pub bank_hash: u64,
+}
+
+/// FNV-1a 64-bit hash — the content fingerprint used for
+/// [`IndexMeta::bank_hash`] and the file checksum. Not cryptographic;
+/// it detects accidents, not adversaries.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    fnv1a_fold(FNV_OFFSET_BASIS, bytes)
+}
+
+const FNV_OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// One FNV-1a folding step over a byte run — the single definition the
+/// plain hash and both streaming wrappers share.
+fn fnv1a_fold(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Forwards writes while folding every byte into an FNV-1a state, so the
+/// trailing checksum covers the exact stream written.
+struct HashingWriter<'w, W: Write> {
+    inner: &'w mut W,
+    hash: u64,
+}
+
+impl<W: Write> Write for HashingWriter<'_, W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.hash = fnv1a_fold(self.hash, &buf[..n]);
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// Forwards reads while folding every byte into an FNV-1a state, so the
+/// checksum can be verified without buffering the whole file.
+struct HashingReader<'r, R: Read> {
+    inner: &'r mut R,
+    hash: u64,
+}
+
+impl<R: Read> Read for HashingReader<'_, R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.hash = fnv1a_fold(self.hash, &buf[..n]);
+        Ok(n)
+    }
+}
+
+/// Why an index file could not be loaded.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The file does not start with [`MAGIC`].
+    BadMagic,
+    /// The file's format version is not [`FORMAT_VERSION`].
+    UnsupportedVersion(u32),
+    /// The file is structurally invalid (truncated, inconsistent counts,
+    /// or arrays violating an index invariant).
+    Corrupt(String),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "i/o error: {e}"),
+            PersistError::BadMagic => write!(f, "not an ORIS index file (bad magic)"),
+            PersistError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported index format version {v} (expected {FORMAT_VERSION})"
+                )
+            }
+            PersistError::Corrupt(msg) => write!(f, "corrupt index file: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<io::Error> for PersistError {
+    fn from(e: io::Error) -> PersistError {
+        // A short read mid-structure means the file is cut off, not that
+        // the device failed — classify it as corruption.
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            PersistError::Corrupt("truncated file".into())
+        } else {
+            PersistError::Io(e)
+        }
+    }
+}
+
+/// Serializes `idx` (with its preparation provenance) to `out`, ending
+/// with the whole-stream checksum.
+pub fn write_index(out: &mut impl Write, idx: &BankIndex, meta: &IndexMeta) -> io::Result<()> {
+    let mut out = HashingWriter {
+        inner: out,
+        hash: FNV_OFFSET_BASIS,
+    };
+    out.write_all(&MAGIC)?;
+    out.write_all(&FORMAT_VERSION.to_le_bytes())?;
+    out.write_all(&(idx.w() as u32).to_le_bytes())?;
+    out.write_all(&(idx.stride() as u32).to_le_bytes())?;
+    out.write_all(&(idx.is_fully_indexed() as u32).to_le_bytes())?;
+    out.write_all(&(idx.bank_len() as u64).to_le_bytes())?;
+    out.write_all(&meta.masked_fraction.to_le_bytes())?;
+    out.write_all(&meta.filter_code.to_le_bytes())?;
+    out.write_all(&meta.bank_hash.to_le_bytes())?;
+    out.write_all(&(idx.offsets().len() as u64).to_le_bytes())?;
+    out.write_all(&(idx.positions().len() as u64).to_le_bytes())?;
+    let words = idx.indexed_words();
+    out.write_all(&(words.len() as u64).to_le_bytes())?;
+    write_u32_section(&mut out, idx.offsets())?;
+    write_u32_section(&mut out, idx.positions())?;
+    write_u64_section(&mut out, words)?;
+    // The checksum itself is written to the inner stream, outside its own
+    // coverage.
+    let checksum = out.hash;
+    out.inner.write_all(&checksum.to_le_bytes())
+}
+
+/// Scalars encoded per chunk of section output — one `write_all` per
+/// ~64 KiB instead of one per scalar (the offsets section alone is
+/// `4^W + 1` entries).
+const SECTION_CHUNK: usize = 16 * 1024;
+
+fn write_u32_section(out: &mut impl Write, values: &[u32]) -> io::Result<()> {
+    let mut buf = Vec::with_capacity(SECTION_CHUNK.min(values.len()) * 4);
+    for chunk in values.chunks(SECTION_CHUNK) {
+        buf.clear();
+        for &v in chunk {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        out.write_all(&buf)?;
+    }
+    Ok(())
+}
+
+fn write_u64_section(out: &mut impl Write, values: &[u64]) -> io::Result<()> {
+    let mut buf = Vec::with_capacity(SECTION_CHUNK.min(values.len()) * 8);
+    for chunk in values.chunks(SECTION_CHUNK) {
+        buf.clear();
+        for &v in chunk {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        out.write_all(&buf)?;
+    }
+    Ok(())
+}
+
+fn read_array<const B: usize>(r: &mut impl Read) -> Result<[u8; B], PersistError> {
+    let mut buf = [0u8; B];
+    r.read_exact(&mut buf)?;
+    Ok(buf)
+}
+
+fn read_u32(r: &mut impl Read) -> Result<u32, PersistError> {
+    Ok(u32::from_le_bytes(read_array::<4>(r)?))
+}
+
+fn read_u64(r: &mut impl Read) -> Result<u64, PersistError> {
+    Ok(u64::from_le_bytes(read_array::<8>(r)?))
+}
+
+fn read_f64(r: &mut impl Read) -> Result<f64, PersistError> {
+    Ok(f64::from_le_bytes(read_array::<8>(r)?))
+}
+
+/// Reads exactly `count` little-endian scalars of `S` bytes through a
+/// bounded reader: allocation grows with the bytes actually present, so a
+/// header lying about a section size cannot force a huge up-front
+/// allocation — a short section is reported as truncation.
+fn read_section<const S: usize, T>(
+    r: &mut impl Read,
+    count: usize,
+    decode: impl Fn([u8; S]) -> T,
+) -> Result<Vec<T>, PersistError> {
+    let bytes = (count as u64) * (S as u64);
+    let mut raw = Vec::new();
+    r.take(bytes)
+        .read_to_end(&mut raw)
+        .map_err(PersistError::from)?;
+    if (raw.len() as u64) < bytes {
+        return Err(PersistError::Corrupt("truncated file".into()));
+    }
+    Ok(raw
+        .chunks_exact(S)
+        .map(|c| decode(c.try_into().expect("chunk size")))
+        .collect())
+}
+
+/// Deserializes an index written by [`write_index`], validating every
+/// structural invariant and the trailing checksum. Never panics on
+/// malformed input.
+pub fn read_index(r: &mut impl Read) -> Result<(BankIndex, IndexMeta), PersistError> {
+    let mut hashing = HashingReader {
+        inner: r,
+        hash: FNV_OFFSET_BASIS,
+    };
+    let r = &mut hashing;
+    let magic = read_array::<8>(r)?;
+    if magic != MAGIC {
+        return Err(PersistError::BadMagic);
+    }
+    let version = read_u32(r)?;
+    if version != FORMAT_VERSION {
+        return Err(PersistError::UnsupportedVersion(version));
+    }
+    let w = read_u32(r)? as usize;
+    if !(1..=MAX_SEED_LEN).contains(&w) {
+        return Err(PersistError::Corrupt(format!(
+            "seed length {w} outside 1..={MAX_SEED_LEN}"
+        )));
+    }
+    let stride = read_u32(r)? as usize;
+    if stride == 0 {
+        return Err(PersistError::Corrupt("stride must be at least 1".into()));
+    }
+    let flags = read_u32(r)?;
+    if flags & !1 != 0 {
+        return Err(PersistError::Corrupt(format!(
+            "reserved flag bits set ({flags:#x})"
+        )));
+    }
+    let fully_indexed = flags & 1 != 0;
+    let bank_len = read_u64(r)?;
+    if bank_len >= u32::MAX as u64 {
+        return Err(PersistError::Corrupt(format!(
+            "bank length {bank_len} exceeds u32 position space"
+        )));
+    }
+    let bank_len = bank_len as usize;
+    let masked_fraction = read_f64(r)?;
+    if !(0.0..=1.0).contains(&masked_fraction) {
+        return Err(PersistError::Corrupt(format!(
+            "masked fraction {masked_fraction} outside [0, 1]"
+        )));
+    }
+    let filter_code = read_u32(r)?;
+    let bank_hash = read_u64(r)?;
+
+    let num_offsets = read_u64(r)?;
+    let expected_offsets = (1u64 << (2 * w)) + 1;
+    if num_offsets != expected_offsets {
+        return Err(PersistError::Corrupt(format!(
+            "offsets section has {num_offsets} slots, expected 4^{w} + 1 = {expected_offsets}"
+        )));
+    }
+    let num_positions = read_u64(r)?;
+    if num_positions > bank_len as u64 {
+        return Err(PersistError::Corrupt(format!(
+            "{num_positions} postings for a bank of {bank_len} positions"
+        )));
+    }
+    let num_words = read_u64(r)?;
+    if num_words != bank_len.div_ceil(64) as u64 {
+        return Err(PersistError::Corrupt(format!(
+            "bit-set section has {num_words} words, expected {}",
+            bank_len.div_ceil(64)
+        )));
+    }
+
+    let offsets = read_section::<4, u32>(r, num_offsets as usize, u32::from_le_bytes)?;
+    let positions = read_section::<4, u32>(r, num_positions as usize, u32::from_le_bytes)?;
+    let words = read_section::<8, u64>(r, num_words as usize, u64::from_le_bytes)?;
+    let indexed = MaskSet::from_raw_words(words, bank_len)
+        .ok_or_else(|| PersistError::Corrupt("bit-set has bits beyond the bank length".into()))?;
+
+    // Verify the whole-stream checksum before trusting the arrays: a
+    // flipped bit that survived every structural check (a provenance
+    // flag, a position that is still sorted and in-bank) is caught here.
+    let running = hashing.hash;
+    let stored = u64::from_le_bytes(read_array::<8>(hashing.inner)?);
+    if stored != running {
+        return Err(PersistError::Corrupt(format!(
+            "checksum mismatch (stored {stored:#018x}, computed {running:#018x})"
+        )));
+    }
+
+    let index = BankIndex::from_raw_parts(
+        w,
+        stride,
+        offsets,
+        positions,
+        indexed,
+        fully_indexed,
+        bank_len,
+    )
+    .map_err(PersistError::Corrupt)?;
+    Ok((
+        index,
+        IndexMeta {
+            masked_fraction,
+            filter_code,
+            bank_hash,
+        },
+    ))
+}
+
+/// Writes `idx` to a new file at `path` (buffered).
+pub fn write_index_file(
+    path: impl AsRef<Path>,
+    idx: &BankIndex,
+    meta: &IndexMeta,
+) -> io::Result<()> {
+    let mut out = BufWriter::new(File::create(path)?);
+    write_index(&mut out, idx, meta)?;
+    out.flush()
+}
+
+/// Loads an index file written by [`write_index_file`]. Trailing bytes
+/// after the last section are rejected — an index file contains exactly
+/// one index.
+pub fn read_index_file(path: impl AsRef<Path>) -> Result<(BankIndex, IndexMeta), PersistError> {
+    let mut r = BufReader::new(File::open(path).map_err(PersistError::Io)?);
+    let result = read_index(&mut r)?;
+    let mut probe = [0u8; 1];
+    match r.read(&mut probe) {
+        Ok(0) => Ok(result),
+        Ok(_) => Err(PersistError::Corrupt(
+            "trailing bytes after the index".into(),
+        )),
+        Err(e) => Err(PersistError::Io(e)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::structure::{BuildStrategy, IndexConfig};
+    use oris_seqio::{Bank, BankBuilder};
+    use proptest::prelude::*;
+
+    fn bank_of(seqs: &[&str]) -> Bank {
+        let mut b = BankBuilder::new();
+        for (i, s) in seqs.iter().enumerate() {
+            b.push_str(&format!("s{i}"), s).unwrap();
+        }
+        b.finish()
+    }
+
+    fn to_bytes(idx: &BankIndex, meta: &IndexMeta) -> Vec<u8> {
+        let mut buf = Vec::new();
+        write_index(&mut buf, idx, meta).unwrap();
+        buf
+    }
+
+    /// Recomputes the trailing whole-stream checksum after a deliberate
+    /// corruption, so tests can reach the validation layers behind it.
+    fn restamp_checksum(bytes: &mut [u8]) {
+        let body = bytes.len() - 8;
+        let h = fnv1a(&bytes[..body]);
+        bytes[body..].copy_from_slice(&h.to_le_bytes());
+    }
+
+    fn assert_same_index(a: &BankIndex, b: &BankIndex) {
+        assert_eq!(a.w(), b.w());
+        assert_eq!(a.stride(), b.stride());
+        assert_eq!(a.offsets(), b.offsets());
+        assert_eq!(a.positions(), b.positions());
+        assert_eq!(a.indexed_words(), b.indexed_words());
+        assert_eq!(a.is_fully_indexed(), b.is_fully_indexed());
+        assert_eq!(a.bank_len(), b.bank_len());
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn roundtrip_full_build() {
+        let bank = bank_of(&["ACGTACGTTTGGCCAAACGTNACGT", "TTGGCCAA"]);
+        let idx = BankIndex::build(&bank, IndexConfig::full(4));
+        let meta = IndexMeta {
+            masked_fraction: 0.0,
+            filter_code: 1,
+            bank_hash: fnv1a(bank.data()),
+        };
+        let bytes = to_bytes(&idx, &meta);
+        let (loaded, lmeta) = read_index(&mut bytes.as_slice()).unwrap();
+        assert_same_index(&idx, &loaded);
+        assert_eq!(meta, lmeta);
+        assert!(loaded.is_fully_indexed());
+    }
+
+    #[test]
+    fn roundtrip_masked_and_strided() {
+        let bank = bank_of(&[&"ACGTTGCA".repeat(50)]);
+        for (idx, frac) in [
+            (
+                BankIndex::build_filtered(&bank, IndexConfig::full(5), |p| p % 7 == 0),
+                0.25,
+            ),
+            (BankIndex::build(&bank, IndexConfig::asymmetric(5)), 0.0),
+        ] {
+            let meta = IndexMeta {
+                masked_fraction: frac,
+                filter_code: 2,
+                bank_hash: fnv1a(bank.data()),
+            };
+            let bytes = to_bytes(&idx, &meta);
+            let (loaded, lmeta) = read_index(&mut bytes.as_slice()).unwrap();
+            assert_same_index(&idx, &loaded);
+            assert_eq!(meta, lmeta);
+            assert!(!loaded.is_fully_indexed());
+        }
+    }
+
+    #[test]
+    fn roundtrip_empty_bank() {
+        let bank = Bank::empty();
+        let idx = BankIndex::build(&bank, IndexConfig::full(3));
+        let bytes = to_bytes(&idx, &IndexMeta::default());
+        let (loaded, _) = read_index(&mut bytes.as_slice()).unwrap();
+        assert_same_index(&idx, &loaded);
+    }
+
+    #[test]
+    fn every_truncation_errors() {
+        let bank = bank_of(&["ACGTACGTACGTTTGG"]);
+        let idx = BankIndex::build(&bank, IndexConfig::full(3));
+        let bytes = to_bytes(&idx, &IndexMeta::default());
+        for cut in 0..bytes.len() {
+            let err = read_index(&mut &bytes[..cut]);
+            assert!(err.is_err(), "prefix of {cut} bytes must not parse");
+        }
+    }
+
+    #[test]
+    fn wrong_magic_errors() {
+        let bank = bank_of(&["ACGTACGT"]);
+        let idx = BankIndex::build(&bank, IndexConfig::full(3));
+        let mut bytes = to_bytes(&idx, &IndexMeta::default());
+        bytes[0] ^= 0xff;
+        assert!(matches!(
+            read_index(&mut bytes.as_slice()),
+            Err(PersistError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn wrong_version_errors() {
+        let bank = bank_of(&["ACGTACGT"]);
+        let idx = BankIndex::build(&bank, IndexConfig::full(3));
+        let mut bytes = to_bytes(&idx, &IndexMeta::default());
+        bytes[8] = 99; // version field
+        assert!(matches!(
+            read_index(&mut bytes.as_slice()),
+            Err(PersistError::UnsupportedVersion(99))
+        ));
+    }
+
+    #[test]
+    fn reserved_flags_error() {
+        let bank = bank_of(&["ACGTACGT"]);
+        let idx = BankIndex::build(&bank, IndexConfig::full(3));
+        let mut bytes = to_bytes(&idx, &IndexMeta::default());
+        bytes[20] |= 0x80; // flags field (magic 8 + version 4 + w 4 + stride 4), a reserved bit
+        assert!(matches!(
+            read_index(&mut bytes.as_slice()),
+            Err(PersistError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn corrupt_offsets_error() {
+        let bank = bank_of(&["ACGTACGTACGT"]);
+        let idx = BankIndex::build(&bank, IndexConfig::full(3));
+        let bytes = to_bytes(&idx, &IndexMeta::default());
+        // Header is 8 + 4*4 + 8 + 8 + 4 + 8 + 3*8 = 76 bytes; offsets
+        // follow. Overwrite the first offset slot with a huge value AND
+        // recompute the trailing checksum, so it is the structural
+        // validation (offsets[0] == 0) that must trip, not the checksum.
+        let mut corrupt = bytes.clone();
+        corrupt[76..80].copy_from_slice(&u32::MAX.to_le_bytes());
+        restamp_checksum(&mut corrupt);
+        assert!(matches!(
+            read_index(&mut corrupt.as_slice()),
+            Err(PersistError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn flipped_provenance_flag_is_caught() {
+        // The dangerous single-bit corruption: flipping the fully_indexed
+        // flag passes every structural check (the arrays are untouched)
+        // but would silently switch step 2 onto the probe-free guard —
+        // the whole-stream checksum must catch it.
+        let bank = bank_of(&["ACGTACGTACGTTTGG"]);
+        let idx = BankIndex::build_filtered(&bank, IndexConfig::full(3), |p| p == 2);
+        assert!(!idx.is_fully_indexed());
+        let mut bytes = to_bytes(&idx, &IndexMeta::default());
+        bytes[20] ^= 1; // flags bit 0
+        assert!(matches!(
+            read_index(&mut bytes.as_slice()),
+            Err(PersistError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn payload_bit_flip_is_caught_by_checksum() {
+        // A position perturbed inside the postings can satisfy every
+        // structural invariant; the checksum still rejects the file.
+        let bank = bank_of(&["ACGTACGTACGTTTGGCCAA"]);
+        let idx = BankIndex::build(&bank, IndexConfig::full(4));
+        let clean = to_bytes(&idx, &IndexMeta::default());
+        let mut tainted = clean.clone();
+        let mid = clean.len() - 16; // inside the bitset section
+        tainted[mid] ^= 0x10;
+        assert!(read_index(&mut tainted.as_slice()).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip_and_trailing_bytes() {
+        let bank = bank_of(&["ACGTACGTTTGGCCAA"]);
+        let idx = BankIndex::build(&bank, IndexConfig::full(4));
+        let dir = std::env::temp_dir().join("oris_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.oidx");
+        write_index_file(&path, &idx, &IndexMeta::default()).unwrap();
+        let (loaded, _) = read_index_file(&path).unwrap();
+        assert_same_index(&idx, &loaded);
+
+        // The same file with junk appended must be rejected.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.push(0);
+        let tainted = dir.join("trailing.oidx");
+        std::fs::write(&tainted, &bytes).unwrap();
+        assert!(matches!(
+            read_index_file(&tainted),
+            Err(PersistError::Corrupt(_))
+        ));
+    }
+
+    proptest! {
+        /// Serialize → deserialize round-trips to an identical index for
+        /// random banks, seed lengths, strides and masks — `occurrences()`
+        /// slices, `stats()` and `is_fully_indexed` all agree — and both
+        /// build strategies persist identically.
+        #[test]
+        fn roundtrip_preserves_everything(
+            seqs in proptest::collection::vec("[ACGTN]{0,60}", 1..4),
+            w in 2usize..7,
+            stride in 1usize..3,
+            mask_mod in 1usize..9,
+        ) {
+            let refs: Vec<&str> = seqs.iter().map(|s| s.as_str()).collect();
+            let bank = bank_of(&refs);
+            let cfg = IndexConfig { w, stride };
+            // mask_mod == 1 masks nothing (p % 1 == 0 would mask all);
+            // use it as the unmasked case.
+            let masked = |p: usize| mask_mod > 1 && p.is_multiple_of(mask_mod);
+            let idx = BankIndex::build_filtered(&bank, cfg, masked);
+            let sweep = BankIndex::build_filtered_with(
+                &bank, cfg, masked, BuildStrategy::FullSweep,
+            );
+            let meta = IndexMeta { masked_fraction: 0.5, filter_code: 3, bank_hash: 7 };
+
+            let bytes = to_bytes(&idx, &meta);
+            prop_assert_eq!(&bytes, &to_bytes(&sweep, &meta));
+            let (loaded, lmeta) = read_index(&mut bytes.as_slice()).unwrap();
+            prop_assert_eq!(lmeta, meta);
+            prop_assert_eq!(loaded.is_fully_indexed(), idx.is_fully_indexed());
+            prop_assert_eq!(loaded.stats(), idx.stats());
+            for code in 0..idx.coder().num_seeds() as u32 {
+                prop_assert_eq!(loaded.occurrences(code), idx.occurrences(code));
+            }
+            for p in 0..bank.data().len() {
+                prop_assert_eq!(loaded.is_indexed(p), idx.is_indexed(p));
+            }
+        }
+    }
+}

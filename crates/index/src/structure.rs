@@ -67,9 +67,10 @@
 //! the common unmasked full-stride case.
 
 use oris_seqio::Bank;
+use rayon::prelude::*;
 
 use crate::mask::MaskSet;
-use crate::seedcode::{RollingCoder, SeedCoder};
+use crate::seedcode::{RollingCoder, SeedCoder, MAX_SEED_LEN};
 
 /// Options controlling index construction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -94,6 +95,30 @@ impl IndexConfig {
     pub fn asymmetric(w: usize) -> IndexConfig {
         IndexConfig { w, stride: 2 }
     }
+}
+
+/// How the CSR arrays are assembled from the rolling scan's
+/// `(position, code)` pairs. Both strategies produce byte-identical
+/// indexes (pinned by a proptest); they differ only in build cost.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum BuildStrategy {
+    /// One counting sort across the entire `4^W` code space: a count
+    /// pass, a full-array exclusive prefix-sum, and a scatter. The
+    /// prefix-sum is a serial, loop-carried sweep over all `4^W + 1`
+    /// offsets slots even when the bank populates a handful of codes —
+    /// the cost the ROADMAP flagged for small banks. Kept as the
+    /// reference fallback and benchmark baseline.
+    FullSweep,
+    /// Radix-partitioned counting sort: codes are partitioned by their
+    /// high bits, pairs are bucketed per partition (one stable counting
+    /// sort), and each partition then counting-sorts its own slice of
+    /// the offsets array independently. A partition with no occurrences
+    /// fills its offsets slice with one constant (a vectorized
+    /// `slice::fill`, not a data-dependent sum), so a small bank pays
+    /// the serial prefix-sum only over the few partitions it touches;
+    /// non-empty partitions are independent and processed in parallel.
+    #[default]
+    RadixPartitioned,
 }
 
 /// Occupancy and footprint statistics for a built index.
@@ -149,6 +174,18 @@ impl BankIndex {
         cfg: IndexConfig,
         masked: impl Fn(usize) -> bool,
     ) -> BankIndex {
+        Self::build_filtered_with(bank, cfg, masked, BuildStrategy::default())
+    }
+
+    /// Builds the index under an explicit [`BuildStrategy`] (the layout
+    /// benches compare [`BuildStrategy::FullSweep`] against the default
+    /// radix-partitioned build; both produce identical indexes).
+    pub fn build_filtered_with(
+        bank: &Bank,
+        cfg: IndexConfig,
+        masked: impl Fn(usize) -> bool,
+        strategy: BuildStrategy,
+    ) -> BankIndex {
         assert!(cfg.stride >= 1, "stride must be at least 1");
         let coder = SeedCoder::new(cfg.w);
         let data = bank.data();
@@ -175,35 +212,11 @@ impl BankIndex {
             indexed.set(pos);
         }
 
-        // Pass 2: counting sort into CSR rows. Count per code (stored at
-        // `offsets[code]` for now)...
-        let num_seeds = coder.num_seeds();
-        let mut offsets = vec![0u32; num_seeds + 1];
-        for &(_, code) in &pairs {
-            offsets[code as usize] += 1;
-        }
-        // ...exclusive prefix-sum in place (`offsets[c]` = start of row
-        // `c`; single accumulator, no second array)...
-        let mut sum = 0u32;
-        for slot in offsets.iter_mut() {
-            let count = *slot;
-            *slot = sum;
-            sum += count;
-        }
-        // ...and scatter, using each row's start slot as its write cursor.
-        // The forward walk preserves the ascending position order inside
-        // every row.
-        let mut positions = vec![0u32; pairs.len()];
-        for &(pos, code) in &pairs {
-            let slot = &mut offsets[code as usize];
-            positions[*slot as usize] = pos;
-            *slot += 1;
-        }
-        // After the scatter `offsets[c]` holds the END of row `c`, which
-        // is the start of row `c + 1`: shift right one slot to restore the
-        // CSR convention.
-        offsets.copy_within(0..num_seeds, 1);
-        offsets[0] = 0;
+        // Pass 2: counting sort into CSR rows.
+        let (offsets, positions) = match strategy {
+            BuildStrategy::FullSweep => full_sweep_rows(coder.num_seeds(), &pairs),
+            BuildStrategy::RadixPartitioned => radix_rows(cfg.w, coder.num_seeds(), &pairs),
+        };
 
         BankIndex {
             coder,
@@ -219,6 +232,100 @@ impl BankIndex {
     /// Builds the index with no masking.
     pub fn build(bank: &Bank, cfg: IndexConfig) -> BankIndex {
         Self::build_filtered(bank, cfg, |_| false)
+    }
+
+    /// Reassembles an index from its raw arrays (the deserialization path
+    /// of `persist`), validating every structural invariant the rest of
+    /// the system relies on. Returns a description of the first violation
+    /// instead of constructing an index that would panic (or silently
+    /// corrupt step 2) later.
+    pub(crate) fn from_raw_parts(
+        w: usize,
+        stride: usize,
+        offsets: Vec<u32>,
+        positions: Vec<u32>,
+        indexed: MaskSet,
+        fully_indexed: bool,
+        bank_bytes: usize,
+    ) -> Result<BankIndex, String> {
+        if !(1..=MAX_SEED_LEN).contains(&w) {
+            return Err(format!("seed length {w} outside 1..={MAX_SEED_LEN}"));
+        }
+        if stride == 0 {
+            return Err("stride must be at least 1".into());
+        }
+        if fully_indexed && stride != 1 {
+            // A strided build always policy-excludes windows; the claim is
+            // internally contradictory and would wrongly enable step 2's
+            // probe-free guard.
+            return Err(format!("stride {stride} cannot be fully indexed"));
+        }
+        if bank_bytes >= u32::MAX as usize {
+            return Err("bank length exceeds u32 position space".into());
+        }
+        let coder = SeedCoder::new(w);
+        let num_seeds = coder.num_seeds();
+        if offsets.len() != num_seeds + 1 {
+            return Err(format!(
+                "offsets array has {} slots, expected 4^{w} + 1 = {}",
+                offsets.len(),
+                num_seeds + 1
+            ));
+        }
+        if offsets[0] != 0 {
+            return Err("offsets[0] must be 0".into());
+        }
+        if offsets.windows(2).any(|p| p[0] > p[1]) {
+            return Err("offsets are not monotonically non-decreasing".into());
+        }
+        if *offsets.last().unwrap() as usize != positions.len() {
+            return Err(format!(
+                "last offset {} does not match {} positions",
+                offsets.last().unwrap(),
+                positions.len()
+            ));
+        }
+        if indexed.len() != bank_bytes {
+            return Err(format!(
+                "indexed bit-set covers {} positions, bank has {bank_bytes}",
+                indexed.len()
+            ));
+        }
+        if indexed.masked_count() != positions.len() {
+            return Err(format!(
+                "indexed bit-set has {} bits set for {} positions",
+                indexed.masked_count(),
+                positions.len()
+            ));
+        }
+        // Per-row invariants: strictly ascending positions (step 2 and the
+        // uniqueness argument assume the enumeration order), every position
+        // inside the bank, every position present in the bit-set.
+        for row in offsets.windows(2) {
+            let row = &positions[row[0] as usize..row[1] as usize];
+            for pair in row.windows(2) {
+                if pair[0] >= pair[1] {
+                    return Err("row positions are not strictly ascending".into());
+                }
+            }
+            for &p in row {
+                if p as usize >= bank_bytes {
+                    return Err(format!("position {p} outside bank of {bank_bytes}"));
+                }
+                if !indexed.contains(p as usize) {
+                    return Err(format!("position {p} missing from the indexed bit-set"));
+                }
+            }
+        }
+        Ok(BankIndex {
+            coder,
+            stride,
+            offsets,
+            positions,
+            indexed,
+            fully_indexed,
+            bank_bytes,
+        })
     }
 
     /// The seed coder used by this index.
@@ -340,6 +447,157 @@ impl BankIndex {
     pub fn heap_bytes(&self) -> usize {
         self.offsets.len() * 4 + self.positions.len() * 4 + self.indexed.heap_bytes()
     }
+
+    /// The full postings array: every indexed position, grouped by seed
+    /// code (row `code` = `positions()[offsets()[code]..offsets()[code+1]]`)
+    /// and ascending within each row.
+    #[inline]
+    pub fn positions(&self) -> &[u32] {
+        &self.positions
+    }
+
+    /// Length of the bank (its global coordinate space, sentinels
+    /// included) this index was built over. A persisted index can only be
+    /// reattached to a bank of exactly this length.
+    #[inline]
+    pub fn bank_len(&self) -> usize {
+        self.bank_bytes
+    }
+}
+
+/// One counting sort across the whole code space ([`BuildStrategy::FullSweep`]).
+fn full_sweep_rows(num_seeds: usize, pairs: &[(u32, u32)]) -> (Vec<u32>, Vec<u32>) {
+    // Count per code (stored at `offsets[code]` for now)...
+    let mut offsets = vec![0u32; num_seeds + 1];
+    for &(_, code) in pairs {
+        offsets[code as usize] += 1;
+    }
+    // ...exclusive prefix-sum in place (`offsets[c]` = start of row
+    // `c`; single accumulator, no second array)...
+    let mut sum = 0u32;
+    for slot in offsets.iter_mut() {
+        let count = *slot;
+        *slot = sum;
+        sum += count;
+    }
+    // ...and scatter, using each row's start slot as its write cursor.
+    // The forward walk preserves the ascending position order inside
+    // every row.
+    let mut positions = vec![0u32; pairs.len()];
+    for &(pos, code) in pairs {
+        let slot = &mut offsets[code as usize];
+        positions[*slot as usize] = pos;
+        *slot += 1;
+    }
+    // After the scatter `offsets[c]` holds the END of row `c`, which
+    // is the start of row `c + 1`: shift right one slot to restore the
+    // CSR convention.
+    offsets.copy_within(0..num_seeds, 1);
+    offsets[0] = 0;
+    (offsets, positions)
+}
+
+/// Number of *bases* of code prefix used as the partition key: up to
+/// `4^RADIX_BASES = 1024` partitions, each owning a contiguous,
+/// equal-width range of seed codes.
+const RADIX_BASES: usize = 5;
+
+/// Radix-partitioned counting sort ([`BuildStrategy::RadixPartitioned`]).
+///
+/// The pairs are first bucketed by the high `RADIX_BASES` bases of their
+/// code (a stable counting sort over ≤ 1024 buckets, so each bucket keeps
+/// its pairs in ascending position order). Each partition then owns two
+/// disjoint slices — its stretch of the offsets array and its stretch of
+/// the postings array — and fills them independently: empty partitions
+/// write one constant (`fill`, a memset-speed sweep instead of the
+/// loop-carried prefix-sum), non-empty partitions run the count /
+/// prefix-sum / scatter dance locally and in parallel.
+fn radix_rows(w: usize, num_seeds: usize, pairs: &[(u32, u32)]) -> (Vec<u32>, Vec<u32>) {
+    let part_bases = RADIX_BASES.min(w);
+    let parts = 1usize << (2 * part_bases);
+    // Codes per partition; exact because `part_bases <= w`.
+    let width = num_seeds / parts;
+    let shift = 2 * (w - part_bases) as u32;
+
+    // Stable bucketing by partition: histogram, exclusive prefix over the
+    // (small) partition table, scatter.
+    let mut part_counts = vec![0u32; parts];
+    for &(_, code) in pairs {
+        part_counts[(code >> shift) as usize] += 1;
+    }
+    let mut pbase = vec![0u32; parts + 1];
+    for p in 0..parts {
+        pbase[p + 1] = pbase[p] + part_counts[p];
+    }
+    let mut bucketed = vec![(0u32, 0u32); pairs.len()];
+    let mut cursor = pbase.clone();
+    for &pair in pairs {
+        let p = (pair.1 >> shift) as usize;
+        bucketed[cursor[p] as usize] = pair;
+        cursor[p] += 1;
+    }
+
+    // Because postings are grouped by code and codes are grouped by
+    // partition, partition `p`'s postings occupy exactly
+    // `positions[pbase[p]..pbase[p+1]]` — the same extent as its bucketed
+    // pairs. Split both output arrays into per-partition mutable slices so
+    // the fills are independent.
+    // Per-partition work unit: (partition id, offsets stretch, postings
+    // stretch, this partition's bucketed pairs).
+    type PartitionTask<'t> = (usize, &'t mut [u32], &'t mut [u32], &'t [(u32, u32)]);
+    let mut offsets = vec![0u32; num_seeds + 1];
+    let mut positions = vec![0u32; pairs.len()];
+    {
+        let mut tasks: Vec<PartitionTask<'_>> = Vec::with_capacity(parts);
+        let mut off_rest: &mut [u32] = &mut offsets[..num_seeds];
+        let mut pos_rest: &mut [u32] = &mut positions[..];
+        for p in 0..parts {
+            let (off_chunk, rest) = off_rest.split_at_mut(width);
+            off_rest = rest;
+            let (pos_chunk, rest) = pos_rest.split_at_mut(part_counts[p] as usize);
+            pos_rest = rest;
+            tasks.push((
+                p,
+                off_chunk,
+                pos_chunk,
+                &bucketed[pbase[p] as usize..pbase[p + 1] as usize],
+            ));
+        }
+        tasks
+            .into_par_iter()
+            .for_each(|(p, off_chunk, pos_chunk, pair_chunk)| {
+                let base = pbase[p];
+                if pair_chunk.is_empty() {
+                    // Every row in an empty partition starts (and ends) at
+                    // the partition base.
+                    off_chunk.fill(base);
+                    return;
+                }
+                let code_lo = (p as u32) << shift;
+                for &(_, code) in pair_chunk {
+                    off_chunk[(code - code_lo) as usize] += 1;
+                }
+                let mut sum = base;
+                for slot in off_chunk.iter_mut() {
+                    let count = *slot;
+                    *slot = sum;
+                    sum += count;
+                }
+                for &(pos, code) in pair_chunk {
+                    let slot = &mut off_chunk[(code - code_lo) as usize];
+                    pos_chunk[(*slot - base) as usize] = pos;
+                    *slot += 1;
+                }
+                // Same end-of-row → start-of-row shift as the full sweep,
+                // local to the partition: the first row starts at the
+                // partition base, and the last row's end is the next
+                // partition's base (written by that partition's own fill).
+                off_chunk.copy_within(0..width - 1, 1);
+                off_chunk[0] = base;
+            });
+    }
+    offsets[num_seeds] = pairs.len() as u32;
+    (offsets, positions)
 }
 
 #[cfg(test)]
@@ -593,6 +851,33 @@ mod tests {
             expected_sorted.sort();
             got.sort();
             prop_assert_eq!(got, expected_sorted);
+        }
+
+        /// The radix-partitioned build and the full-sweep fallback produce
+        /// identical indexes — same offsets, postings, bit-set and
+        /// provenance — for random banks, widths, strides and masks.
+        #[test]
+        fn radix_build_equals_full_sweep(
+            seqs in proptest::collection::vec("[ACGTN]{0,60}", 1..4),
+            w in 2usize..8,
+            stride in 1usize..3,
+            mask_mod in 1usize..9,
+        ) {
+            let refs: Vec<&str> = seqs.iter().map(|s| s.as_str()).collect();
+            let bank = bank_of(&refs);
+            let cfg = IndexConfig { w, stride };
+            let masked = |p: usize| mask_mod > 1 && p.is_multiple_of(mask_mod);
+            let radix = BankIndex::build_filtered_with(
+                &bank, cfg, masked, BuildStrategy::RadixPartitioned,
+            );
+            let sweep = BankIndex::build_filtered_with(
+                &bank, cfg, masked, BuildStrategy::FullSweep,
+            );
+            prop_assert_eq!(radix.offsets(), sweep.offsets());
+            prop_assert_eq!(radix.positions(), sweep.positions());
+            prop_assert_eq!(radix.indexed_words(), sweep.indexed_words());
+            prop_assert_eq!(radix.is_fully_indexed(), sweep.is_fully_indexed());
+            prop_assert_eq!(radix.stats(), sweep.stats());
         }
 
         /// indexed_positions equals the number of valid windows.

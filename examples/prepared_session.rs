@@ -1,0 +1,61 @@
+//! Build once, query many: the prepared-bank session workflow.
+//!
+//! ```text
+//! cargo run --release --example prepared_session
+//! ```
+//!
+//! The paper's scenario is *intensive* comparison — one subject bank, a
+//! stream of query banks. A [`Session`] runs step 1 on the subject once;
+//! each `run` then pays only its own query's preparation plus steps 2–4.
+//! The example measures both ways of running the same workload and prints
+//! the amortization.
+
+use std::time::Instant;
+
+use oris::prelude::*;
+
+fn main() {
+    // One subject bank and a stream of query banks (synthetic EST-style
+    // data; deterministic, so both paths see identical inputs).
+    let subject = paper_banks(&["EST2"], 0.08).remove(0).bank;
+    let queries: Vec<Bank> = ["EST1", "EST3", "EST4", "EST5"]
+        .iter()
+        .map(|name| paper_banks(&[name], 0.04).remove(0).bank)
+        .collect();
+    let cfg = OrisConfig::default();
+
+    // --- Naive: rebuild the subject index for every query --------------
+    let t0 = Instant::now();
+    let naive: Vec<OrisResult> = queries
+        .iter()
+        .map(|q| compare_banks(q, &subject, &cfg))
+        .collect();
+    let naive_secs = t0.elapsed().as_secs_f64();
+
+    // --- Prepared: one session, subject indexed exactly once -----------
+    let t0 = Instant::now();
+    let session = Session::new(&subject, &cfg).expect("valid configuration");
+    let prepared: Vec<OrisResult> = queries.iter().map(|q| session.run(q)).collect();
+    let session_secs = t0.elapsed().as_secs_f64();
+
+    println!("# prepared-bank session — build once, query many");
+    for (i, (n, p)) in naive.iter().zip(&prepared).enumerate() {
+        assert_eq!(n.alignments, p.alignments, "query {i} outputs must match");
+        println!(
+            "query {i}: {} alignments; naive rebuilt {} indexes, session built {}",
+            p.alignments.len(),
+            n.stats.index_builds,
+            p.stats.index_builds,
+        );
+    }
+    let subject_stats = session.subject_stats();
+    println!(
+        "\nsubject prepared once: {} build(s), {:.3} s, {} index bytes",
+        subject_stats.builds, subject_stats.build_secs, subject_stats.index_bytes,
+    );
+    println!(
+        "{} queries: naive {naive_secs:.3} s, session {session_secs:.3} s ({:.2}x)",
+        queries.len(),
+        naive_secs / session_secs,
+    );
+}

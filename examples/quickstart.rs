@@ -3,6 +3,11 @@
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
+//!
+//! `compare_banks` is the single-shot entry point; for the paper's
+//! *intensive* scenario — many query banks against one subject — see
+//! `examples/prepared_session.rs`, which indexes the subject once and
+//! amortizes it across the whole query stream.
 
 use oris::prelude::*;
 

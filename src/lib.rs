@@ -31,9 +31,11 @@ pub use oris_stats as stats;
 /// Commonly used items, re-exported flat.
 pub mod prelude {
     pub use oris_blast::{compare_banks as blast_compare_banks, BlastConfig};
-    pub use oris_core::{compare_banks, AlignmentRecord, OrisConfig, OrisResult};
+    pub use oris_core::{
+        compare_banks, AlignmentRecord, OrisConfig, OrisResult, PreparedBank, Session,
+    };
     pub use oris_eval::{MissReport, SpeedupRow};
-    pub use oris_index::{BankIndex, IndexConfig, SeedCoder};
+    pub use oris_index::{BankIndex, IndexConfig, IndexMeta, SeedCoder};
     pub use oris_seqio::{parse_fasta, read_fasta_file, Bank, BankBuilder};
     pub use oris_simulate::{paper_banks, BankSpec, SimConfig};
 }

@@ -154,6 +154,73 @@ fn asymmetric_mode_keeps_most_alignments() {
 }
 
 #[test]
+fn session_runs_many_queries_with_one_subject_build() {
+    // The intensive-comparison contract: N ≥ 4 query banks against one
+    // prepared subject build the subject index exactly once, each run
+    // builds exactly one index (its query), and every result is
+    // identical to the single-shot compare_banks on the same pair.
+    let subject = paper_banks(&["EST2"], 0.05).remove(0).bank;
+    let queries = vec![
+        paper_banks(&["EST1"], 0.05).remove(0).bank,
+        paper_banks(&["EST3"], 0.05).remove(0).bank,
+        paper_banks(&["EST4"], 0.03).remove(0).bank,
+        oris::simulate::random_bank(7, 40, 400, 0.5),
+        paper_banks(&["EST5"], 0.03).remove(0).bank,
+    ];
+    let cfg = OrisConfig::default();
+    let session = Session::new(&subject, &cfg).unwrap();
+    assert_eq!(session.subject_stats().builds, 1);
+
+    let mut total_alignments = 0;
+    for q in &queries {
+        let via_session = session.run(q);
+        assert_eq!(via_session.stats.index_builds, 1, "query build only");
+        let via_compare = compare_banks(q, &subject, &cfg);
+        assert_eq!(via_session.alignments, via_compare.alignments);
+        // compare_banks accounts for both builds it performed.
+        assert_eq!(via_compare.stats.index_builds, 2);
+        total_alignments += via_session.alignments.len();
+    }
+    assert!(total_alignments > 0, "EST pairs must produce alignments");
+}
+
+#[test]
+fn session_both_strands_matches_compare_banks() {
+    let subject = paper_banks(&["EST2"], 0.04).remove(0).bank;
+    let query = paper_banks(&["EST1"], 0.04).remove(0).bank;
+    let cfg = OrisConfig {
+        both_strands: true,
+        ..OrisConfig::default()
+    };
+    let session = Session::new(&subject, &cfg).unwrap();
+    // One build per subject strand, never repeated across runs.
+    assert_eq!(session.subject_stats().builds, 2);
+    let r1 = session.run(&query);
+    let r2 = session.run(&query);
+    assert_eq!(r1.alignments, r2.alignments);
+    assert_eq!(r1.stats.index_builds, 1);
+    let direct = compare_banks(&query, &subject, &cfg);
+    assert_eq!(r1.alignments, direct.alignments);
+    // Single shot: 1 query build + 2 subject strand builds.
+    assert_eq!(direct.stats.index_builds, 3);
+}
+
+#[test]
+fn prepared_queries_skip_all_builds() {
+    let subject = paper_banks(&["EST2"], 0.04).remove(0).bank;
+    let query = paper_banks(&["EST1"], 0.04).remove(0).bank;
+    let cfg = OrisConfig::default();
+    let session = Session::new(&subject, &cfg).unwrap();
+    let prep = PreparedBank::prepare(&query, cfg.filter, cfg.query_index_config());
+    let r = session.run_prepared(&prep);
+    assert_eq!(r.stats.index_builds, 0);
+    assert_eq!(
+        r.alignments,
+        compare_banks(&query, &subject, &cfg).alignments
+    );
+}
+
+#[test]
 fn unrelated_banks_stay_silent() {
     // Negative control: independent random banks share no homology; at
     // e ≤ 1e-3 (essentially) nothing should be reported.

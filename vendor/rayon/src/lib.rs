@@ -178,6 +178,15 @@ impl<T: Send> ParIter<T> {
         }
     }
 
+    /// Parallel side-effect loop (rayon's `for_each` subset): runs `f`
+    /// over every item and discards the results.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        run_chunked(self.items, f);
+    }
+
     /// Parallel map with one per-worker scratch value built by `init`.
     ///
     /// `init` runs once per chunk (≈ once per worker), mirroring rayon's
