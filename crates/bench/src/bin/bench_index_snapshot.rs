@@ -13,31 +13,42 @@
 //!   guard specialization (probe-free `OrderedFull` fast path on fully
 //!   indexed banks, rolled word-cursor guard under masking).
 //!
-//! Six sections: index build time + heap bytes (EST bank, full and
+//! Seven sections: index build time + heap bytes (EST bank, full and
 //! asymmetric), the CSR build-strategy comparison (full-sweep counting
 //! sort vs the radix-partitioned build, on a large and a small bank),
 //! step 2 on the skewed-seed benchmark (linked chains vs CSR slices,
 //! identical extensions and guard), scheduling (equal-width vs
 //! work-balanced) per thread count, the guard comparison (probe baseline
-//! vs rolled vs fast path, fully indexed and half-masked), and the
+//! vs rolled vs fast path, fully indexed and half-masked), the
 //! prepared-reuse benchmark (N query banks against one prepared subject:
 //! per-query subject rebuild vs one session build, outputs asserted
-//! identical).
+//! identical), and the streaming-batch benchmark (collect-everything vs
+//! the sink-driven `Session::run_batch` path: peak live allocation read
+//! from a counting global allocator, outputs asserted byte-identical).
 //!
 //! Writes `BENCH_index.json` (repo root by default; `--out PATH` to
 //! override, `--scale F` for the EST bank size) so future PRs have a perf
-//! trajectory to compare against.
+//! trajectory to compare against. `--test` shrinks every workload and
+//! runs one repetition — the CI mode, keeping all the output-equality
+//! assertions hot without paying measurement time.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
 use oris_align::OrderGuard;
-use oris_bench::{find_hsps_linked_reference, half_masked_index, skewed_pair};
+use oris_bench::{find_hsps_linked_reference, half_masked_index, skewed_pair, CountingAlloc};
 use oris_core::step2::{
     find_hsps, find_hsps_partitioned, find_hsps_with_guard, select_guard, PartitionStrategy,
 };
-use oris_core::{compare_banks, OrisConfig, Session};
+use oris_core::{compare_banks, OrisConfig, OrisResult, Session, StreamWriter};
+use oris_eval::M8Writer;
 use oris_index::{BankIndex, BuildStrategy, IndexConfig, LinkedBankIndex};
+
+/// Every allocation in this binary flows through the counting allocator,
+/// so the `streaming_batch` section can report peak *live* bytes per
+/// result-path architecture instead of guessing from RSS.
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc::new();
 
 /// Paired comparison: alternates `a` and `b` per repetition so slow clock
 /// drift (VM throttling, noisy neighbours) hits both sides equally, then
@@ -62,18 +73,30 @@ fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = 0.15f64;
     let mut out_path = "BENCH_index.json".to_string();
+    let mut test_mode = false;
     let mut it = argv.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--scale" => scale = it.next().expect("--scale F").parse().expect("bad --scale"),
             "--out" => out_path = it.next().expect("--out PATH").clone(),
+            "--test" => test_mode = true,
             other => panic!("unknown argument {other}"),
         }
+    }
+    if test_mode {
+        scale = scale.min(0.02);
     }
 
     let est = oris_simulate::paper_bank("EST1", scale).bank;
     let w = 11usize;
-    let reps = 5;
+    let reps = if test_mode { 1 } else { 5 };
+    // The skewed benchmark's size is independent of --scale (it exists to
+    // stress one overweight seed code); --test shrinks it too.
+    let (skew_q, skew_s, skew_len) = if test_mode {
+        (8usize, 2_000usize, 100usize)
+    } else {
+        (50, 40_000, 250)
+    };
 
     // ---- layout: build time and footprint (EST bank) --------------------
     let (t_linked_build, t_csr_build) = time2(
@@ -107,7 +130,7 @@ fn main() {
     );
 
     // ---- step 2 on the skewed-seed benchmark ----------------------------
-    let (b1, b2) = skewed_pair(50, 40_000, 250);
+    let (b1, b2) = skewed_pair(skew_q, skew_s, skew_len);
     let cfg = OrisConfig::default();
     let icfg = IndexConfig::full(cfg.w);
     let l1 = LinkedBankIndex::build(&b1, icfg);
@@ -265,6 +288,75 @@ fn main() {
         assert_eq!(n.stats.index_builds, 2);
     }
 
+    // ---- streaming batch: bounded-memory result path --------------------
+    // A repeat-family screening batch (`screening_batch`): many query
+    // banks against one prepared subject, every (query sequence, subject
+    // sequence) pair aligning across a shared dispersed repeat — the
+    // output-heavy regime where the result-path architecture matters.
+    // The collect path is the pre-streaming architecture: every query's
+    // result set resident before the first byte is written. The streamed
+    // path is `Session::run_batch` through a `StreamWriter`: records
+    // leave as each query finishes, so peak live allocation tracks the
+    // largest single query, not the run. Outputs are asserted
+    // byte-identical; peaks come from the counting global allocator.
+    //
+    // W = 9 here: the per-query transient both paths share is dominated by
+    // the query index's 4^W offset array (16.8 MB at W = 11, 1.05 MB at
+    // W = 9), and this section measures the *result path*, not seed
+    // length — W = 9 keeps the shared transient from drowning the record
+    // volume the two architectures actually differ on.
+    let batch_cfg = OrisConfig {
+        w: 9,
+        ..OrisConfig::default()
+    };
+    let (batch_subject, batch_queries) = if test_mode {
+        oris_bench::screening_batch(4, 8, 24, 80)
+    } else {
+        oris_bench::screening_batch(12, 32, 192, 120)
+    };
+    let batch_session = Session::new(&batch_subject, &batch_cfg).expect("valid config");
+    let run_collect = |out: &mut dyn std::io::Write| {
+        let results: Vec<OrisResult> = batch_queries.iter().map(|q| batch_session.run(q)).collect();
+        let mut m8 = M8Writer::new(out);
+        for r in &results {
+            for rec in &r.alignments {
+                m8.write_record(rec).expect("write record");
+            }
+        }
+        m8.flush().expect("flush");
+    };
+    let run_stream = |out: &mut dyn std::io::Write| -> u64 {
+        let mut sink = StreamWriter::new(out);
+        batch_session
+            .run_batch(&batch_queries, &mut sink)
+            .expect("sink IO cannot fail on a memory writer");
+        sink.records_written()
+    };
+    // Byte-identity first (untracked buffers, outside the measured runs).
+    let mut collect_bytes = Vec::new();
+    run_collect(&mut collect_bytes);
+    let mut stream_bytes = Vec::new();
+    let batch_records = run_stream(&mut stream_bytes);
+    assert_eq!(
+        collect_bytes, stream_bytes,
+        "streamed batch output must equal the collected path byte-for-byte"
+    );
+    assert!(batch_records > 0, "batch workload must produce records");
+    // Peak live allocation per architecture (output to the null writer so
+    // neither side's peak counts the output bytes themselves).
+    let base = ALLOC.reset_peak();
+    run_collect(&mut std::io::sink());
+    let collect_peak = ALLOC.peak().saturating_sub(base);
+    let base = ALLOC.reset_peak();
+    run_stream(&mut std::io::sink());
+    let stream_peak = ALLOC.peak().saturating_sub(base);
+    // Amortized throughput, rep-paired like every other section.
+    let (t_batch_collect, t_batch_stream) = time2(
+        reps,
+        || run_collect(&mut std::io::sink()),
+        || run_stream(&mut std::io::sink()),
+    );
+
     let json = format!(
         "{{\n  \"bench\": \"index_layout_and_step2_scheduling\",\n  \
          \"est_scale\": {scale},\n  \"est_residues\": {},\n  \
@@ -282,6 +374,16 @@ fn main() {
          \"rebuild_per_query_secs\": {t_reuse_naive:.6},\n    \
          \"session_secs\": {t_reuse_session:.6},\n    \
          \"amortized_speedup\": {:.3}\n  }},\n  \
+         \"streaming_batch\": {{\n    \"queries\": {},\n    \
+         \"subject_residues\": {},\n    \"query_residues_total\": {},\n    \
+         \"records\": {batch_records},\n    \
+         \"collect_peak_live_bytes\": {collect_peak},\n    \
+         \"stream_peak_live_bytes\": {stream_peak},\n    \
+         \"peak_reduction\": {:.3},\n    \
+         \"collect_secs\": {t_batch_collect:.6},\n    \
+         \"stream_secs\": {t_batch_stream:.6},\n    \
+         \"stream_queries_per_sec\": {:.3},\n    \
+         \"outputs_identical\": true\n  }},\n  \
          \"heap_bytes_est\": {{\n    \"linked_full\": {},\n    \
          \"csr_full\": {},\n    \"csr_asymmetric\": {}\n  }},\n  \
          \"step2_skewed\": {{\n    \"query_residues\": {},\n    \
@@ -308,6 +410,14 @@ fn main() {
         t_sweep_small / t_radix_small,
         est.num_residues(),
         t_reuse_naive / t_reuse_session,
+        batch_queries.len(),
+        batch_subject.num_residues(),
+        batch_queries
+            .iter()
+            .map(|b| b.num_residues())
+            .sum::<usize>(),
+        collect_peak as f64 / (stream_peak.max(1)) as f64,
+        batch_queries.len() as f64 / t_batch_stream,
         linked.heap_bytes(),
         csr.heap_bytes(),
         csr_asym.heap_bytes(),

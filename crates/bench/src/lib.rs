@@ -27,6 +27,10 @@
 //! This library holds the shared harness: bank construction, matched
 //! engine configurations, timing, and the paper's table row formats.
 
+pub mod memtrack;
+
+pub use memtrack::CountingAlloc;
+
 use oris_align::{extend_hit, ExtensionOutcome, OrderGuard, UngappedParams};
 use oris_blast::{BlastConfig, BlastResult};
 use oris_core::{Hsp, OrisConfig, OrisResult};
@@ -164,26 +168,52 @@ pub const SKEW_MOTIF: &str = "GTCCGGATTACGCTAGGTCAACGGTTAGCCAT";
 ///   a working set far beyond L2, so the linked layout's inner loop pays
 ///   a dependent long-latency load per pair while the CSR slice streams.
 pub fn skewed_pair(query_seqs: usize, subject_seqs: usize, seq_len: usize) -> (Bank, Bank) {
+    (
+        planted_bank(101, query_seqs, seq_len),
+        planted_bank(202, subject_seqs, seq_len),
+    )
+}
+
+/// A random bank whose every sequence carries one copy of [`SKEW_MOTIF`]
+/// at a deterministic per-sequence offset (spreading the copies across
+/// record positions and hence across the global bank space).
+pub fn planted_bank(seed: u64, num_seqs: usize, seq_len: usize) -> Bank {
     use oris_seqio::BankBuilder;
     assert!(
         seq_len >= 2 * SKEW_MOTIF.len(),
         "sequences too short for motif planting"
     );
-    let mk = |seed: u64, num_seqs: usize| {
-        let random = oris_simulate::random_bank(seed, num_seqs, seq_len, 0.5);
-        let mut b = BankBuilder::new();
-        for i in 0..random.num_sequences() {
-            let mut s = random.sequence_string(i);
-            // Deterministic per-sequence offset spreads the copies across
-            // record positions (and hence across the global bank space).
-            let span = s.len() - SKEW_MOTIF.len();
-            let at = (i * 131) % (span + 1);
-            s.replace_range(at..at + SKEW_MOTIF.len(), SKEW_MOTIF);
-            b.push_str(&format!("sk{seed}_{i}"), &s).unwrap();
-        }
-        b.finish()
-    };
-    (mk(101, query_seqs), mk(202, subject_seqs))
+    let random = oris_simulate::random_bank(seed, num_seqs, seq_len, 0.5);
+    let mut b = BankBuilder::new();
+    for i in 0..random.num_sequences() {
+        let mut s = random.sequence_string(i);
+        let span = s.len() - SKEW_MOTIF.len();
+        let at = (i * 131) % (span + 1);
+        s.replace_range(at..at + SKEW_MOTIF.len(), SKEW_MOTIF);
+        b.push_str(&format!("sk{seed}_{i}"), &s).unwrap();
+    }
+    b.finish()
+}
+
+/// A repeat-family screening batch for the streaming-result benches: one
+/// subject bank plus `num_queries` query banks, every sequence of every
+/// bank carrying one [`SKEW_MOTIF`] copy in random flanks. Each
+/// (query sequence, subject sequence) pair aligns across the shared
+/// repeat, so one query bank emits `query_seqs × subject_seqs` records —
+/// a workload whose *output volume* dwarfs its per-query working set,
+/// which is exactly the regime the collect-everything and streamed result
+/// paths diverge in.
+pub fn screening_batch(
+    num_queries: usize,
+    query_seqs: usize,
+    subject_seqs: usize,
+    seq_len: usize,
+) -> (Bank, Vec<Bank>) {
+    let subject = planted_bank(404, subject_seqs, seq_len);
+    let queries = (0..num_queries)
+        .map(|i| planted_bank(600 + i as u64, query_seqs, seq_len))
+        .collect();
+    (subject, queries)
 }
 
 /// An index over `bank` with roughly half of its positions masked away in

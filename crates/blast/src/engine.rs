@@ -1,6 +1,13 @@
 //! The full BLASTN-style pipeline: filter → lookup → scan → gapped stage.
+//!
+//! The gapped stage and record output are shared with the ORIS engine —
+//! including the sink-driven streaming shape: [`compare_banks_into`]
+//! pushes records into any `oris_core::RecordSink` as each record-pair
+//! group finishes, so baseline measurements stay comparable to the
+//! streamed ORIS path. [`compare_banks`] is the collect-everything
+//! wrapper.
 
-use oris_core::{step3, step4};
+use oris_core::sink::{CollectSink, RecordSink};
 use oris_dust::{DustMasker, EntropyMasker, Masker};
 use oris_eval::M8Record;
 use oris_index::{BankIndex, IndexConfig};
@@ -75,10 +82,45 @@ fn query_batches(bank1: &Bank, batch_nt: usize) -> Vec<Bank> {
     out
 }
 
+/// Shared gapped stage + streamed output for one query batch: literally
+/// the ORIS engine's fused steps-3+4 runner
+/// (`oris_core::pipeline::gapped_stage_into`), so the baseline's result
+/// path stays byte-comparable by construction. Its step-3/step-4 seconds
+/// land in the baseline's gapped/output buckets.
+fn gapped_stage_into(
+    batch: &Bank,
+    bank2: &Bank,
+    hsps: &[oris_core::Hsp],
+    oris_cfg: &oris_core::OrisConfig,
+    query_residues: usize,
+    stats: &mut BlastStats,
+    sink: &mut dyn RecordSink,
+) {
+    let mut push = |rec: M8Record| sink.accept(rec);
+    let r = oris_core::pipeline::gapped_stage_into(
+        batch,
+        bank2,
+        hsps,
+        oris_cfg,
+        query_residues,
+        false,
+        &mut push,
+    );
+    stats.raw_alignments += r.raw_alignments;
+    stats.output_secs += r.step4_secs;
+    stats.gapped_secs += r.step3_secs;
+}
+
 /// The blastall-style batched pipeline: lookup per query batch, full
 /// database rescan per batch. Same records as the one-pass pipeline
 /// (e-values use the full query-bank size), different cost structure.
-fn run_batched(bank1: &Bank, bank2: &Bank, cfg: &BlastConfig, batch_nt: usize) -> BlastResult {
+fn run_batched(
+    bank1: &Bank,
+    bank2: &Bank,
+    cfg: &BlastConfig,
+    batch_nt: usize,
+    sink: &mut dyn RecordSink,
+) -> BlastStats {
     let mut stats = BlastStats::default();
     let oris_cfg = cfg.as_oris();
     let full_query_residues = bank1.num_residues();
@@ -88,7 +130,6 @@ fn run_batched(bank1: &Bank, bank2: &Bank, cfg: &BlastConfig, batch_nt: usize) -
     let mask2 = mask_for(cfg, bank2).map(|m| m.dilated_left(cfg.w));
     stats.lookup_secs += t0.elapsed().as_secs_f64();
 
-    let mut records: Vec<M8Record> = Vec::new();
     for batch in query_batches(bank1, batch_nt) {
         let t0 = std::time::Instant::now();
         let m1 = mask_for(cfg, &batch);
@@ -113,45 +154,29 @@ fn run_batched(bank1: &Bank, bank2: &Bank, cfg: &BlastConfig, batch_nt: usize) -
         };
         stats.scan_secs += t0.elapsed().as_secs_f64();
 
-        let t0 = std::time::Instant::now();
-        let (alns, _) = step3::gapped_alignments(&batch, bank2, &hsps, &oris_cfg);
-        stats.raw_alignments += alns.len();
-        stats.gapped_secs += t0.elapsed().as_secs_f64();
-
-        let t0 = std::time::Instant::now();
-        let (recs, _) = step4::display_records_with_query_space(
+        // All batches stream into one sink; the single end_query sort in
+        // `compare_banks_into` reproduces the old global cross-batch sort.
+        gapped_stage_into(
             &batch,
             bank2,
-            &alns,
+            &hsps,
             &oris_cfg,
             full_query_residues,
+            &mut stats,
+            sink,
         );
-        records.extend(recs);
-        stats.output_secs += t0.elapsed().as_secs_f64();
     }
-
-    // Global e-value sort across batches (matches the one-pass order).
-    // total_cmp: NaN-safe, same comparator as step 4 and the strand merge.
-    let t0 = std::time::Instant::now();
-    records.sort_by(|x, y| {
-        x.evalue
-            .total_cmp(&y.evalue)
-            .then_with(|| x.qid.cmp(&y.qid))
-            .then_with(|| x.sid.cmp(&y.sid))
-            .then_with(|| x.qstart.cmp(&y.qstart))
-            .then_with(|| x.sstart.cmp(&y.sstart))
-    });
-    stats.output_secs += t0.elapsed().as_secs_f64();
-
-    BlastResult {
-        alignments: records,
-        stats,
-    }
+    stats
 }
 
-fn run_pipeline(bank1: &Bank, bank2: &Bank, cfg: &BlastConfig) -> BlastResult {
+fn run_pipeline(
+    bank1: &Bank,
+    bank2: &Bank,
+    cfg: &BlastConfig,
+    sink: &mut dyn RecordSink,
+) -> BlastStats {
     if let Some(batch_nt) = cfg.batch_nt {
-        return run_batched(bank1, bank2, cfg, batch_nt);
+        return run_batched(bank1, bank2, cfg, batch_nt, sink);
     }
     let mut stats = BlastStats::default();
 
@@ -183,41 +208,62 @@ fn run_pipeline(bank1: &Bank, bank2: &Bank, cfg: &BlastConfig) -> BlastResult {
     stats.scan = scan_stats;
     stats.scan_secs = t0.elapsed().as_secs_f64();
 
-    // Shared gapped stage + output (identical machinery to the ORIS
-    // engine — the engines differ in hit detection only).
     let oris_cfg = cfg.as_oris();
-    let t0 = std::time::Instant::now();
-    let (alns, _) = step3::gapped_alignments(bank1, bank2, &hsps, &oris_cfg);
-    stats.raw_alignments = alns.len();
-    stats.gapped_secs = t0.elapsed().as_secs_f64();
-
-    let t0 = std::time::Instant::now();
-    let (records, _) = step4::display_records(bank1, bank2, &alns, &oris_cfg);
-    stats.output_secs = t0.elapsed().as_secs_f64();
-
-    BlastResult {
-        alignments: records,
-        stats,
-    }
+    gapped_stage_into(
+        bank1,
+        bank2,
+        &hsps,
+        &oris_cfg,
+        bank1.num_residues(),
+        &mut stats,
+        sink,
+    );
+    stats
 }
 
-/// Compares two banks with the BLASTN-style baseline.
+/// Compares two banks with the BLASTN-style baseline, streaming records
+/// into `sink` (one `end_query` boundary for the whole run — the
+/// baseline's unit of work is the full query bank).
 ///
 /// # Panics
 /// Panics if the configuration fails [`BlastConfig::validate`].
-pub fn compare_banks(bank1: &Bank, bank2: &Bank, cfg: &BlastConfig) -> BlastResult {
+pub fn compare_banks_into(
+    bank1: &Bank,
+    bank2: &Bank,
+    cfg: &BlastConfig,
+    sink: &mut dyn RecordSink,
+) -> std::io::Result<BlastStats> {
     if let Err(e) = cfg.validate() {
         panic!("invalid BLAST configuration: {e}");
     }
-    match cfg.threads {
-        None => run_pipeline(bank1, bank2, cfg),
+    let mut stats = match cfg.threads {
+        None => run_pipeline(bank1, bank2, cfg, sink),
         Some(n) => {
             let pool = rayon::ThreadPoolBuilder::new()
                 .num_threads(n)
                 .build()
                 .expect("failed to build thread pool");
-            pool.install(|| run_pipeline(bank1, bank2, cfg))
+            pool.install(|| run_pipeline(bank1, bank2, cfg, sink))
         }
+    };
+    let t0 = std::time::Instant::now();
+    sink.end_query()?;
+    stats.output_secs += t0.elapsed().as_secs_f64();
+    Ok(stats)
+}
+
+/// Compares two banks with the BLASTN-style baseline: a [`CollectSink`]
+/// over [`compare_banks_into`].
+///
+/// # Panics
+/// Panics if the configuration fails [`BlastConfig::validate`].
+pub fn compare_banks(bank1: &Bank, bank2: &Bank, cfg: &BlastConfig) -> BlastResult {
+    let mut sink = CollectSink::new();
+    let stats = compare_banks_into(bank1, bank2, cfg, &mut sink)
+        .expect("CollectSink does no IO and cannot fail");
+    BlastResult {
+        alignments: sink.into_records(),
+        stats,
     }
 }
 

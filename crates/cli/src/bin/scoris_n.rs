@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! scoris-n <bank1.fa> <bank2.fa> [options]
+//! scoris-n --batch <dir-or-multi.fa> <bank2.fa> [options]
 //!
 //!   -W, --word N        seed length (default 11)
 //!   -e, --evalue X      e-value threshold (default 1e-3, the paper's -e)
@@ -16,21 +17,228 @@
 //!       --both-strands  also search the complementary strand (sstart > send)
 //!       --index FILE    load bank 2's index from a `mkindex` file instead
 //!                       of building it (must match -W/-f/--asymmetric)
+//!       --batch PATH    many-query mode: prepare bank 2 once, stream each
+//!                       query bank's records out as it finishes. PATH is a
+//!                       directory of FASTA files (sorted by name, one query
+//!                       bank each) or a multi-FASTA file (one query bank
+//!                       per record). Peak memory stays at one query's
+//!                       working set.
 //!       --stats         print per-step timings to stderr
-//!   -o, --out FILE      write -m 8 records to FILE (default stdout)
+//!   -o, --out FILE      write -m 8 records to FILE (buffered, written to a
+//!                       temporary sibling and atomically renamed on success;
+//!                       default stdout)
 //! ```
 
 use std::io::Write;
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 use oris_cli::Args;
-use oris_core::{FilterKind, OrisConfig, PreparedBank, Session};
+use oris_core::{FilterKind, OrisConfig, PreparedBank, Session, StreamWriter};
+use oris_seqio::Bank;
 
 fn usage() -> &'static str {
     "usage: scoris-n <bank1.fa> <bank2.fa> [-W n] [-e x] [-x n] [-X n] [-s n]\n\
      \t[-f none|entropy|dust] [-t n] [--engine oris|blast] [--asymmetric]\n\
-     \t[--both-strands] [--index bank2.oidx]\n\
+     \t[--both-strands] [--index bank2.oidx] [--batch dir-or-multi.fa]\n\
      \t[--stats] [-o out.m8]"
+}
+
+/// Where records go: stdout, or a temporary sibling of `-o`'s path that
+/// [`Output::finish`] atomically renames into place — a crashed or failed
+/// run never leaves a half-written output file under the requested name.
+enum Output {
+    Stdout,
+    File { tmp: PathBuf, dest: PathBuf },
+}
+
+impl Output {
+    fn open(path: Option<&String>) -> Result<(Box<dyn Write>, Output), String> {
+        match path {
+            None => Ok((
+                Box::new(std::io::BufWriter::new(std::io::stdout())),
+                Output::Stdout,
+            )),
+            Some(p) => {
+                let dest = PathBuf::from(p);
+                let mut name = dest
+                    .file_name()
+                    .ok_or_else(|| format!("{p}: not a file path"))?
+                    .to_os_string();
+                name.push(format!(".tmp.{}", std::process::id()));
+                let tmp = dest.with_file_name(name);
+                let f =
+                    std::fs::File::create(&tmp).map_err(|e| format!("{}: {e}", tmp.display()))?;
+                Ok((
+                    Box::new(std::io::BufWriter::new(f)),
+                    Output::File { tmp, dest },
+                ))
+            }
+        }
+    }
+
+    /// Flushes `w` (which must be the writer `open` returned) and moves a
+    /// tmp file to its final name. On *any* failure — flush included —
+    /// the tmp file is removed, so no code path leaves a stray
+    /// `.tmp.<pid>` sibling behind.
+    fn finish(self, mut w: Box<dyn Write>) -> Result<(), String> {
+        let flushed = w.flush().map_err(|e| e.to_string());
+        drop(w);
+        match self {
+            Output::Stdout => flushed,
+            Output::File { tmp, dest } => {
+                let moved = flushed.and_then(|()| {
+                    std::fs::rename(&tmp, &dest).map_err(|e| {
+                        format!("renaming {} to {}: {e}", tmp.display(), dest.display())
+                    })
+                });
+                if moved.is_err() {
+                    let _ = std::fs::remove_file(&tmp);
+                }
+                moved
+            }
+        }
+    }
+
+    /// Removes the tmp file after a failed run (best effort).
+    fn discard(self) {
+        if let Output::File { tmp, .. } = self {
+            let _ = std::fs::remove_file(tmp);
+        }
+    }
+}
+
+/// The `--batch` query source: a directory of FASTA files (sorted by
+/// file name, one query bank each) or a multi-FASTA file (one query bank
+/// per record, so each record gets its own e-value search space — the
+/// batch is N independent comparisons, not one big bank).
+///
+/// Query banks are produced **lazily** — a directory batch holds exactly
+/// one query file's bank in memory at a time (the multi-FASTA form keeps
+/// its one source bank resident, but still builds per-record query banks
+/// one at a time). A file that fails to read mid-batch fuses the
+/// iterator and parks the error in [`BatchQueries::error`] for the
+/// caller to surface after `run_batch` returns.
+enum BatchQueries {
+    Dir {
+        files: std::vec::IntoIter<PathBuf>,
+        error: Option<String>,
+    },
+    Records {
+        bank: Bank,
+        next: usize,
+    },
+}
+
+impl BatchQueries {
+    fn open(path: &str) -> Result<BatchQueries, String> {
+        let meta = std::fs::metadata(path).map_err(|e| format!("{path}: {e}"))?;
+        if meta.is_dir() {
+            // Entry errors are fatal, not skipped: a dropped entry would
+            // mean a query bank silently missing from the batch output.
+            let mut files = Vec::new();
+            for entry in std::fs::read_dir(path).map_err(|e| format!("{path}: {e}"))? {
+                let p = entry.map_err(|e| format!("{path}: {e}"))?.path();
+                let ext = p
+                    .extension()
+                    .and_then(|e| e.to_str())
+                    .map(|e| e.to_ascii_lowercase());
+                // `is_file` follows symlinks: a subdirectory named
+                // `old.fa` must be skipped here, not abort the batch
+                // mid-run when the FASTA reader hits it.
+                if matches!(ext.as_deref(), Some("fa") | Some("fasta") | Some("fna")) && p.is_file()
+                {
+                    files.push(p);
+                }
+            }
+            if files.is_empty() {
+                return Err(format!("{path}: no .fa/.fasta/.fna files in directory"));
+            }
+            files.sort();
+            Ok(BatchQueries::Dir {
+                files: files.into_iter(),
+                error: None,
+            })
+        } else {
+            let bank = oris_seqio::read_fasta_file(path).map_err(|e| format!("{path}: {e}"))?;
+            if bank.num_sequences() == 0 {
+                return Err(format!("{path}: no sequences"));
+            }
+            Ok(BatchQueries::Records { bank, next: 0 })
+        }
+    }
+
+    /// The read error that fused the iterator, if any.
+    fn error(self) -> Option<String> {
+        match self {
+            BatchQueries::Dir { error, .. } => error,
+            BatchQueries::Records { .. } => None,
+        }
+    }
+}
+
+impl Iterator for &mut BatchQueries {
+    type Item = Bank;
+
+    fn next(&mut self) -> Option<Bank> {
+        match self {
+            BatchQueries::Dir { files, error } => {
+                if error.is_some() {
+                    return None;
+                }
+                let f = files.next()?;
+                match oris_seqio::read_fasta_file(&f) {
+                    Ok(bank) => Some(bank),
+                    Err(e) => {
+                        *error = Some(format!("{}: {e}", f.display()));
+                        None
+                    }
+                }
+            }
+            BatchQueries::Records { bank, next } => {
+                if *next >= bank.num_sequences() {
+                    return None;
+                }
+                let mut b = oris_seqio::BankBuilder::new();
+                b.push_codes(&bank.record(*next).name, bank.sequence(*next));
+                *next += 1;
+                Some(b.finish())
+            }
+        }
+    }
+}
+
+/// Builds the session for bank 2: fresh preparation, or attach from a
+/// `mkindex` file. Returns the session and a stats-line tag naming the
+/// subject's provenance.
+fn build_session<'a>(
+    bank2: &'a Bank,
+    cfg: &OrisConfig,
+    index: Option<&String>,
+) -> Result<(Session<'a>, &'static str), String> {
+    match index {
+        None => Ok((Session::new(bank2, cfg)?, "subject_built")),
+        Some(path) => {
+            let (idx, meta) =
+                oris_index::read_index_file(path).map_err(|e| format!("{path}: {e}"))?;
+            if meta.filter_code != cfg.filter.code() {
+                let prepared_with = match FilterKind::from_code(meta.filter_code) {
+                    Some(kind) => format!("filter {kind:?}"),
+                    None => format!("an unknown filter (code {})", meta.filter_code),
+                };
+                return Err(format!(
+                    "{path}: index was prepared with {prepared_with}, \
+                     run requests filter {:?}",
+                    cfg.filter
+                ));
+            }
+            let prepared =
+                PreparedBank::from_index(bank2, idx, &meta).map_err(|e| format!("{path}: {e}"))?;
+            let session =
+                Session::with_subject(prepared, cfg).map_err(|e| format!("{path}: {e}"))?;
+            Ok((session, "subject_loaded"))
+        }
+    }
 }
 
 fn run() -> Result<(), String> {
@@ -47,6 +255,7 @@ fn run() -> Result<(), String> {
             "threads",
             "engine",
             "index",
+            "batch",
             "out",
         ],
         &["asymmetric", "both-strands", "stats", "help"],
@@ -68,8 +277,15 @@ fn run() -> Result<(), String> {
         println!("{}", usage());
         return Ok(());
     }
-    if args.positional.len() != 2 {
-        return Err(format!("expected two FASTA banks\n{}", usage()));
+    let batch_mode = args.options.contains_key("batch");
+    let expected_positionals = if batch_mode { 1 } else { 2 };
+    if args.positional.len() != expected_positionals {
+        let what = if batch_mode {
+            "expected one FASTA bank (the subject; queries come from --batch)"
+        } else {
+            "expected two FASTA banks"
+        };
+        return Err(format!("{what}\n{}", usage()));
     }
 
     let filter = match args
@@ -99,11 +315,6 @@ fn run() -> Result<(), String> {
     };
     cfg.validate()?;
 
-    let bank1 = oris_seqio::read_fasta_file(&args.positional[0])
-        .map_err(|e| format!("{}: {e}", args.positional[0]))?;
-    let bank2 = oris_seqio::read_fasta_file(&args.positional[1])
-        .map_err(|e| format!("{}: {e}", args.positional[1]))?;
-
     let engine = args
         .options
         .get("engine")
@@ -113,6 +324,18 @@ fn run() -> Result<(), String> {
     if engine != "oris" && args.options.contains_key("index") {
         return Err("--index is only supported by the oris engine".into());
     }
+    if engine != "oris" && batch_mode {
+        return Err("--batch is only supported by the oris engine".into());
+    }
+
+    if batch_mode {
+        return run_batch(&args, &cfg);
+    }
+
+    let bank1 = oris_seqio::read_fasta_file(&args.positional[0])
+        .map_err(|e| format!("{}: {e}", args.positional[0]))?;
+    let bank2 = oris_seqio::read_fasta_file(&args.positional[1])
+        .map_err(|e| format!("{}: {e}", args.positional[1]))?;
 
     let (records, report) = match engine {
         "oris" => {
@@ -121,32 +344,7 @@ fn run() -> Result<(), String> {
             // the amortized cost: `index` covers only the query's build,
             // the subject's one-time cost is its own field.
             let t0 = std::time::Instant::now();
-            let (session, subject_source) = match args.options.get("index") {
-                None => {
-                    let session = Session::new(&bank2, &cfg)?;
-                    (session, "subject_built")
-                }
-                Some(path) => {
-                    let (idx, meta) =
-                        oris_index::read_index_file(path).map_err(|e| format!("{path}: {e}"))?;
-                    if meta.filter_code != cfg.filter.code() {
-                        let prepared_with = match FilterKind::from_code(meta.filter_code) {
-                            Some(kind) => format!("filter {kind:?}"),
-                            None => format!("an unknown filter (code {})", meta.filter_code),
-                        };
-                        return Err(format!(
-                            "{path}: index was prepared with {prepared_with}, \
-                             run requests filter {:?}",
-                            cfg.filter
-                        ));
-                    }
-                    let prepared = PreparedBank::from_index(&bank2, idx, &meta)
-                        .map_err(|e| format!("{path}: {e}"))?;
-                    let session = Session::with_subject(prepared, &cfg)
-                        .map_err(|e| format!("{path}: {e}"))?;
-                    (session, "subject_loaded")
-                }
-            };
+            let (session, subject_source) = build_session(&bank2, &cfg, args.options.get("index"))?;
             let subject_secs = t0.elapsed().as_secs_f64();
             let subject = session.subject_stats();
             let r = session.run(&bank1);
@@ -178,19 +376,69 @@ fn run() -> Result<(), String> {
         other => return Err(format!("unknown engine {other:?}")),
     };
 
-    let mut out: Box<dyn Write> = match args.options.get("out") {
-        Some(path) => Box::new(std::io::BufWriter::new(
-            std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?,
-        )),
-        None => Box::new(std::io::BufWriter::new(std::io::stdout())),
-    };
+    let (mut w, out) = Output::open(args.options.get("out"))?;
     for r in &records {
-        writeln!(out, "{r}").map_err(|e| e.to_string())?;
+        if let Err(e) = writeln!(w, "{r}") {
+            out.discard();
+            return Err(e.to_string());
+        }
     }
-    out.flush().map_err(|e| e.to_string())?;
+    out.finish(w)?;
 
     if args.has_flag("stats") {
         eprintln!("{report}");
+    }
+    Ok(())
+}
+
+/// The `--batch` mode: one prepared subject, a stream of query banks,
+/// records leaving through a [`StreamWriter`] as each query finishes.
+fn run_batch(args: &Args, cfg: &OrisConfig) -> Result<(), String> {
+    let batch_path = args.options.get("batch").expect("checked by caller");
+    let mut queries = BatchQueries::open(batch_path)?;
+    let bank2 = oris_seqio::read_fasta_file(&args.positional[0])
+        .map_err(|e| format!("{}: {e}", args.positional[0]))?;
+
+    let t0 = std::time::Instant::now();
+    let (session, subject_source) = build_session(&bank2, cfg, args.options.get("index"))?;
+    let subject_secs = t0.elapsed().as_secs_f64();
+
+    let (w, out) = Output::open(args.options.get("out"))?;
+    let mut sink = StreamWriter::new(w);
+    // Query banks are pulled from the source lazily — one resident at a
+    // time — so the batch's memory bound really is one query's working
+    // set, not the query set's total size.
+    let batch = match session.run_batch(&mut queries, &mut sink) {
+        Ok(b) => b,
+        Err(e) => {
+            out.discard();
+            return Err(e.to_string());
+        }
+    };
+    if let Some(e) = queries.error() {
+        out.discard();
+        return Err(e);
+    }
+    let records = sink.records_written();
+    out.finish(sink.into_inner())?;
+
+    if args.has_flag("stats") {
+        let t = batch.query_totals();
+        let subject = &batch.subject;
+        eprintln!(
+            "engine=oris batch_queries={} {subject_source}={subject_secs:.3}s subject_builds={} records={records} total_index_builds={} index={:.3}s step2={:.3}s step3={:.3}s step4={:.3}s hsps={} alignments={} pairs={} kept={}",
+            batch.queries(),
+            subject.builds,
+            batch.total_index_builds(),
+            t.index_secs,
+            t.step2_secs,
+            t.step3_secs,
+            t.step4_secs,
+            t.hsps,
+            t.step4.emitted,
+            t.step2.pairs_examined,
+            t.step2.kept,
+        );
     }
     Ok(())
 }

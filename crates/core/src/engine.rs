@@ -31,7 +31,8 @@ use oris_index::{BankIndex, IndexConfig};
 use oris_seqio::Bank;
 
 use crate::config::{FilterKind, OrisConfig};
-use crate::pipeline::{merge_strands, run_prepared_pipeline, OrisResult, SubjectStrand};
+use crate::pipeline::{run_prepared_pipeline_into, OrisResult, PipelineStats, SubjectStrand};
+use crate::sink::{CollectSink, RecordSink};
 
 /// Cost and footprint of preparing one bank (mask + index).
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -427,7 +428,9 @@ impl<'a> Session<'a> {
 
     /// Runs an already prepared query against the prepared subject —
     /// steps 2–4 only, no index construction at all
-    /// (`stats.index_builds == 0`).
+    /// (`stats.index_builds == 0`). A [`CollectSink`] over
+    /// [`Session::run_prepared_into`]: the streamed and collected paths
+    /// are the same code, which is what keeps them byte-identical.
     ///
     /// # Panics
     /// Panics if the query was not prepared under this session's
@@ -438,6 +441,31 @@ impl<'a> Session<'a> {
     /// differently filtered query would search a different effective
     /// sequence — both are refused loudly.)
     pub fn run_prepared(&self, query: &PreparedBank<'_>) -> OrisResult {
+        let mut sink = CollectSink::new();
+        let stats = self
+            .run_prepared_into(query, &mut sink)
+            .expect("CollectSink does no IO and cannot fail");
+        OrisResult {
+            alignments: sink.into_records(),
+            stats,
+        }
+    }
+
+    /// Streaming form of [`Session::run_prepared`]: steps 2–4 push each
+    /// record into `sink` as its record-pair group is computed (both
+    /// strands when configured — the sink's single boundary sort merges
+    /// them), then the query boundary is marked with
+    /// [`RecordSink::end_query`]. Returns the per-run report
+    /// (`index_builds == 0`; the caller that prepared the query adds its
+    /// build).
+    ///
+    /// # Panics
+    /// Same configuration checks as [`Session::run_prepared`].
+    pub fn run_prepared_into(
+        &self,
+        query: &PreparedBank<'_>,
+        sink: &mut dyn RecordSink,
+    ) -> std::io::Result<PipelineStats> {
         let qcfg = self.cfg.query_index_config();
         assert_eq!(
             query.index().w(),
@@ -455,17 +483,108 @@ impl<'a> Session<'a> {
             self.cfg.filter,
             "query was prepared under a different filter than the session"
         );
-        self.install(|| {
-            let plus = run_prepared_pipeline(query, &self.plus, &self.cfg, SubjectStrand::Plus);
+        let stats = self.install(|| {
+            let mut push = |rec| sink.accept(rec);
+            let plus = run_prepared_pipeline_into(
+                query,
+                &self.plus,
+                &self.cfg,
+                SubjectStrand::Plus,
+                &mut push,
+            );
             match &self.minus {
                 None => plus,
-                Some(minus) => {
-                    let minus =
-                        run_prepared_pipeline(query, minus, &self.cfg, SubjectStrand::Minus);
-                    merge_strands(plus, minus)
-                }
+                Some(minus) => plus.merge(&run_prepared_pipeline_into(
+                    query,
+                    minus,
+                    &self.cfg,
+                    SubjectStrand::Minus,
+                    &mut push,
+                )),
             }
+        });
+        sink.end_query()?;
+        Ok(stats)
+    }
+
+    /// Runs a batch of query banks against the prepared subject, streaming
+    /// records into `sink` (one [`RecordSink::end_query`] boundary per
+    /// bank, in batch order). Each query's working set — index, HSPs,
+    /// alignments, records — is built, streamed out and freed before the
+    /// next query starts; nothing accumulates across the batch unless the
+    /// sink chooses to keep it.
+    ///
+    /// `queries` is any iterable of banks (`&[Bank]`, a `Vec<Bank>`
+    /// reference, or a *lazy* iterator of owned banks). With a lazy
+    /// iterator the bound is complete: not even the query banks themselves
+    /// are resident beyond the one being run — which is how the
+    /// `scoris-n --batch` directory mode holds exactly one query file at
+    /// a time.
+    ///
+    /// Accounting: each per-query report counts exactly its own
+    /// preparation (1 build); the subject's one-time cost appears **once**,
+    /// in [`BatchStats::subject`], never multiplied across queries.
+    pub fn run_batch<I>(&self, queries: I, sink: &mut dyn RecordSink) -> std::io::Result<BatchStats>
+    where
+        I: IntoIterator,
+        I::Item: std::borrow::Borrow<Bank>,
+    {
+        use std::borrow::Borrow;
+        let mut per_query = Vec::new();
+        for q in queries {
+            let q = q.borrow();
+            let prep = self.install(|| {
+                PreparedBank::prepare(q, self.cfg.filter, self.cfg.query_index_config())
+            });
+            let mut stats = self.run_prepared_into(&prep, sink)?;
+            stats.index_secs += prep.stats().build_secs;
+            stats.index_builds += prep.stats().builds;
+            per_query.push(stats);
+        }
+        Ok(BatchStats {
+            subject: self.subject_stats(),
+            per_query,
         })
+    }
+}
+
+/// Report of one [`Session::run_batch`]: the subject's one-time
+/// preparation cost (attributed **once**, regardless of how many queries
+/// amortize it) plus each query's own pipeline report in batch order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BatchStats {
+    /// One-time subject preparation (both strands when configured) — the
+    /// cost `index_builds` would double-count if it were folded into every
+    /// per-query report.
+    pub subject: PrepareStats,
+    /// Per-query reports, in batch order. Each counts exactly 1
+    /// `index_builds` (its own query's preparation) and zero subject work.
+    pub per_query: Vec<PipelineStats>,
+}
+
+impl BatchStats {
+    /// Number of queries in the batch.
+    pub fn queries(&self) -> usize {
+        self.per_query.len()
+    }
+
+    /// Sum of the per-query reports (the subject's one-time cost is *not*
+    /// folded in — it lives in [`BatchStats::subject`]).
+    pub fn query_totals(&self) -> PipelineStats {
+        self.per_query
+            .iter()
+            .fold(PipelineStats::default(), |acc, s| acc.merge(s))
+    }
+
+    /// Total index builds for the whole batch: the subject's once, plus
+    /// one per query.
+    pub fn total_index_builds(&self) -> u32 {
+        self.subject.builds + self.per_query.iter().map(|s| s.index_builds).sum::<u32>()
+    }
+
+    /// Total records emitted across the batch.
+    pub fn total_records(&self) -> u64 {
+        self.per_query.iter().map(|s| s.step4.emitted).sum()
     }
 }
 
@@ -534,6 +653,69 @@ mod tests {
             r.alignments,
             compare_banks(&query, &subject, &cfg).alignments
         );
+    }
+
+    #[test]
+    fn batch_attributes_subject_build_exactly_once() {
+        // The double-count trap: a batch of N queries must not multiply
+        // the subject's one-time index cost into every per-query report.
+        // With both strands the subject costs 2 builds — they appear once
+        // in BatchStats::subject, while each per-query report counts
+        // exactly its own query's single build.
+        let subject = bank(&[&format!("AA{CORE}TT")]);
+        let queries = vec![
+            bank(&[CORE]),
+            bank(&["ATATATATGCGCGCGCATATATAT"]),
+            bank(&[&format!("GG{CORE}CC")]),
+        ];
+        let mut cfg = OrisConfig::small(8);
+        cfg.both_strands = true;
+        let session = Session::new(&subject, &cfg).unwrap();
+        let mut sink = crate::sink::CollectSink::new();
+        let batch = session.run_batch(&queries, &mut sink).unwrap();
+
+        assert_eq!(batch.queries(), 3);
+        assert_eq!(batch.subject.builds, 2, "one build per subject strand");
+        for s in &batch.per_query {
+            assert_eq!(s.index_builds, 1, "each query pays only its own build");
+        }
+        // Totals: query builds sum WITHOUT the subject...
+        assert_eq!(batch.query_totals().index_builds, 3);
+        // ...and the whole-batch figure adds the subject exactly once:
+        // 2 strand builds + 3 query builds — not the 3·(2+1) = 9 a
+        // per-query fold of compare_banks-style accounting would claim.
+        assert_eq!(batch.total_index_builds(), 5);
+
+        // The per-query reports equal what individual session runs say.
+        for (q, s) in queries.iter().zip(&batch.per_query) {
+            let single = session.run(q);
+            assert_eq!(single.stats.index_builds, s.index_builds);
+            assert_eq!(single.stats.step4.emitted, s.step4.emitted);
+            assert_eq!(single.stats.hsps, s.hsps);
+        }
+        // And the batch record count matches the sink's contents.
+        assert_eq!(batch.total_records() as usize, sink.records().len());
+    }
+
+    #[test]
+    fn run_batch_streams_each_query_in_order() {
+        let subject = bank(&[&format!("CCGGAACCTT{CORE}TTGGCCAACGGT")]);
+        let queries = vec![
+            bank(&[&format!("TT{CORE}GG")]),
+            bank(&[CORE, "GGTTCCAAGGTTCCAAGGTTCCAA"]),
+        ];
+        let cfg = OrisConfig::small(8);
+        let session = Session::new(&subject, &cfg).unwrap();
+
+        let mut sink = crate::sink::CollectSink::new();
+        let batch = session.run_batch(&queries, &mut sink).unwrap();
+        let expected: Vec<oris_eval::M8Record> = queries
+            .iter()
+            .flat_map(|q| session.run(q).alignments)
+            .collect();
+        assert!(!expected.is_empty());
+        assert_eq!(sink.into_records(), expected);
+        assert_eq!(batch.queries(), 2);
     }
 
     #[test]

@@ -3,14 +3,22 @@
 //! module runs steps 2–4 against the prepared artifacts and merges
 //! strands. [`compare_banks`] is the single-shot wrapper that glues the
 //! two together.
+//!
+//! Since the streaming refactor, steps 2–4 are **sink-driven**: the
+//! per-strand runner [`run_prepared_pipeline_into`] pushes records into a
+//! caller-supplied callback as step 3 finishes each `(query, subject)`
+//! record-pair group, instead of returning a whole `Vec`. Whole-result
+//! materialization is a *sink policy* (`CollectSink`) now, not a pipeline
+//! property.
 
 use oris_eval::M8Record;
 use oris_seqio::Bank;
 
 use crate::config::OrisConfig;
 use crate::engine::{PreparedBank, Session};
+use crate::hsp::Hsp;
 use crate::step2::{self, Step2Stats};
-use crate::step3::{self, Step3Stats};
+use crate::step3::{self, GappedAlignment, Step3Stats};
 use crate::step4::{self, Step4Stats};
 
 /// Timing and counter report for one pipeline run.
@@ -55,6 +63,28 @@ impl PipelineStats {
     pub fn total_secs(&self) -> f64 {
         self.index_secs + self.step2_secs + self.step3_secs + self.step4_secs
     }
+
+    /// Merges another run's report into this one: seconds and counters
+    /// sum; the footprint fields (masked fractions, index bytes) describe
+    /// concurrent-resident state, so the merge takes the worse (max) of
+    /// the two runs. Used by the strand merge (plus + minus runs of one
+    /// query) and by batch totals (per-query reports of one subject).
+    pub fn merge(mut self, s: &PipelineStats) -> PipelineStats {
+        self.index_secs += s.index_secs;
+        self.index_builds += s.index_builds;
+        self.step2_secs += s.step2_secs;
+        self.step3_secs += s.step3_secs;
+        self.step4_secs += s.step4_secs;
+        self.hsps += s.hsps;
+        self.raw_alignments += s.raw_alignments;
+        self.step2 = self.step2.merge(s.step2);
+        self.step3 = self.step3.merge(s.step3);
+        self.step4 = self.step4.merge(s.step4);
+        self.masked_fraction1 = self.masked_fraction1.max(s.masked_fraction1);
+        self.masked_fraction2 = self.masked_fraction2.max(s.masked_fraction2);
+        self.index_bytes = self.index_bytes.max(s.index_bytes);
+        self
+    }
 }
 
 /// Result of comparing two banks.
@@ -75,15 +105,81 @@ pub(crate) enum SubjectStrand {
     Minus,
 }
 
-/// Steps 2–4 against prepared banks. Step 1 does not run here: the
+/// Report of one fused steps-3+4 streaming stage ([`gapped_stage_into`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct GappedStageReport {
+    /// Step-3 counters.
+    pub step3: Step3Stats,
+    /// Step-4 counters.
+    pub step4: Step4Stats,
+    /// Gapped alignments produced (pre e-value filter).
+    pub raw_alignments: usize,
+    /// Seconds in step 3 (gapped extension), step 4's share subtracted.
+    pub step3_secs: f64,
+    /// Seconds in step 4 (record conversion), metered inside the fusion.
+    pub step4_secs: f64,
+}
+
+/// Fused steps 3+4 over step-2 HSPs: each record-pair group's alignments
+/// go straight through step 4 into `push` the moment step 3 finishes the
+/// group, and are freed — the whole-run alignment vector of the
+/// collect-then-merge pipeline never exists. Step 4 runs inside step 3's
+/// emission, so its seconds are metered separately and subtracted from
+/// the fused region's wall clock.
+///
+/// Shared by the ORIS per-strand runner and the BLAST baseline's gapped
+/// stage (the engines differ in hit *detection* only — keeping the
+/// result path literally the same code is what keeps the baseline
+/// comparable). `query_residues` is the e-value search-space size on the
+/// query side (the full bank for a batched baseline run); with
+/// `flip_subject`, subject coordinates are mapped back to the original
+/// records' plus-strand numbering *here*, where each alignment still
+/// resolves to a record index — a name-keyed mapping after the fact
+/// would corrupt coordinates whenever bank 2 carries duplicate record
+/// names.
+pub fn gapped_stage_into(
+    bank1: &Bank,
+    bank2: &Bank,
+    hsps: &[Hsp],
+    cfg: &OrisConfig,
+    query_residues: usize,
+    flip_subject: bool,
+    push: &mut dyn FnMut(M8Record),
+) -> GappedStageReport {
+    let t0 = std::time::Instant::now();
+    let mut report = GappedStageReport::default();
+    let mut emit = |alns: Vec<GappedAlignment>| {
+        let t4 = std::time::Instant::now();
+        report.raw_alignments += alns.len();
+        step4::emit_records(
+            bank1,
+            bank2,
+            &alns,
+            cfg,
+            query_residues,
+            flip_subject,
+            &mut report.step4,
+            push,
+        );
+        report.step4_secs += t4.elapsed().as_secs_f64();
+    };
+    report.step3 = step3::gapped_alignments_into(bank1, bank2, hsps, cfg, &mut emit);
+    report.step3_secs = (t0.elapsed().as_secs_f64() - report.step4_secs).max(0.0);
+    report
+}
+
+/// Steps 2–4 against prepared banks, streaming records into `push` as
+/// step 3 finishes each record-pair group (unsorted — ordering is the
+/// sink's job at the query boundary). Step 1 does not run here: the
 /// report's step-1 fields describe the prepared artifacts (masked
 /// fractions, resident index bytes) with zero build time and zero builds.
-pub(crate) fn run_prepared_pipeline(
+pub(crate) fn run_prepared_pipeline_into(
     query: &PreparedBank<'_>,
     subject: &PreparedBank<'_>,
     cfg: &OrisConfig,
     strand: SubjectStrand,
-) -> OrisResult {
+    push: &mut dyn FnMut(M8Record),
+) -> PipelineStats {
     let mut stats = PipelineStats::default();
     let (bank1, idx1) = (query.bank(), query.index());
     let (bank2, idx2) = (subject.bank(), subject.index());
@@ -98,72 +194,43 @@ pub(crate) fn run_prepared_pipeline(
     stats.step2 = s2;
     stats.step2_secs = t0.elapsed().as_secs_f64();
 
-    // ---- Step 3: gapped extension ---------------------------------------
-    let t0 = std::time::Instant::now();
-    let (alns, s3) = step3::gapped_alignments(bank1, bank2, &hsps, cfg);
-    stats.raw_alignments = alns.len();
-    stats.step3 = s3;
-    stats.step3_secs = t0.elapsed().as_secs_f64();
-
-    // ---- Step 4: records -------------------------------------------------
-    let t0 = std::time::Instant::now();
-    let (records, s4) = match strand {
-        SubjectStrand::Plus => step4::display_records(bank1, bank2, &alns, cfg),
-        // Subject coordinates are mapped back to the original records
-        // *here*, where each alignment resolves to a record index — a
-        // name-keyed mapping after the fact would corrupt coordinates
-        // whenever bank 2 carries duplicate record names.
-        SubjectStrand::Minus => step4::display_records_minus_strand(bank1, bank2, &alns, cfg),
-    };
-    stats.step4 = s4;
-    stats.step4_secs = t0.elapsed().as_secs_f64();
-
-    OrisResult {
-        alignments: records,
-        stats,
-    }
+    // ---- Steps 3+4, fused per group --------------------------------------
+    let r = gapped_stage_into(
+        bank1,
+        bank2,
+        &hsps,
+        cfg,
+        bank1.num_residues(),
+        matches!(strand, SubjectStrand::Minus),
+        push,
+    );
+    stats.raw_alignments = r.raw_alignments;
+    stats.step3 = r.step3;
+    stats.step4 = r.step4;
+    stats.step3_secs = r.step3_secs;
+    stats.step4_secs = r.step4_secs;
+    stats
 }
 
-/// Merges plus- and minus-strand runs into one e-value-sorted result.
-/// Minus-strand records already carry original subject coordinates
-/// (`sstart > send`) — see `SubjectStrand::Minus`.
-pub(crate) fn merge_strands(mut plus: OrisResult, mut minus: OrisResult) -> OrisResult {
+/// Merges plus- and minus-strand runs into one sorted result, under the
+/// strict total order [`M8Record::total_order`] (e-value, then score
+/// descending, then ids and coordinates), so the merged order is unique
+/// even with tied e-values — and NaN e-values (degenerate Karlin–Altschul
+/// parameters) sort deterministically last instead of panicking the
+/// comparator. Minus-strand records already carry original subject
+/// coordinates (`sstart > send`) — see `SubjectStrand::Minus`.
+///
+/// The streaming engine merges strands implicitly (one sink sort over
+/// both strand streams at the query boundary — the same total order, so
+/// the same bytes); this function is the collected-results form of that
+/// merge for callers holding two [`OrisResult`]s.
+pub fn merge_strands(plus: OrisResult, mut minus: OrisResult) -> OrisResult {
     let mut alignments = plus.alignments;
     alignments.append(&mut minus.alignments);
-    // total_cmp, not partial_cmp().unwrap(): a NaN e-value (degenerate
-    // Karlin–Altschul parameters) must sort deterministically instead of
-    // panicking mid-merge.
-    alignments.sort_by(|x, y| {
-        x.evalue
-            .total_cmp(&y.evalue)
-            .then_with(|| x.qid.cmp(&y.qid))
-            .then_with(|| x.sid.cmp(&y.sid))
-            .then_with(|| x.qstart.cmp(&y.qstart))
-            .then_with(|| x.sstart.cmp(&y.sstart))
-    });
-    let s = &minus.stats;
-    plus.stats.index_secs += s.index_secs;
-    plus.stats.index_builds += s.index_builds;
-    plus.stats.step2_secs += s.step2_secs;
-    plus.stats.step3_secs += s.step3_secs;
-    plus.stats.step4_secs += s.step4_secs;
-    plus.stats.hsps += s.hsps;
-    plus.stats.raw_alignments += s.raw_alignments;
-    // Per-step counters sum across the two runs; the footprint fields
-    // describe concurrent-resident state, so the merged report takes the
-    // worse (max) of the two runs. Bank 2 and its reverse complement have
-    // the same masked fraction up to filter asymmetries, and the plus- and
-    // minus-strand indexes are the same size up to masking differences —
-    // max is the honest summary for both.
-    plus.stats.step2 = plus.stats.step2.merge(s.step2);
-    plus.stats.step3 = plus.stats.step3.merge(s.step3);
-    plus.stats.step4 = plus.stats.step4.merge(s.step4);
-    plus.stats.masked_fraction1 = plus.stats.masked_fraction1.max(s.masked_fraction1);
-    plus.stats.masked_fraction2 = plus.stats.masked_fraction2.max(s.masked_fraction2);
-    plus.stats.index_bytes = plus.stats.index_bytes.max(s.index_bytes);
+    alignments.sort_by(|x, y| x.total_order(y));
     OrisResult {
         alignments,
-        stats: plus.stats,
+        stats: plus.stats.merge(&minus.stats),
     }
 }
 

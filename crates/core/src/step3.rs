@@ -21,6 +21,14 @@
 //! alignments never cross sentinel boundaries, so groups are independent —
 //! and processes groups with rayon, preserving deterministic output by
 //! sorting groups and concatenating in order.
+//!
+//! The streaming pipeline enters through [`gapped_alignments_into`]: each
+//! group's alignments are handed to a [`Step3Emit`] receiver as soon as
+//! the group is computed (in ascending group-key order, so emission stays
+//! deterministic for any thread count), and groups are computed in bounded
+//! waves — at most a few groups' alignments are ever live at once instead
+//! of the whole query's. [`gapped_alignments`] is the collect-everything
+//! wrapper over the same machinery.
 
 use oris_align::{extend_gapped_both, AlignStats, GappedParams};
 use oris_seqio::Bank;
@@ -158,13 +166,38 @@ fn gapped_serial(
     (out, stats)
 }
 
-/// Runs step 3, parallelizing over `(record1, record2)` groups.
-pub fn gapped_alignments(
+/// Receiver for step 3's streamed output: one call per
+/// `(query record, subject record)` group, in ascending group-key order,
+/// made as soon as the group's alignments exist. The streaming pipeline
+/// implements this with a closure that runs step 4 on the group and feeds
+/// the records straight into a `RecordSink`, so whole-query alignment
+/// vectors never materialize.
+pub trait Step3Emit {
+    /// Delivers one group's gapped alignments (ownership transfers — the
+    /// receiver is the buffer's last stop).
+    fn group(&mut self, alns: Vec<GappedAlignment>);
+}
+
+impl<F: FnMut(Vec<GappedAlignment>)> Step3Emit for F {
+    fn group(&mut self, alns: Vec<GappedAlignment>) {
+        self(alns)
+    }
+}
+
+/// Shared step-3 scheduler: groups HSPs by record pair, processes the
+/// groups in parallel in waves of `wave` groups, and emits each group in
+/// ascending key order as its wave completes. `wave = usize::MAX` is one
+/// wave — maximum overlap, no memory bound — for collect-everything
+/// callers; a small wave bounds in-flight alignments for streaming
+/// callers at the cost of a barrier per wave.
+fn gapped_grouped(
     bank1: &Bank,
     bank2: &Bank,
     hsps: &[Hsp],
     cfg: &OrisConfig,
-) -> (Vec<GappedAlignment>, Step3Stats) {
+    wave: usize,
+    emit: &mut dyn Step3Emit,
+) -> Step3Stats {
     let params = GappedParams {
         scheme: cfg.scheme,
         xdrop: cfg.xdrop_gapped,
@@ -188,21 +221,58 @@ pub fn gapped_alignments(
     let mut keys: Vec<(usize, usize)> = groups.keys().copied().collect();
     keys.sort_unstable();
 
-    let results: Vec<(Vec<GappedAlignment>, Step3Stats)> = keys
-        .par_iter()
-        .map(|k| {
-            // Within a group HSPs keep their global diagonal order.
-            let group = &groups[k];
-            gapped_serial(bank1, bank2, group, &params)
-        })
-        .collect();
-
     let mut stats = Step3Stats::default();
-    let mut out = Vec::with_capacity(results.iter().map(|(v, _)| v.len()).sum());
-    for (v, s) in results {
-        out.extend(v);
-        stats = stats.merge(s);
+    for wave_keys in keys.chunks(wave.max(1)) {
+        let results: Vec<(Vec<GappedAlignment>, Step3Stats)> = wave_keys
+            .par_iter()
+            .map(|k| {
+                // Within a group HSPs keep their global diagonal order.
+                let group = &groups[k];
+                gapped_serial(bank1, bank2, group, &params)
+            })
+            .collect();
+        for (v, s) in results {
+            stats = stats.merge(s);
+            emit.group(v);
+        }
     }
+    stats
+}
+
+/// Runs step 3, parallelizing over `(record1, record2)` groups and
+/// streaming each group's alignments into `emit` the moment the group is
+/// done. Groups are computed in waves of `2 × worker-count`, so at most
+/// one wave's alignments are live at a time; within and across waves,
+/// emission follows ascending group key, which keeps the stream
+/// deterministic for any thread count.
+pub fn gapped_alignments_into(
+    bank1: &Bank,
+    bank2: &Bank,
+    hsps: &[Hsp],
+    cfg: &OrisConfig,
+    emit: &mut dyn Step3Emit,
+) -> Step3Stats {
+    // Wave width: enough groups to occupy every worker with some slack for
+    // uneven group sizes, small enough that in-flight alignments stay
+    // bounded by the wave, not the query.
+    let wave = rayon::current_num_threads().max(1) * 2;
+    gapped_grouped(bank1, bank2, hsps, cfg, wave, emit)
+}
+
+/// Collect-everything wrapper: the pre-streaming signature, kept for the
+/// ablation harness, the brute-force references and any caller that
+/// genuinely needs the whole vector. Runs all groups as one wave —
+/// callers that hold every alignment anyway should not pay the streaming
+/// path's per-wave barriers.
+pub fn gapped_alignments(
+    bank1: &Bank,
+    bank2: &Bank,
+    hsps: &[Hsp],
+    cfg: &OrisConfig,
+) -> (Vec<GappedAlignment>, Step3Stats) {
+    let mut out: Vec<GappedAlignment> = Vec::new();
+    let mut collect = |mut alns: Vec<GappedAlignment>| out.append(&mut alns);
+    let stats = gapped_grouped(bank1, bank2, hsps, cfg, usize::MAX, &mut collect);
     (out, stats)
 }
 

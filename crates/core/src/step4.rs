@@ -7,6 +7,14 @@
 //! increasing e-value ("the alignments are first sorted … according to a
 //! chosen criteria, for example the expected value attached to each
 //! alignment").
+//!
+//! The streaming pipeline enters through [`emit_records`]: it converts one
+//! group of alignments into records and pushes them *unsorted* into a
+//! callback (the sink plumbing), leaving ordering to the sink at query
+//! end. The `display_records*` functions are the collect-then-sort
+//! wrappers over the same conversion; all of them sort with the strict
+//! total order [`M8Record::total_order`], so collected and streamed
+//! output agree byte-for-byte even under tied e-values.
 
 use oris_eval::M8Record;
 use oris_seqio::Bank;
@@ -33,65 +41,65 @@ impl Step4Stats {
     }
 }
 
-/// Converts gapped alignments to sorted, filtered `-m 8` records.
+/// Converts gapped alignments to sorted, filtered `-m 8` records — the
+/// plus-strand collect form of [`emit_records`]. (The pipeline streams
+/// through `emit_records` directly; minus-strand flipping and explicit
+/// query search-space sizes are parameters there.)
 pub fn display_records(
     bank1: &Bank,
     bank2: &Bank,
     alignments: &[GappedAlignment],
     cfg: &OrisConfig,
 ) -> (Vec<M8Record>, Step4Stats) {
-    display_records_with_query_space(bank1, bank2, alignments, cfg, bank1.num_residues())
+    let mut stats = Step4Stats::default();
+    let mut out = Vec::with_capacity(alignments.len());
+    emit_records(
+        bank1,
+        bank2,
+        alignments,
+        cfg,
+        bank1.num_residues(),
+        false,
+        &mut stats,
+        &mut |rec| out.push(rec),
+    );
+    // Strict total order (see `M8Record::total_order`): e-value first,
+    // NaN-safe, with enough tie-breaks that the sorted vector is unique —
+    // the property that keeps collected output equal to streamed output.
+    out.sort_by(|x, y| x.total_order(y));
+    (out, stats)
 }
 
-/// Like [`display_records`], with an explicit query-side search-space size.
+/// Streaming conversion: maps one batch of gapped alignments to `-m 8`
+/// records and hands each surviving record to `push`, **unsorted** —
+/// ordering belongs to the sink, which sorts once per query with
+/// [`M8Record::total_order`]. Counters accumulate into `stats` so a query
+/// spanning many per-pair groups sums naturally.
 ///
-/// Needed when `bank1` is a *batch* of a larger bank (the baseline's
-/// blastall-style query batching): e-values must use the full bank size so
-/// batched and one-pass runs report identical records.
-pub fn display_records_with_query_space(
-    bank1: &Bank,
-    bank2: &Bank,
-    alignments: &[GappedAlignment],
-    cfg: &OrisConfig,
-    query_residues: usize,
-) -> (Vec<M8Record>, Step4Stats) {
-    display_records_inner(bank1, bank2, alignments, cfg, query_residues, false)
-}
-
-/// Minus-strand variant: `rc_bank2` is the reverse complement of the
-/// original subject bank, and emitted subject coordinates are mapped back
-/// to the original records' plus-strand numbering, BLAST style
-/// (`sstart > send`).
-///
-/// The mapping happens *here*, where each alignment still resolves to a
-/// record **index** via [`Bank::locate`] — a hit inside the record of
-/// length `L` at local `[s, e]` becomes `[L − s + 1, L − e + 1]`. Mapping
-/// later from the final records would have to go through the record
-/// *name*, which silently picks the wrong length when the subject bank
-/// contains duplicate record names (the pre-fix behaviour).
-/// `reverse_complement()` preserves record order and lengths, so the
-/// index-resolved `rec2.len` is always the right one.
-pub fn display_records_minus_strand(
-    bank1: &Bank,
-    rc_bank2: &Bank,
-    alignments: &[GappedAlignment],
-    cfg: &OrisConfig,
-) -> (Vec<M8Record>, Step4Stats) {
-    display_records_inner(bank1, rc_bank2, alignments, cfg, bank1.num_residues(), true)
-}
-
-fn display_records_inner(
+/// `query_residues` is the query-side e-value search-space size — the
+/// *full* bank size when `bank1` is one batch of a larger bank (the
+/// baseline's blastall-style batching), so batched and one-pass runs
+/// report identical records. With `flip_subject`, `bank2` is the reverse
+/// complement of the original subject and emitted subject coordinates
+/// are mapped back to plus-strand numbering (`sstart > send`, BLAST
+/// style): a hit at rc-local `[s, e]` in a record of length `L` becomes
+/// `[L − s + 1, L − e + 1]`. The flip happens here, where the alignment
+/// still resolves to a record **index** via [`Bank::locate`] — a
+/// name-keyed mapping after the fact would pick the wrong length
+/// whenever the subject bank carries duplicate record names.
+#[allow(clippy::too_many_arguments)] // streaming form of display_records_inner: same inputs + the two accumulators
+pub fn emit_records(
     bank1: &Bank,
     bank2: &Bank,
     alignments: &[GappedAlignment],
     cfg: &OrisConfig,
     query_residues: usize,
     flip_subject: bool,
-) -> (Vec<M8Record>, Step4Stats) {
+    stats: &mut Step4Stats,
+    push: &mut dyn FnMut(M8Record),
+) {
     let model = EValueModel::dna(cfg.scheme.matsch, cfg.scheme.mismatch);
     let m = query_residues;
-    let mut stats = Step4Stats::default();
-    let mut out = Vec::with_capacity(alignments.len());
 
     for a in alignments {
         if a.len1 == 0 || a.len2 == 0 {
@@ -126,7 +134,7 @@ fn display_records_inner(
                 rec2.to_local(a.start2) + a.len2,
             )
         };
-        out.push(M8Record {
+        push(M8Record {
             qid: rec1.name.clone(),
             sid: rec2.name.clone(),
             pident: a.stats.identity_pct(),
@@ -141,19 +149,6 @@ fn display_records_inner(
             bitscore: model.bit_score(a.score),
         });
     }
-
-    // Sort by e-value (total_cmp: a NaN from a degenerate statistical
-    // model must not panic the comparator), tie-broken deterministically
-    // by coordinates.
-    out.sort_by(|x, y| {
-        x.evalue
-            .total_cmp(&y.evalue)
-            .then_with(|| x.qid.cmp(&y.qid))
-            .then_with(|| x.sid.cmp(&y.sid))
-            .then_with(|| x.qstart.cmp(&y.qstart))
-            .then_with(|| x.sstart.cmp(&y.sstart))
-    });
-    (out, stats)
 }
 
 #[cfg(test)]

@@ -24,7 +24,7 @@ pub mod sensitivity;
 pub mod tables;
 pub mod timing;
 
-pub use m8::M8Record;
+pub use m8::{M8Record, M8Writer};
 pub use overlap::{equivalent, overlap_fraction};
 pub use sensitivity::{compare_outputs, MissReport};
 pub use tables::Table;

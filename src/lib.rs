@@ -32,7 +32,8 @@ pub use oris_stats as stats;
 pub mod prelude {
     pub use oris_blast::{compare_banks as blast_compare_banks, BlastConfig};
     pub use oris_core::{
-        compare_banks, AlignmentRecord, OrisConfig, OrisResult, PreparedBank, Session,
+        compare_banks, AlignmentRecord, BatchStats, CollectSink, OrisConfig, OrisResult,
+        PreparedBank, RecordSink, Session, StreamWriter, TopKSink,
     };
     pub use oris_eval::{MissReport, SpeedupRow};
     pub use oris_index::{BankIndex, IndexConfig, IndexMeta, SeedCoder};
