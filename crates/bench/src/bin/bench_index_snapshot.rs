@@ -357,6 +357,141 @@ fn main() {
         || run_stream(&mut std::io::sink()),
     );
 
+    // ---- db_scale: sharded database vs one concatenated bank ------------
+    // The sharded-database architecture on one box: the same subject
+    // collection as (a) one in-memory bank and (b) a makedb database of
+    // V mmap-attached volumes searched through a 1-volume window.
+    // Measured: attach latency per mode (mmap's zero-copy attach vs the
+    // heap-copy loader), peak live heap for a query batch (the counting
+    // allocator — mapped sections live in the page cache, so the
+    // bounded-window database search must peak strictly below the
+    // resident single-bank index), and cold-vs-warm query wall-clock
+    // (first query pays the attaches; a warm window does not).
+    // W = 9 for the same reason as streaming_batch: the query-side 4^W
+    // offsets transient is shared by both architectures and would drown
+    // the subject-side difference this section measures.
+    let db_cfg = OrisConfig {
+        w: 9,
+        ..OrisConfig::default()
+    };
+    let (db_subject, db_queries) = if test_mode {
+        (oris_bench::planted_bank(505, 24, 80), {
+            let (_, q) = oris_bench::screening_batch(2, 4, 1, 80);
+            q
+        })
+    } else {
+        (oris_bench::planted_bank(505, 512, 400), {
+            let (_, q) = oris_bench::screening_batch(4, 24, 1, 400);
+            q
+        })
+    };
+    let db_dir = std::env::temp_dir().join(format!("oris_bench_db_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&db_dir);
+    let num_volumes = 4usize;
+    let per_volume = (db_subject.num_residues() / num_volumes).max(1);
+    let manifest = oris_db::make_db(
+        [db_subject.clone()],
+        &db_dir,
+        &oris_db::MakeDbOptions::new(&db_cfg, per_volume),
+    )
+    .expect("makedb");
+    let db = oris_db::Database::open(&db_dir).expect("open database");
+    let db_volumes = db.num_volumes();
+    assert!(db_volumes >= 2, "bench database must actually shard");
+
+    // Attach latency per mode, all volumes, rep-paired.
+    let attach_all = |mode: oris_index::AttachMode| {
+        for v in 0..db_volumes {
+            std::hint::black_box(db.attach_volume(v, mode).expect("attach"));
+        }
+    };
+    let (t_attach_copy, t_attach_mmap) = time2(
+        reps.max(3),
+        || attach_all(oris_index::AttachMode::HeapCopy),
+        || attach_all(oris_index::AttachMode::Mmap),
+    );
+
+    // Byte identity: bounded-window database search ≡ concatenated bank
+    // under the database-wide e-value space.
+    let concat_cfg = OrisConfig {
+        subject_space: oris_eval::SubjectSpace::Database(db.total_residues()),
+        ..db_cfg
+    };
+    let run_concat = |out: &mut dyn std::io::Write| {
+        let session = Session::new(&db_subject, &concat_cfg).expect("valid config");
+        let mut sink = StreamWriter::new(out);
+        session
+            .run_batch(&db_queries, &mut sink)
+            .expect("memory sink cannot fail");
+    };
+    let run_db = |out: &mut dyn std::io::Write| -> u64 {
+        let mut session = oris_db::DbSession::new(
+            &db,
+            &db_cfg,
+            oris_db::DbOptions {
+                attach: oris_index::AttachMode::Mmap,
+                window: 1,
+            },
+        )
+        .expect("valid db config");
+        let mut sink = StreamWriter::new(out);
+        session
+            .run_batch(&db_queries, &mut sink)
+            .expect("db search");
+        sink.records_written()
+    };
+    let mut concat_bytes = Vec::new();
+    run_concat(&mut concat_bytes);
+    let mut db_bytes = Vec::new();
+    let db_records = run_db(&mut db_bytes);
+    assert_eq!(
+        concat_bytes, db_bytes,
+        "sharded database output must equal the concatenated single-bank run byte-for-byte"
+    );
+    assert!(db_records > 0, "db workload must produce records");
+
+    // Peak live heap per architecture (null writer: neither side's peak
+    // counts the output bytes). The database side includes its attach
+    // work; the concatenated side includes its subject build — both are
+    // each architecture's true steady-state query-serving footprint.
+    let base = ALLOC.reset_peak();
+    run_concat(&mut std::io::sink());
+    let concat_peak = ALLOC.peak().saturating_sub(base);
+    let base = ALLOC.reset_peak();
+    run_db(&mut std::io::sink());
+    let db_peak = ALLOC.peak().saturating_sub(base);
+    assert!(
+        db_peak < concat_peak,
+        "V-volume windowed search must peak below the concatenated bank \
+         ({db_peak} vs {concat_peak} bytes)"
+    );
+
+    // Cold vs warm: the first query against a window-0 session pays every
+    // volume attach; the second pays none.
+    let cold_query = &db_queries[0];
+    let mut warm_session = oris_db::DbSession::new(&db, &db_cfg, oris_db::DbOptions::default())
+        .expect("valid db config");
+    let t0 = Instant::now();
+    let cold = warm_session.run_query(cold_query).expect("cold query");
+    let t_db_cold = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let warm = warm_session.run_query(cold_query).expect("warm query");
+    let t_db_warm = t0.elapsed().as_secs_f64();
+    assert_eq!(cold.alignments, warm.alignments);
+    let db_attaches: u32 = warm_session.volume_costs().iter().map(|c| c.attaches).sum();
+    assert_eq!(
+        db_attaches as usize, db_volumes,
+        "warm run must not re-attach"
+    );
+    let _ = std::fs::remove_dir_all(&db_dir);
+    // Locals for the JSON block (all idents, so the giant format string
+    // stays positional-argument-free for this section).
+    let db_residues = manifest.total_residues;
+    let db_query_count = db_queries.len();
+    let attach_speedup = t_attach_copy / t_attach_mmap;
+    let db_peak_reduction = concat_peak as f64 / (db_peak.max(1)) as f64;
+    let cold_over_warm = t_db_cold / t_db_warm.max(1e-9);
+
     let json = format!(
         "{{\n  \"bench\": \"index_layout_and_step2_scheduling\",\n  \
          \"est_scale\": {scale},\n  \"est_residues\": {},\n  \
@@ -383,6 +518,20 @@ fn main() {
          \"collect_secs\": {t_batch_collect:.6},\n    \
          \"stream_secs\": {t_batch_stream:.6},\n    \
          \"stream_queries_per_sec\": {:.3},\n    \
+         \"outputs_identical\": true\n  }},\n  \
+         \"db_scale\": {{\n    \"volumes\": {db_volumes},\n    \
+         \"db_residues\": {db_residues},\n    \
+         \"queries\": {db_query_count},\n    \
+         \"records\": {db_records},\n    \
+         \"attach_heapcopy_secs\": {t_attach_copy:.6},\n    \
+         \"attach_mmap_secs\": {t_attach_mmap:.6},\n    \
+         \"attach_speedup\": {attach_speedup:.3},\n    \
+         \"concat_peak_live_bytes\": {concat_peak},\n    \
+         \"db_window1_peak_live_bytes\": {db_peak},\n    \
+         \"peak_reduction\": {db_peak_reduction:.3},\n    \
+         \"cold_query_secs\": {t_db_cold:.6},\n    \
+         \"warm_query_secs\": {t_db_warm:.6},\n    \
+         \"cold_over_warm\": {cold_over_warm:.3},\n    \
          \"outputs_identical\": true\n  }},\n  \
          \"heap_bytes_est\": {{\n    \"linked_full\": {},\n    \
          \"csr_full\": {},\n    \"csr_asymmetric\": {}\n  }},\n  \

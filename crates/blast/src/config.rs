@@ -41,6 +41,10 @@ pub struct BlastConfig {
     /// changes timing only — reported records are identical (verified by
     /// tests).
     pub batch_nt: Option<usize>,
+    /// Subject-side effective search space for e-values (mirrors
+    /// [`oris_core::OrisConfig::subject_space`], so a database-wide
+    /// `--dbsize` run prices both engines' alignments identically).
+    pub subject_space: oris_eval::SubjectSpace,
 }
 
 impl Default for BlastConfig {
@@ -56,6 +60,7 @@ impl Default for BlastConfig {
             threads: None,
             max_gapped_span: 1 << 20,
             batch_nt: None,
+            subject_space: oris_eval::SubjectSpace::PerSequence,
         }
     }
 }
@@ -91,6 +96,7 @@ impl BlastConfig {
             threads: oris.threads,
             max_gapped_span: oris.max_gapped_span,
             batch_nt: None,
+            subject_space: oris.subject_space,
         }
     }
 
@@ -117,6 +123,7 @@ impl BlastConfig {
             both_strands: false,
             threads: self.threads,
             max_gapped_span: self.max_gapped_span,
+            subject_space: self.subject_space,
         }
     }
 

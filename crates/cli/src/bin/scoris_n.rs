@@ -4,6 +4,8 @@
 //! ```text
 //! scoris-n <bank1.fa> <bank2.fa> [options]
 //! scoris-n --batch <dir-or-multi.fa> <bank2.fa> [options]
+//! scoris-n <bank1.fa> --db <dir> [options]
+//! scoris-n --batch <dir-or-multi.fa> --db <dir> [options]
 //!
 //!   -W, --word N        seed length (default 11)
 //!   -e, --evalue X      e-value threshold (default 1e-3, the paper's -e)
@@ -17,6 +19,19 @@
 //!       --both-strands  also search the complementary strand (sstart > send)
 //!       --index FILE    load bank 2's index from a `mkindex` file instead
 //!                       of building it (must match -W/-f/--asymmetric)
+//!       --db DIR        search a `makedb` database instead of a subject
+//!                       FASTA: every volume is searched per query, records
+//!                       merged into one output stream, e-values computed
+//!                       over the database-wide residue total
+//!       --attach MODE   volume attach mode: mmap (default, zero-copy
+//!                       postings/offsets) | copy (heap arrays)
+//!       --window N      max volumes attached at once (default 0 = all;
+//!                       1 bounds memory to one volume's working set)
+//!       --dbsize N      subject-side effective search space: price every
+//!                       alignment against N residues instead of the
+//!                       subject sequence's length (BLAST's -z; what a
+//!                       --db search does implicitly with the manifest
+//!                       total)
 //!       --batch PATH    many-query mode: prepare bank 2 once, stream each
 //!                       query bank's records out as it finishes. PATH is a
 //!                       directory of FASTA files (sorted by name, one query
@@ -41,6 +56,7 @@ fn usage() -> &'static str {
     "usage: scoris-n <bank1.fa> <bank2.fa> [-W n] [-e x] [-x n] [-X n] [-s n]\n\
      \t[-f none|entropy|dust] [-t n] [--engine oris|blast] [--asymmetric]\n\
      \t[--both-strands] [--index bank2.oidx] [--batch dir-or-multi.fa]\n\
+     \t[--db dir] [--attach mmap|copy] [--window n] [--dbsize n]\n\
      \t[--stats] [-o out.m8]"
 }
 
@@ -256,6 +272,10 @@ fn run() -> Result<(), String> {
             "engine",
             "index",
             "batch",
+            "db",
+            "attach",
+            "window",
+            "dbsize",
             "out",
         ],
         &["asymmetric", "both-strands", "stats", "help"],
@@ -278,14 +298,35 @@ fn run() -> Result<(), String> {
         return Ok(());
     }
     let batch_mode = args.options.contains_key("batch");
-    let expected_positionals = if batch_mode { 1 } else { 2 };
+    let db_mode = args.options.contains_key("db");
+    let expected_positionals = match (batch_mode, db_mode) {
+        (true, true) => 0, // queries from --batch, subject from --db
+        (true, false) | (false, true) => 1,
+        (false, false) => 2,
+    };
     if args.positional.len() != expected_positionals {
-        let what = if batch_mode {
-            "expected one FASTA bank (the subject; queries come from --batch)"
-        } else {
-            "expected two FASTA banks"
+        let what = match (batch_mode, db_mode) {
+            (true, true) => {
+                "expected no FASTA banks (queries come from --batch, subject from --db)"
+            }
+            (true, false) => "expected one FASTA bank (the subject; queries come from --batch)",
+            (false, true) => "expected one FASTA bank (the query; subject comes from --db)",
+            (false, false) => "expected two FASTA banks",
         };
         return Err(format!("{what}\n{}", usage()));
+    }
+    if db_mode && args.options.contains_key("index") {
+        return Err(
+            "--db and --index are mutually exclusive (a database carries its own indexes)".into(),
+        );
+    }
+    for db_only in ["attach", "window"] {
+        if !db_mode && args.options.contains_key(db_only) {
+            // Silently ignoring these would let a mistyped --db flag run
+            // the plain two-bank path with none of the requested
+            // attach/memory behaviour.
+            return Err(format!("--{db_only} requires --db"));
+        }
     }
 
     let filter = match args
@@ -301,6 +342,21 @@ fn run() -> Result<(), String> {
     };
     let threads: usize = args.get_or("threads", 0).map_err(|e| e.to_string())?;
 
+    // --dbsize: price every alignment against a fixed subject-side
+    // residue total (BLAST's -z). A --db search sets this implicitly
+    // from the manifest; an explicit value overrides even that.
+    let subject_space = match args.options.get("dbsize") {
+        None => oris_eval::SubjectSpace::PerSequence,
+        Some(v) => {
+            let n: u64 = v.parse().map_err(|e| format!("--dbsize {v:?}: {e}"))?;
+            if n == 0 {
+                // m·0 = 0 would make every e-value exactly 0.0 — the
+                // filter silently disabled by a typo.
+                return Err("--dbsize must be at least 1".into());
+            }
+            oris_eval::SubjectSpace::Database(n)
+        }
+    };
     let cfg = OrisConfig {
         w: args.get_or("word", 11).map_err(|e| e.to_string())?,
         evalue_threshold: args.get_or("evalue", 1e-3).map_err(|e| e.to_string())?,
@@ -311,6 +367,7 @@ fn run() -> Result<(), String> {
         asymmetric: args.has_flag("asymmetric"),
         both_strands: args.has_flag("both-strands"),
         threads: (threads > 0).then_some(threads),
+        subject_space,
         ..OrisConfig::default()
     };
     cfg.validate()?;
@@ -327,7 +384,13 @@ fn run() -> Result<(), String> {
     if engine != "oris" && batch_mode {
         return Err("--batch is only supported by the oris engine".into());
     }
+    if engine != "oris" && db_mode {
+        return Err("--db is only supported by the oris engine".into());
+    }
 
+    if db_mode {
+        return run_db(&args, &cfg, batch_mode);
+    }
     if batch_mode {
         return run_batch(&args, &cfg);
     }
@@ -387,6 +450,115 @@ fn run() -> Result<(), String> {
 
     if args.has_flag("stats") {
         eprintln!("{report}");
+    }
+    Ok(())
+}
+
+/// The `--db` mode: search a `makedb` database. Every query runs across
+/// all volumes (attached via mmap by default, through a bounded window
+/// when `--window` is set), all volumes' records merge into one ordered
+/// stream per query, and e-values are computed over the database-wide
+/// residue total from the manifest — so the output is byte-identical to
+/// a single-bank run over the concatenated input under `--dbsize
+/// <total>`. Composes with `--batch` for many-query runs.
+fn run_db(args: &Args, cfg: &OrisConfig, batch_mode: bool) -> Result<(), String> {
+    let db_dir = args.options.get("db").expect("checked by caller");
+    let attach = match args
+        .options
+        .get("attach")
+        .map(String::as_str)
+        .unwrap_or("mmap")
+    {
+        "mmap" => oris_index::AttachMode::Mmap,
+        "copy" => oris_index::AttachMode::HeapCopy,
+        other => return Err(format!("unknown attach mode {other:?} (mmap | copy)")),
+    };
+    let window: usize = args.get_or("window", 0).map_err(|e| e.to_string())?;
+
+    // `open` covers the whole manifest read + validation + session
+    // config checks — everything between "a directory name" and "ready
+    // to attach volumes".
+    let t0 = std::time::Instant::now();
+    let db = oris_db::Database::open(db_dir).map_err(|e| format!("{db_dir}: {e}"))?;
+    let mut session = oris_db::DbSession::new(&db, cfg, oris_db::DbOptions { attach, window })
+        .map_err(|e| format!("{db_dir}: {e}"))?;
+    let open_secs = t0.elapsed().as_secs_f64();
+
+    // Every input is opened BEFORE Output::open creates the .tmp.<pid>
+    // sibling: a bad query path or batch directory must fail without
+    // leaving a stray tmp file behind (the invariant the atomic-output
+    // tests pin for the non-db modes).
+    enum DbInput {
+        Batch(BatchQueries),
+        Single(Bank),
+    }
+    let input = if batch_mode {
+        let batch_path = args.options.get("batch").expect("checked by caller");
+        DbInput::Batch(BatchQueries::open(batch_path)?)
+    } else {
+        DbInput::Single(
+            oris_seqio::read_fasta_file(&args.positional[0])
+                .map_err(|e| format!("{}: {e}", args.positional[0]))?,
+        )
+    };
+
+    let (w, out) = Output::open(args.options.get("out"))?;
+    let mut sink = StreamWriter::new(w);
+
+    let (per_query, queries_run) = match input {
+        DbInput::Batch(mut queries) => {
+            let batch = match session.run_batch(&mut queries, &mut sink) {
+                Ok(b) => b,
+                Err(e) => {
+                    out.discard();
+                    return Err(e.to_string());
+                }
+            };
+            if let Some(e) = queries.error() {
+                out.discard();
+                return Err(e);
+            }
+            let n = batch.queries();
+            (batch.query_totals(), n)
+        }
+        DbInput::Single(query) => match session.run_query_into(&query, &mut sink) {
+            Ok(s) => (s, 1),
+            Err(e) => {
+                out.discard();
+                return Err(e.to_string());
+            }
+        },
+    };
+    let records = sink.records_written();
+    out.finish(sink.into_inner())?;
+
+    if args.has_flag("stats") {
+        let costs = session.volume_costs();
+        let attaches: u32 = costs.iter().map(|c| c.attaches).sum();
+        let attach_secs: f64 = costs.iter().map(|c| c.attach_secs).sum();
+        let strand_secs: f64 = costs.iter().map(|c| c.strand_build_secs).sum();
+        let mapped = costs.iter().filter(|c| c.mmap_backed).count();
+        let total = match session.config().subject_space {
+            oris_eval::SubjectSpace::Database(n) => n,
+            oris_eval::SubjectSpace::PerSequence => 0,
+        };
+        eprintln!(
+            "engine=oris db={db_dir} volumes={} db_residues={total} queries={queries_run} \
+             records={records} attach={attach:?} attaches={attaches} open_secs={open_secs:.3} \
+             attach_secs={attach_secs:.3} strand_build_secs={strand_secs:.3} mapped_volumes={mapped} \
+             index={:.3}s index_builds={} step2={:.3}s step3={:.3}s step4={:.3}s hsps={} \
+             alignments={} pairs={} kept={}",
+            db.num_volumes(),
+            per_query.index_secs,
+            per_query.index_builds,
+            per_query.step2_secs,
+            per_query.step3_secs,
+            per_query.step4_secs,
+            per_query.hsps,
+            per_query.step4.emitted,
+            per_query.step2.pairs_examined,
+            per_query.step2.kept,
+        );
     }
     Ok(())
 }

@@ -237,6 +237,30 @@ fn batch_argument_validation() {
         .output()
         .unwrap();
     assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.stdout.is_empty(), "no records may be emitted");
+    assert!(
+        stderr.contains("no .fa/.fasta/.fna files"),
+        "the error must say what was missing: {stderr}"
+    );
+
+    // A directory with files but none of them FASTA is the same clean
+    // error — the extension filter must not silently yield a zero-query
+    // batch.
+    let nofasta = dir.join("nofasta");
+    std::fs::create_dir_all(&nofasta).unwrap();
+    std::fs::write(nofasta.join("notes.txt"), "not a bank\n").unwrap();
+    std::fs::write(nofasta.join("data.csv"), "1,2,3\n").unwrap();
+    let out = scoris_n()
+        .arg("--batch")
+        .arg(&nofasta)
+        .arg(&subject)
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(out.stdout.is_empty());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("no .fa/.fasta/.fna files"), "{stderr}");
 }
 
 #[test]

@@ -1,6 +1,7 @@
 //! ORIS pipeline configuration.
 
 use oris_align::ScoringScheme;
+use oris_eval::SubjectSpace;
 
 /// Which low-complexity filter to apply before indexing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -69,6 +70,12 @@ pub struct OrisConfig {
     pub threads: Option<usize>,
     /// Maximum span of a gapped extension per direction (safety bound).
     pub max_gapped_span: usize,
+    /// Subject-side effective search space for e-values
+    /// ([`oris_eval::SubjectSpace`]): the SCORIS-N per-sequence
+    /// convention by default; `Database(total)` for sharded-database
+    /// searches, where `total` comes from the database manifest so every
+    /// volume prices alignments over the same database-wide space.
+    pub subject_space: SubjectSpace,
 }
 
 impl Default for OrisConfig {
@@ -85,6 +92,7 @@ impl Default for OrisConfig {
             both_strands: false,
             threads: None,
             max_gapped_span: 1 << 20,
+            subject_space: SubjectSpace::PerSequence,
         }
     }
 }

@@ -146,6 +146,28 @@ impl<'a> PreparedBank<'a> {
         index: BankIndex,
         meta: &oris_index::IndexMeta,
     ) -> Result<PreparedBank<'a>, String> {
+        Self::from_index_cow(Cow::Borrowed(bank), index, meta)
+    }
+
+    /// Owned-bank form of [`PreparedBank::from_index`], with the same
+    /// identity checks: attaches a loaded index to a bank the prepared
+    /// bank takes ownership of. This is the sharded-database attach path
+    /// — each volume's FASTA is read into an owned [`Bank`] and paired
+    /// with its mmap-loaded index, yielding a `PreparedBank<'static>`
+    /// that can outlive the loading scope.
+    pub fn from_index_owned(
+        bank: Bank,
+        index: BankIndex,
+        meta: &oris_index::IndexMeta,
+    ) -> Result<PreparedBank<'static>, String> {
+        PreparedBank::<'static>::from_index_cow(Cow::Owned(bank), index, meta)
+    }
+
+    fn from_index_cow(
+        bank: Cow<'a, Bank>,
+        index: BankIndex,
+        meta: &oris_index::IndexMeta,
+    ) -> Result<PreparedBank<'a>, String> {
         let filter = FilterKind::from_code(meta.filter_code).ok_or_else(|| {
             format!(
                 "index was prepared with an unknown filter (code {})",
@@ -186,7 +208,7 @@ impl<'a> PreparedBank<'a> {
             builds: 0,
         };
         Ok(PreparedBank {
-            bank: Cow::Borrowed(bank),
+            bank,
             index,
             stats,
             filter,
@@ -466,6 +488,29 @@ impl<'a> Session<'a> {
         query: &PreparedBank<'_>,
         sink: &mut dyn RecordSink,
     ) -> std::io::Result<PipelineStats> {
+        let stats = self.run_prepared_streaming(query, sink);
+        sink.end_query()?;
+        Ok(stats)
+    }
+
+    /// Like [`Session::run_prepared_into`], but **without** marking the
+    /// query boundary: records are pushed into `sink` and the caller owns
+    /// the [`RecordSink::end_query`] call. This is the cross-volume merge
+    /// hook for sharded-database search — one query runs against each
+    /// volume's session in turn through this method, and the *database*
+    /// session fires `end_query` once after the last volume, so the
+    /// sink's single boundary sort merges all volumes' records under
+    /// [`oris_eval::M8Record::total_order`]. That one sort is what makes
+    /// multi-volume output byte-identical to a single-bank run over the
+    /// concatenated input.
+    ///
+    /// # Panics
+    /// Same configuration checks as [`Session::run_prepared`].
+    pub fn run_prepared_streaming(
+        &self,
+        query: &PreparedBank<'_>,
+        sink: &mut dyn RecordSink,
+    ) -> PipelineStats {
         let qcfg = self.cfg.query_index_config();
         assert_eq!(
             query.index().w(),
@@ -483,7 +528,7 @@ impl<'a> Session<'a> {
             self.cfg.filter,
             "query was prepared under a different filter than the session"
         );
-        let stats = self.install(|| {
+        self.install(|| {
             let mut push = |rec| sink.accept(rec);
             let plus = run_prepared_pipeline_into(
                 query,
@@ -502,9 +547,7 @@ impl<'a> Session<'a> {
                     &mut push,
                 )),
             }
-        });
-        sink.end_query()?;
-        Ok(stats)
+        })
     }
 
     /// Runs a batch of query banks against the prepared subject, streaming
@@ -695,6 +738,48 @@ mod tests {
         }
         // And the batch record count matches the sink's contents.
         assert_eq!(batch.total_records() as usize, sink.records().len());
+    }
+
+    #[test]
+    fn run_batch_with_zero_queries_attributes_subject_once() {
+        // The degenerate batch: no query banks at all. The subject's
+        // one-time cost must still be attributed (exactly once) in
+        // BatchStats::subject, the per-query list must be empty, and the
+        // sink must see NO end_query boundary — an empty batch is zero
+        // queries, not one empty query.
+        struct CountingSink {
+            accepted: usize,
+            boundaries: usize,
+        }
+        impl crate::sink::RecordSink for CountingSink {
+            fn accept(&mut self, _rec: oris_eval::M8Record) {
+                self.accepted += 1;
+            }
+            fn end_query(&mut self) -> std::io::Result<()> {
+                self.boundaries += 1;
+                Ok(())
+            }
+        }
+
+        let subject = bank(&[&format!("AA{CORE}TT")]);
+        let mut cfg = OrisConfig::small(8);
+        cfg.both_strands = true;
+        let session = Session::new(&subject, &cfg).unwrap();
+        let mut sink = CountingSink {
+            accepted: 0,
+            boundaries: 0,
+        };
+        let queries: Vec<Bank> = Vec::new();
+        let batch = session.run_batch(&queries, &mut sink).unwrap();
+
+        assert_eq!(batch.queries(), 0);
+        assert!(batch.per_query.is_empty());
+        assert_eq!(batch.subject.builds, 2, "both strands, attributed once");
+        assert_eq!(batch.total_index_builds(), 2, "no query builds to add");
+        assert_eq!(batch.query_totals(), PipelineStats::default());
+        assert_eq!(batch.total_records(), 0);
+        assert_eq!(sink.accepted, 0);
+        assert_eq!(sink.boundaries, 0, "no queries → no query boundaries");
     }
 
     #[test]

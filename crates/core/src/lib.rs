@@ -46,6 +46,21 @@
 //!   call prepares each bank exactly once instead of rebuilding the
 //!   query per strand.
 //!
+//! **Scale out** (the `oris-db` crate builds on these hooks): a sharded
+//! subject database runs one query against many volumes, each volume an
+//! [`engine::PreparedBank`] attached from disk
+//! ([`engine::PreparedBank::from_index_owned`], mmap-backed via
+//! `oris_index::mmap`). Per volume the search goes through
+//! [`engine::Session::run_prepared_streaming`] — record pushes without
+//! the query boundary — and the database session fires the sink's single
+//! `end_query` after the last volume, so one boundary sort merges all
+//! volumes and multi-volume output stays byte-identical to a
+//! concatenated single-bank run. E-values price the subject side under
+//! [`config::OrisConfig::subject_space`]: the SCORIS-N per-sequence
+//! convention by default, or a database-wide residue total
+//! (`oris_eval::SubjectSpace::Database`) so significance cannot depend
+//! on the sharding.
+//!
 //! ```no_run
 //! # let subject = oris_seqio::parse_fasta(">s\nACGT\n").unwrap();
 //! # let queries: Vec<oris_seqio::Bank> = vec![];

@@ -5,7 +5,7 @@
 //! two together.
 //!
 //! Since the streaming refactor, steps 2–4 are **sink-driven**: the
-//! per-strand runner [`run_prepared_pipeline_into`] pushes records into a
+//! per-strand runner (`run_prepared_pipeline_into`) pushes records into a
 //! caller-supplied callback as step 3 finishes each `(query, subject)`
 //! record-pair group, instead of returning a whole `Vec`. Whole-result
 //! materialization is a *sink policy* (`CollectSink`) now, not a pipeline

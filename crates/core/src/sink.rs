@@ -328,6 +328,106 @@ mod tests {
         let _ = TopKSink::new(0);
     }
 
+    /// Reference retention: CollectSink's sorted output truncated to the
+    /// first `k` records per qid — the behaviour TopKSink must reproduce
+    /// at the boundary.
+    fn collect_truncated(arrivals: &[M8Record], k: usize) -> Vec<M8Record> {
+        let mut collect = CollectSink::new();
+        for r in arrivals {
+            collect.accept(r.clone());
+        }
+        collect.end_query().unwrap();
+        let mut kept_per_qid: HashMap<String, usize> = HashMap::new();
+        let mut out = Vec::new();
+        for r in collect.into_records() {
+            let kept = kept_per_qid.entry(r.qid.clone()).or_insert(0);
+            if *kept < k {
+                *kept += 1;
+                out.push(r);
+            }
+        }
+        // Re-sort the survivors into one per-query segment order (the
+        // truncation above preserves order, so this is a no-op — kept for
+        // clarity that both sides are compared under total_order).
+        out.sort_by(|x, y| x.total_order(y));
+        out
+    }
+
+    #[test]
+    fn topk_with_k_exactly_equal_to_hit_count_keeps_everything() {
+        // The retention boundary from above: k == per-sequence hit count
+        // must behave exactly like CollectSink — nothing dropped, same
+        // bytes. (k = hits − 1 then drops exactly one, the worst.)
+        let arrivals: Vec<M8Record> = [
+            ("s3", 1e-3, 30.0),
+            ("s1", 1e-9, 60.0),
+            ("s2", 1e-6, 45.0),
+            ("s4", 1e-1, 20.0),
+        ]
+        .iter()
+        .map(|(sid, e, b)| rec("q", sid, *e, *b))
+        .collect();
+
+        let mut exact = TopKSink::new(arrivals.len());
+        for r in &arrivals {
+            exact.accept(r.clone());
+        }
+        exact.end_query().unwrap();
+        assert_eq!(exact.dropped(), 0, "k == hits must drop nothing");
+        assert_eq!(exact.into_records(), collect_truncated(&arrivals, 4));
+
+        let mut one_less = TopKSink::new(arrivals.len() - 1);
+        for r in &arrivals {
+            one_less.accept(r.clone());
+        }
+        one_less.end_query().unwrap();
+        assert_eq!(one_less.dropped(), 1, "k == hits − 1 drops exactly one");
+        let kept = one_less.into_records();
+        assert_eq!(kept, collect_truncated(&arrivals, 3));
+        assert!(
+            kept.iter().all(|r| r.sid != "s4"),
+            "the dropped record must be the worst under total_order"
+        );
+    }
+
+    #[test]
+    fn topk_ties_straddling_the_cutoff_match_collect_truncation() {
+        // Three records tied on (evalue, bitscore) straddle a k = 2
+        // cutoff; only the sid tiebreak of total_order decides which two
+        // survive. TopKSink's heap (which evicts only on strict Less)
+        // must agree with CollectSink's sort-then-truncate — regardless
+        // of arrival order.
+        let tied: Vec<M8Record> = ["sB", "sC", "sA"]
+            .iter()
+            .map(|sid| rec("q", sid, 1e-5, 40.0))
+            .collect();
+        let better = rec("q", "sZ", 1e-9, 80.0); // safely above the cutoff
+
+        // Every arrival permutation of the tied group must converge on
+        // the same retained set: {sZ, sA} (sA wins the sid tiebreak).
+        let perms: [[usize; 3]; 6] = [
+            [0, 1, 2],
+            [0, 2, 1],
+            [1, 0, 2],
+            [1, 2, 0],
+            [2, 0, 1],
+            [2, 1, 0],
+        ];
+        for perm in perms {
+            let mut arrivals = vec![better.clone()];
+            arrivals.extend(perm.iter().map(|&i| tied[i].clone()));
+            let mut topk = TopKSink::new(2);
+            for r in &arrivals {
+                topk.accept(r.clone());
+            }
+            topk.end_query().unwrap();
+            let kept = topk.into_records();
+            assert_eq!(kept, collect_truncated(&arrivals, 2), "perm {perm:?}");
+            let sids: Vec<&str> = kept.iter().map(|r| r.sid.as_str()).collect();
+            assert_eq!(sids, vec!["sZ", "sA"], "perm {perm:?}");
+        }
+    }
+
     #[test]
     fn stream_writer_emits_sorted_lines_per_query() {
         let mut sink = StreamWriter::new(Vec::new());

@@ -113,7 +113,15 @@ pub fn emit_records(
             .expect("alignment start must lie inside a subject sequence");
         let rec1 = bank1.record(r1);
         let rec2 = bank2.record(r2);
-        let space = SearchSpace::scoris(m, rec2.len);
+        // Subject-side n under the configured convention: the subject
+        // sequence's length (SCORIS-N, the default) or the database-wide
+        // residue total (sharded search — shard-invariant by
+        // construction, see `oris_eval::SubjectSpace`). Built as f64
+        // directly so a >4 Gbp database total survives 32-bit targets.
+        let space = SearchSpace {
+            m: m as f64,
+            n: cfg.subject_space.subject_n(rec2.len) as f64,
+        };
         let evalue = model.evalue(a.score, space);
         if evalue > cfg.evalue_threshold {
             stats.dropped_by_evalue += 1;
@@ -250,6 +258,34 @@ mod tests {
         let (r_short, _) = display_records(&b1, &short, &alns, &cfg());
         let (r_long, _) = display_records(&b1, &long, &alns, &cfg());
         assert!(r_long[0].evalue > r_short[0].evalue);
+    }
+
+    #[test]
+    fn database_space_overrides_subject_length() {
+        // Under SubjectSpace::Database the e-value no longer depends on
+        // which subject sequence (or volume) the alignment lies in — only
+        // on the fixed database total. Short and long subjects price the
+        // same alignment identically, and the e-value scales with the
+        // declared database size exactly as m·n does.
+        use oris_eval::SubjectSpace;
+        let q = "ACGTACGTACGTACGTACGTACGTACGTACGT";
+        let b1 = bank(&[q]);
+        let short = bank(&[q]);
+        let long = bank(&[&format!("{}{}", q, "T".repeat(2000))]);
+        let alns = vec![perfect_alignment(1, 1, 20)];
+        let dbcfg = OrisConfig {
+            subject_space: SubjectSpace::Database(10_000),
+            ..cfg()
+        };
+        let (r_short, _) = display_records(&b1, &short, &alns, &dbcfg);
+        let (r_long, _) = display_records(&b1, &long, &alns, &dbcfg);
+        assert_eq!(r_short[0].evalue, r_long[0].evalue);
+        let bigger = OrisConfig {
+            subject_space: SubjectSpace::Database(20_000),
+            ..cfg()
+        };
+        let (r_big, _) = display_records(&b1, &short, &alns, &bigger);
+        assert!((r_big[0].evalue / r_short[0].evalue - 2.0).abs() < 1e-9);
     }
 
     #[test]

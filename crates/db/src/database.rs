@@ -1,0 +1,200 @@
+//! Opening a database directory and attaching its volumes.
+
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use oris_core::PreparedBank;
+use oris_index::persist::fnv1a;
+use oris_index::{AttachMode, IndexMeta};
+
+use crate::manifest::{Manifest, VolumeMeta, MANIFEST_FILE};
+
+/// Why a database could not be opened, attached or built.
+#[derive(Debug)]
+pub enum DbError {
+    /// I/O failure on a named path.
+    Io(PathBuf, std::io::Error),
+    /// The manifest is missing, malformed or inconsistent.
+    Manifest(String),
+    /// A volume failed validation (bad index file, content mismatch,
+    /// missing file).
+    Volume(String),
+    /// The search configuration does not match the database.
+    Config(String),
+    /// The caller's result sink failed (e.g. the output stream behind a
+    /// `StreamWriter` hit a full disk) — an *output* problem, kept
+    /// distinct from the database's own paths so the operator debugs the
+    /// right filesystem.
+    Sink(std::io::Error),
+}
+
+impl std::fmt::Display for DbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DbError::Io(path, e) => write!(f, "{}: {e}", path.display()),
+            DbError::Manifest(msg) => write!(f, "database manifest: {msg}"),
+            DbError::Volume(msg) => write!(f, "database volume: {msg}"),
+            DbError::Config(msg) => write!(f, "database configuration: {msg}"),
+            DbError::Sink(e) => write!(f, "writing results: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+/// Cost and provenance of one volume attach (step-1 work the database
+/// session performs instead of an index build).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AttachedVolumeStats {
+    /// Seconds spent mapping/reading the index file and re-reading the
+    /// volume FASTA (index build time is always 0 on this path).
+    pub attach_secs: f64,
+    /// Heap bytes of the attached index (near-zero for an mmap attach —
+    /// the big sections stay in the page cache).
+    pub index_heap_bytes: usize,
+    /// Whether the index sections are mmap-backed.
+    pub mmap_backed: bool,
+}
+
+/// An opened sharded subject database: a validated [`Manifest`] plus the
+/// directory its volume files live in. Opening touches only the manifest
+/// (and checks the volume files exist); volumes are attached lazily by
+/// [`Database::attach_volume`] or a [`crate::DbSession`].
+#[derive(Debug, Clone)]
+pub struct Database {
+    dir: PathBuf,
+    manifest: Manifest,
+}
+
+impl Database {
+    /// Opens the database at `dir`: parses and validates the manifest and
+    /// verifies every volume's FASTA and index files exist.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Database, DbError> {
+        let dir = dir.as_ref().to_path_buf();
+        let manifest_path = dir.join(MANIFEST_FILE);
+        let text = std::fs::read_to_string(&manifest_path)
+            .map_err(|e| DbError::Io(manifest_path.clone(), e))?;
+        let manifest = Manifest::parse(&text).map_err(DbError::Manifest)?;
+        for v in &manifest.volumes {
+            for name in [&v.fasta, &v.index] {
+                let p = dir.join(name);
+                if !p.is_file() {
+                    return Err(DbError::Volume(format!(
+                        "volume {} file {} is missing",
+                        v.id,
+                        p.display()
+                    )));
+                }
+            }
+        }
+        Ok(Database { dir, manifest })
+    }
+
+    /// The database directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The validated manifest.
+    pub fn manifest(&self) -> &Manifest {
+        &self.manifest
+    }
+
+    /// Number of volumes.
+    pub fn num_volumes(&self) -> usize {
+        self.manifest.volumes.len()
+    }
+
+    /// Database-wide residue total — the subject-side effective search
+    /// space every volume prices e-values against.
+    pub fn total_residues(&self) -> u64 {
+        self.manifest.total_residues
+    }
+
+    /// One volume's manifest row.
+    pub fn volume(&self, i: usize) -> &VolumeMeta {
+        &self.manifest.volumes[i]
+    }
+
+    /// Attaches volume `i`: re-reads its FASTA, loads its index under
+    /// `mode` (mmap by default — zero-copy postings/offsets), and pairs
+    /// them into a `PreparedBank` after the full identity check chain:
+    ///
+    /// * the FASTA's content hash must match the manifest row (a volume
+    ///   edited after `makedb` is refused);
+    /// * the index file's recorded bank hash must match the bank (the
+    ///   `PreparedBank::from_index` check — so manifest, FASTA and index
+    ///   must agree pairwise);
+    /// * the index configuration must match the manifest's `w`/`stride`.
+    pub fn attach_volume(
+        &self,
+        i: usize,
+        mode: AttachMode,
+    ) -> Result<(PreparedBank<'static>, AttachedVolumeStats), DbError> {
+        let meta = self.volume(i);
+        let t0 = Instant::now();
+        let fasta_path = self.dir.join(&meta.fasta);
+        let bank = oris_seqio::read_fasta_file(&fasta_path)
+            .map_err(|e| DbError::Volume(format!("{}: {e}", fasta_path.display())))?;
+        let actual_hash = fnv1a(bank.data());
+        if actual_hash != meta.bank_hash {
+            return Err(DbError::Volume(format!(
+                "{}: content hash {actual_hash:016x} does not match the manifest \
+                 ({:016x}) — volume rewritten after makedb?",
+                fasta_path.display(),
+                meta.bank_hash
+            )));
+        }
+        if bank.num_residues() as u64 != meta.residues {
+            return Err(DbError::Volume(format!(
+                "{}: {} residues, manifest records {}",
+                fasta_path.display(),
+                bank.num_residues(),
+                meta.residues
+            )));
+        }
+        let index_path = self.dir.join(&meta.index);
+        let (index, imeta): (_, IndexMeta) = oris_index::attach_index_file(&index_path, mode)
+            .map_err(|e| DbError::Volume(format!("{}: {e}", index_path.display())))?;
+        if index.w() != self.manifest.w || index.stride() != self.manifest.stride {
+            return Err(DbError::Volume(format!(
+                "{}: index is w={} stride={}, manifest says w={} stride={}",
+                index_path.display(),
+                index.w(),
+                index.stride(),
+                self.manifest.w,
+                self.manifest.stride
+            )));
+        }
+        // Index ↔ manifest: the index file's recorded bank hash must name
+        // the same content the manifest row does. Combined with the
+        // bank ↔ manifest check above this is transitively bank ↔ index,
+        // so the attach below is told to skip its own bank re-hash — one
+        // full-bank FNV pass per attach, not two (this is the hot path
+        // under a bounded window, which re-attaches volumes per query).
+        if imeta.bank_hash != 0 && imeta.bank_hash != meta.bank_hash {
+            return Err(DbError::Volume(format!(
+                "{}: index was built over content {:016x}, manifest records {:016x}",
+                index_path.display(),
+                imeta.bank_hash,
+                meta.bank_hash
+            )));
+        }
+        let mmap_backed = index.is_mmap_backed();
+        let index_heap_bytes = index.heap_bytes();
+        let attach_meta = IndexMeta {
+            bank_hash: 0, // verified transitively above
+            ..imeta
+        };
+        let prepared = PreparedBank::from_index_owned(bank, index, &attach_meta)
+            .map_err(|e| DbError::Volume(format!("{}: {e}", index_path.display())))?;
+        Ok((
+            prepared,
+            AttachedVolumeStats {
+                attach_secs: t0.elapsed().as_secs_f64(),
+                index_heap_bytes,
+                mmap_backed,
+            },
+        ))
+    }
+}

@@ -1,0 +1,66 @@
+//! # oris-db — the sharded subject database
+//!
+//! The paper's premise is *intensive* comparison: one subject collection
+//! queried over and over. `oris-core`'s [`Session`](oris_core::Session)
+//! amortizes the subject build within a process, and `oris_index::persist`
+//! across processes — but both still treat "the subject" as a single bank
+//! with a single in-memory index. Real search deployments shard instead:
+//! build once into size-bounded **volumes**, memory-map many volumes
+//! cheaply, search them all per query, and report statistics over the
+//! whole collection. This crate is that database layer:
+//!
+//! * [`make_db`] — the `makedb` step: splits arbitrary FASTA input into
+//!   volumes bounded by a residue budget. Each volume is a persisted
+//!   bank (`vol<i>.fa`) plus its CSR index (`vol<i>.oidx`, the
+//!   `oris_index::persist` format) — and the [`Manifest`] records, per
+//!   volume, the residue count, sequence count and bank content hash,
+//!   plus the index configuration and the **database-wide residue
+//!   total**.
+//! * [`Database`] — opens a database directory, validates the manifest,
+//!   and attaches volumes on demand: by **mmap**
+//!   ([`oris_index::AttachMode::Mmap`], the default — the postings and
+//!   offsets sections are referenced zero-copy from the mapped file) or
+//!   by heap copy (the fallback loader, equivalence-tested).
+//! * [`DbSession`] — runs each query across **all** volumes with bounded
+//!   memory: volumes are searched in sequence through a small window of
+//!   attached sessions, each volume's working set dropped before the
+//!   next outside the window, and every volume's records flow into one
+//!   [`RecordSink`](oris_core::RecordSink) whose single boundary sort
+//!   (under `M8Record::total_order`) merges them — so multi-volume
+//!   output is **byte-identical** to a single-bank run over the
+//!   concatenated input.
+//!
+//! E-values are computed over the **database-wide** effective search
+//! space: [`DbSession`] sets
+//! [`OrisConfig::subject_space`](oris_core::OrisConfig) to
+//! `SubjectSpace::Database(total_residues)` from the manifest — not the
+//! per-volume lengths, which would make an alignment's significance
+//! depend on how `makedb` happened to shard the input.
+//!
+//! ```no_run
+//! use oris_core::{CollectSink, OrisConfig};
+//! use oris_db::{make_db, Database, DbOptions, DbSession, MakeDbOptions};
+//!
+//! let cfg = OrisConfig::default();
+//! // Build once: shard subject.fa into ≤10 Mbp volumes under ./db.
+//! let subject = oris_seqio::read_fasta_file("subject.fa").unwrap();
+//! make_db([subject], "db", &MakeDbOptions::new(&cfg, 10_000_000)).unwrap();
+//!
+//! // Search many: attach via mmap, query across all volumes.
+//! let db = Database::open("db").unwrap();
+//! let mut session = DbSession::new(&db, &cfg, DbOptions::default()).unwrap();
+//! let query = oris_seqio::read_fasta_file("query.fa").unwrap();
+//! let mut sink = CollectSink::new();
+//! let stats = session.run_query_into(&query, &mut sink).unwrap();
+//! eprintln!("{} records over {} volumes", stats.step4.emitted, db.num_volumes());
+//! ```
+
+pub mod database;
+pub mod makedb;
+pub mod manifest;
+pub mod session;
+
+pub use database::{Database, DbError};
+pub use makedb::{make_db, MakeDbOptions};
+pub use manifest::{Manifest, VolumeMeta, MANIFEST_FILE};
+pub use session::{DbBatchStats, DbOptions, DbSession, VolumeCost};

@@ -1,0 +1,140 @@
+//! The `makedb` step: shard FASTA input into size-bounded volumes.
+
+use std::path::Path;
+
+use oris_core::{FilterKind, OrisConfig, PreparedBank};
+use oris_index::persist::fnv1a;
+use oris_index::{IndexConfig, IndexMeta};
+use oris_seqio::{Bank, BankBuilder};
+
+use crate::database::DbError;
+use crate::manifest::{Manifest, VolumeMeta, MANIFEST_FILE};
+
+/// Options for [`make_db`].
+#[derive(Debug, Clone, Copy)]
+pub struct MakeDbOptions {
+    /// Residue budget per volume: a volume is closed once adding the next
+    /// sequence would exceed this (a single sequence longer than the
+    /// budget still gets a volume of its own — sequences are never
+    /// split).
+    pub volume_residues: usize,
+    /// Low-complexity filter the volume indexes are prepared under.
+    pub filter: FilterKind,
+    /// Index configuration of every volume (the *subject-side*
+    /// configuration — stride 2 for an asymmetric database).
+    pub index_config: IndexConfig,
+}
+
+impl MakeDbOptions {
+    /// Options matching a search configuration: the database is built
+    /// exactly as `scoris-n` would prepare its subject bank under `cfg`,
+    /// so a [`crate::DbSession`] under the same `cfg` attaches cleanly.
+    pub fn new(cfg: &OrisConfig, volume_residues: usize) -> MakeDbOptions {
+        MakeDbOptions {
+            volume_residues: volume_residues.max(1),
+            filter: cfg.filter,
+            index_config: cfg.subject_index_config(),
+        }
+    }
+}
+
+/// Splits the sequences of `sources` (in order) into size-bounded
+/// volumes under `out_dir`: each volume is written as `vol<i>.fa` plus
+/// its persisted index `vol<i>.oidx`, and the manifest —
+/// [`MANIFEST_FILE`] — records per-volume residue counts, sequence
+/// counts and content hashes, the index configuration, and the
+/// database-wide residue total the search layer prices e-values against.
+///
+/// `out_dir` is created if missing; an existing manifest there is
+/// refused (a database is built once, not accreted — delete the
+/// directory to rebuild). Returns the written manifest.
+pub fn make_db(
+    sources: impl IntoIterator<Item = Bank>,
+    out_dir: impl AsRef<Path>,
+    opts: &MakeDbOptions,
+) -> Result<Manifest, DbError> {
+    let out_dir = out_dir.as_ref();
+    std::fs::create_dir_all(out_dir).map_err(|e| DbError::Io(out_dir.to_path_buf(), e))?;
+    let manifest_path = out_dir.join(MANIFEST_FILE);
+    if manifest_path.exists() {
+        return Err(DbError::Manifest(format!(
+            "{} already exists — delete the directory to rebuild",
+            manifest_path.display()
+        )));
+    }
+
+    let mut volumes: Vec<VolumeMeta> = Vec::new();
+    let mut current = BankBuilder::new();
+    let mut current_seqs = 0u64;
+
+    let flush = |builder: &mut BankBuilder,
+                 seqs: &mut u64,
+                 volumes: &mut Vec<VolumeMeta>|
+     -> Result<(), DbError> {
+        if *seqs == 0 {
+            return Ok(());
+        }
+        let bank = std::mem::replace(builder, BankBuilder::new()).finish();
+        let id = volumes.len();
+        let fasta = format!("vol{id:05}.fa");
+        let index = format!("vol{id:05}.oidx");
+        let fasta_path = out_dir.join(&fasta);
+        oris_seqio::write_fasta_file(&bank, &fasta_path)
+            .map_err(|e| DbError::Volume(format!("{}: {e}", fasta_path.display())))?;
+        let prepared = PreparedBank::prepare(&bank, opts.filter, opts.index_config);
+        let imeta = IndexMeta {
+            masked_fraction: prepared.stats().masked_fraction,
+            filter_code: opts.filter.code(),
+            bank_hash: fnv1a(bank.data()),
+        };
+        let index_path = out_dir.join(&index);
+        oris_index::write_index_file(&index_path, prepared.index(), &imeta)
+            .map_err(|e| DbError::Io(index_path.clone(), e))?;
+        volumes.push(VolumeMeta {
+            id,
+            residues: bank.num_residues() as u64,
+            sequences: *seqs,
+            bank_hash: imeta.bank_hash,
+            fasta,
+            index,
+        });
+        *seqs = 0;
+        Ok(())
+    };
+
+    for bank in sources {
+        for i in 0..bank.num_sequences() {
+            let rec = bank.record(i);
+            // Close the current volume when this sequence would overflow
+            // it. A sequence longer than the whole budget still lands in
+            // a (fresh) volume of its own: sequences are never split,
+            // because extensions cannot cross sequence boundaries and a
+            // split would change results.
+            if current_seqs > 0 && current.residues() + rec.len > opts.volume_residues {
+                flush(&mut current, &mut current_seqs, &mut volumes)?;
+            }
+            current.push_codes(&rec.name, bank.sequence(i));
+            current_seqs += 1;
+        }
+    }
+    flush(&mut current, &mut current_seqs, &mut volumes)?;
+
+    if volumes.is_empty() {
+        return Err(DbError::Manifest(
+            "no sequences in the input — a database needs at least one".into(),
+        ));
+    }
+    let manifest = Manifest {
+        w: opts.index_config.w,
+        stride: opts.index_config.stride,
+        filter_code: opts.filter.code(),
+        total_residues: volumes.iter().map(|v| v.residues).sum(),
+        volumes,
+    };
+    // The manifest is written last, so a crashed build leaves a directory
+    // `Database::open` refuses (no manifest) instead of a plausible but
+    // incomplete database.
+    std::fs::write(&manifest_path, manifest.to_text())
+        .map_err(|e| DbError::Io(manifest_path, e))?;
+    Ok(manifest)
+}

@@ -1,0 +1,333 @@
+//! Cross-volume search: one query, every volume, one result stream.
+
+use oris_core::{
+    CollectSink, OrisConfig, OrisResult, PipelineStats, PreparedBank, RecordSink, Session,
+};
+use oris_eval::SubjectSpace;
+use oris_index::AttachMode;
+use oris_seqio::Bank;
+
+use crate::database::{Database, DbError};
+
+/// Options for a [`DbSession`].
+#[derive(Debug, Clone, Copy)]
+pub struct DbOptions {
+    /// How volume indexes are brought into memory ([`AttachMode::Mmap`]
+    /// by default — postings/offsets referenced zero-copy from the file).
+    pub attach: AttachMode,
+    /// Maximum volumes held attached at once. `0` (the default) keeps
+    /// every volume attached after its first use — cheap under mmap,
+    /// where an attached volume's heap cost is its bank plus bit-set, not
+    /// its postings. A small window (e.g. 1) re-attaches volumes per
+    /// query and bounds resident memory to one volume's working set.
+    pub window: usize,
+}
+
+impl Default for DbOptions {
+    fn default() -> DbOptions {
+        DbOptions {
+            attach: AttachMode::Mmap,
+            window: 0,
+        }
+    }
+}
+
+/// Per-volume step-1 cost attribution for a database session: what was
+/// paid to make each volume searchable, kept separate from the per-query
+/// pipeline reports exactly like `Session`'s subject-vs-query split.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct VolumeCost {
+    /// Times this volume was attached (more than 1 only when the window
+    /// evicted it between queries).
+    pub attaches: u32,
+    /// Seconds spent attaching (FASTA re-read + index map/read), summed
+    /// over attaches.
+    pub attach_secs: f64,
+    /// Seconds spent building minus-strand indexes (only non-zero for
+    /// `both_strands` configurations — an index file stores one strand).
+    pub strand_build_secs: f64,
+    /// Heap bytes of the most recent attach (bank + index; near the bank
+    /// size alone for an mmap attach).
+    pub index_heap_bytes: usize,
+    /// Whether the most recent attach was mmap-backed.
+    pub mmap_backed: bool,
+}
+
+/// Report of one [`DbSession::run_batch`]: per-query pipeline reports (in
+/// batch order) plus the volume attach costs paid so far — the
+/// database-session analogue of `oris_core::BatchStats`, with volume
+/// attaches playing the subject-build role (attributed once per attach,
+/// never folded into per-query reports).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DbBatchStats {
+    /// Per-query merged reports (each sums that query's runs across all
+    /// volumes; `index_builds` counts exactly the query's own build).
+    pub per_query: Vec<PipelineStats>,
+    /// Per-volume attach costs at batch end.
+    pub volumes: Vec<VolumeCost>,
+}
+
+impl DbBatchStats {
+    /// Number of queries run.
+    pub fn queries(&self) -> usize {
+        self.per_query.len()
+    }
+
+    /// Sum of the per-query reports.
+    pub fn query_totals(&self) -> PipelineStats {
+        self.per_query
+            .iter()
+            .fold(PipelineStats::default(), |acc, s| acc.merge(s))
+    }
+
+    /// Total volume attaches across the batch.
+    pub fn total_attaches(&self) -> u32 {
+        self.volumes.iter().map(|v| v.attaches).sum()
+    }
+
+    /// Total records emitted across the batch.
+    pub fn total_records(&self) -> u64 {
+        self.per_query.iter().map(|s| s.step4.emitted).sum()
+    }
+}
+
+/// A many-query search session over a sharded [`Database`].
+///
+/// The cross-volume contract: for each query, every volume is searched
+/// (in id order, through at most [`DbOptions::window`] concurrently
+/// attached volume sessions) and all volumes' records are pushed into
+/// the caller's sink **before** the single [`RecordSink::end_query`]
+/// fires —
+/// so the sink's one boundary sort merges volumes under
+/// `M8Record::total_order`, and multi-volume output is byte-identical to
+/// a single-bank run over the concatenated input.
+///
+/// E-values are computed over the database-wide effective search space:
+/// the session forces
+/// [`OrisConfig::subject_space`](oris_core::OrisConfig) to
+/// `SubjectSpace::Database(total_residues)` from the manifest (an
+/// explicit `Database(_)` already set by the caller — a `--dbsize`
+/// override — is kept).
+pub struct DbSession<'d> {
+    db: &'d Database,
+    cfg: OrisConfig,
+    opts: DbOptions,
+    cache: VolumeCache,
+    costs: Vec<VolumeCost>,
+}
+
+/// Attached volume sessions. The unbounded form is a dense slot table
+/// (O(1) lookup — a linear scan would cost O(V²) id comparisons per
+/// query on a many-volume database); the bounded form holds at most
+/// `window` entries, where a linear scan is the point (window is small).
+enum VolumeCache {
+    /// Unbounded window: one slot per volume id, never evicts.
+    All(Vec<Option<Session<'static>>>),
+    /// Bounded window: eviction is Belady-optimal for the session's
+    /// fixed cyclic scan, see [`DbSession::session_for`].
+    Window(Vec<(usize, Session<'static>)>),
+}
+
+impl<'d> DbSession<'d> {
+    /// Builds a session over `db` under `cfg`, validating that the
+    /// configuration matches how the database was built (indexed word
+    /// length, stride, filter). No volume is attached yet.
+    pub fn new(
+        db: &'d Database,
+        cfg: &OrisConfig,
+        opts: DbOptions,
+    ) -> Result<DbSession<'d>, DbError> {
+        cfg.validate().map_err(DbError::Config)?;
+        let m = db.manifest();
+        let icfg = cfg.subject_index_config();
+        if icfg.w != m.w || icfg.stride != m.stride {
+            return Err(DbError::Config(format!(
+                "database was built with w={} stride={}, configuration needs w={} stride={} \
+                 (check -W / --asymmetric)",
+                m.w, m.stride, icfg.w, icfg.stride
+            )));
+        }
+        if cfg.filter.code() != m.filter_code {
+            return Err(DbError::Config(format!(
+                "database was built under filter code {}, configuration requests {:?} \
+                 (code {})",
+                m.filter_code,
+                cfg.filter,
+                cfg.filter.code()
+            )));
+        }
+        let mut cfg = *cfg;
+        if cfg.subject_space == SubjectSpace::PerSequence {
+            cfg.subject_space = SubjectSpace::Database(db.total_residues());
+        }
+        let cache = if opts.window == 0 || opts.window >= db.num_volumes() {
+            VolumeCache::All((0..db.num_volumes()).map(|_| None).collect())
+        } else {
+            VolumeCache::Window(Vec::with_capacity(opts.window))
+        };
+        Ok(DbSession {
+            db,
+            cfg,
+            opts,
+            cache,
+            costs: vec![VolumeCost::default(); db.num_volumes()],
+        })
+    }
+
+    /// The effective configuration (with the database-wide
+    /// `subject_space` applied).
+    pub fn config(&self) -> &OrisConfig {
+        &self.cfg
+    }
+
+    /// Per-volume attach cost attribution so far.
+    pub fn volume_costs(&self) -> &[VolumeCost] {
+        &self.costs
+    }
+
+    /// The session for volume `v`, attaching (and possibly evicting a
+    /// cached volume) as needed.
+    ///
+    /// Eviction policy: every query scans volumes in ascending id order
+    /// and wraps, so the access pattern is known exactly — the next use
+    /// of cached volume `j` while attaching `v` is `(j − v) mod V` steps
+    /// away. Evicting the furthest-next-use entry is Belady's optimal
+    /// policy for this scan. (Plain LRU would be pathological here: the
+    /// cyclic scan evicts every entry just before its reuse, giving a 0%
+    /// hit rate for any window smaller than the volume count.)
+    fn session_for(&mut self, v: usize) -> Result<&Session<'static>, DbError> {
+        let needs_attach = match &self.cache {
+            VolumeCache::All(slots) => slots[v].is_none(),
+            VolumeCache::Window(entries) => !entries.iter().any(|(id, _)| *id == v),
+        };
+        if needs_attach {
+            if let VolumeCache::Window(entries) = &mut self.cache {
+                let num = self.db.num_volumes();
+                while entries.len() >= self.opts.window {
+                    let evict = entries
+                        .iter()
+                        .enumerate()
+                        .max_by_key(|(_, (id, _))| (id + num - v) % num)
+                        .map(|(pos, _)| pos)
+                        .expect("cache non-empty while at capacity");
+                    // Dropping the session frees the volume's bank, minus
+                    // strand and (heap or mapped) index before the next
+                    // volume attaches — the bounded-memory guarantee.
+                    entries.remove(evict);
+                }
+            }
+            let (prepared, attach) = self.db.attach_volume(v, self.opts.attach)?;
+            let bank_bytes = prepared.bank().heap_bytes();
+            let session = Session::with_subject(prepared, &self.cfg).map_err(DbError::Config)?;
+            let cost = &mut self.costs[v];
+            cost.attaches += 1;
+            cost.attach_secs += attach.attach_secs;
+            cost.strand_build_secs += session.subject_stats().build_secs;
+            cost.index_heap_bytes = attach.index_heap_bytes + bank_bytes;
+            cost.mmap_backed = attach.mmap_backed;
+            match &mut self.cache {
+                VolumeCache::All(slots) => slots[v] = Some(session),
+                VolumeCache::Window(entries) => entries.push((v, session)),
+            }
+        }
+        Ok(match &self.cache {
+            VolumeCache::All(slots) => slots[v].as_ref().expect("attached above"),
+            VolumeCache::Window(entries) => {
+                &entries
+                    .iter()
+                    .find(|(id, _)| *id == v)
+                    .expect("attached above")
+                    .1
+            }
+        })
+    }
+
+    /// Runs one query bank across every volume, streaming all volumes'
+    /// records into `sink` and firing exactly one `end_query` at the end.
+    /// The returned report merges the per-volume runs and counts the
+    /// query's single index build; volume attach costs accumulate in
+    /// [`DbSession::volume_costs`].
+    ///
+    /// Error atomicity: the only mid-query failure source is a volume
+    /// *attach* (the per-volume search itself cannot fail). With an
+    /// unbounded window (the default, and every `window ≥ volumes`
+    /// configuration) all volumes are attached **before** the first
+    /// record flows, so on `Err` the caller's sink is untouched — no
+    /// records, no boundary — and the sink's own retention policy (e.g.
+    /// [`oris_core::TopKSink`]'s O(k) bound) holds unweakened, records
+    /// streaming straight through. With a bounded window, attaches
+    /// necessarily interleave with the scan; a volume whose files were
+    /// deleted or corrupted *after* [`Database::open`] validated them
+    /// then aborts the query mid-stream, and the sink may hold a partial
+    /// query — discard it on `Err` (the CLI discards its whole output).
+    pub fn run_query_into(
+        &mut self,
+        query: &Bank,
+        sink: &mut dyn RecordSink,
+    ) -> Result<PipelineStats, DbError> {
+        let num = self.db.num_volumes();
+        if self.opts.window == 0 || self.opts.window >= num {
+            // Attach-ahead: cached sessions make this a no-op after the
+            // first query; any attach failure surfaces here, before the
+            // sink sees a single record.
+            for v in 0..num {
+                self.session_for(v)?;
+            }
+        }
+        // The query is prepared once for the whole database, exactly as a
+        // single-bank session prepares it once for both strands.
+        let prep = PreparedBank::prepare(query, self.cfg.filter, self.cfg.query_index_config());
+        let mut merged: Option<PipelineStats> = None;
+        for v in 0..num {
+            let session = self.session_for(v)?;
+            let stats = session.run_prepared_streaming(&prep, sink);
+            merged = Some(match merged {
+                None => stats,
+                Some(m) => m.merge(&stats),
+            });
+        }
+        // An end_query failure is the caller's *output* stream failing
+        // (e.g. a full disk under a StreamWriter), not a database
+        // problem — attribute it to the sink, never to the (read-only)
+        // database directory.
+        sink.end_query().map_err(DbError::Sink)?;
+        let mut stats = merged.unwrap_or_default();
+        stats.index_secs += prep.stats().build_secs;
+        stats.index_builds += prep.stats().builds;
+        Ok(stats)
+    }
+
+    /// Collected form of [`DbSession::run_query_into`].
+    pub fn run_query(&mut self, query: &Bank) -> Result<OrisResult, DbError> {
+        let mut sink = CollectSink::new();
+        let stats = self.run_query_into(query, &mut sink)?;
+        Ok(OrisResult {
+            alignments: sink.into_records(),
+            stats,
+        })
+    }
+
+    /// Runs a batch of query banks across the database — one
+    /// `end_query` boundary per bank, in batch order, each query's
+    /// working set freed before the next (and, with a small
+    /// [`DbOptions::window`], each volume's too).
+    pub fn run_batch<I>(
+        &mut self,
+        queries: I,
+        sink: &mut dyn RecordSink,
+    ) -> Result<DbBatchStats, DbError>
+    where
+        I: IntoIterator,
+        I::Item: std::borrow::Borrow<Bank>,
+    {
+        use std::borrow::Borrow;
+        let mut per_query = Vec::new();
+        for q in queries {
+            per_query.push(self.run_query_into(q.borrow(), sink)?);
+        }
+        Ok(DbBatchStats {
+            per_query,
+            volumes: self.costs.clone(),
+        })
+    }
+}

@@ -9,6 +9,9 @@
 //!   if they overlap of more than 80 %";
 //! * [`sensitivity`]: the `SCmiss` / `BLmiss` / `SCORISmiss` / `BLASTmiss`
 //!   bookkeeping of section 3.4;
+//! * [`space`]: the effective search-space conventions e-values are
+//!   computed under — the paper's per-subject-sequence `n`, or a fixed
+//!   database-wide residue total for sharded-database searches;
 //! * [`timing`]: wall-clock measurement and the speed-up rows of the
 //!   section 3.3 tables;
 //! * [`tables`]: plain-text table rendering so every bench binary prints
@@ -21,11 +24,13 @@
 pub mod m8;
 pub mod overlap;
 pub mod sensitivity;
+pub mod space;
 pub mod tables;
 pub mod timing;
 
 pub use m8::{M8Record, M8Writer};
 pub use overlap::{equivalent, overlap_fraction};
 pub use sensitivity::{compare_outputs, MissReport};
+pub use space::SubjectSpace;
 pub use tables::Table;
 pub use timing::{median_secs, time_secs, SpeedupRow};

@@ -20,9 +20,18 @@
 //!   each partition prefix-sums its own offsets stretch, so a small bank
 //!   no longer pays a serial sweep over all `4^W` slots.
 //! * [`persist`]: the on-disk index format (magic + version + config +
-//!   little-endian array sections). A loaded index is behaviourally
-//!   identical to a fresh build, including the `is_fully_indexed`
-//!   provenance that drives step 2's guard auto-selection.
+//!   little-endian array sections, each starting on an 8-byte file
+//!   offset). A loaded index is behaviourally identical to a fresh
+//!   build, including the `is_fully_indexed` provenance that drives
+//!   step 2's guard auto-selection.
+//! * [`mmap`]: the zero-copy attach path for the sharded-database
+//!   workload — [`map_index_file`] maps an index file and hands the
+//!   [`BankIndex`] direct views of its offsets and postings sections, so
+//!   attaching a volume costs no postings copy and its big arrays live
+//!   in the shared, evictable page cache instead of the heap.
+//!   [`AttachMode`] selects between the mapped and heap-copy loaders;
+//!   both verify the same checksum and structural invariants and are
+//!   equivalence-tested.
 //! * [`LinkedBankIndex`]: the literal linked layout of Figure 2, retained
 //!   as a benchmark baseline for the layout comparison.
 //! * Asymmetric indexing (section 3.4): index only every other W-mer of one
@@ -35,12 +44,15 @@
 
 pub mod linked;
 pub mod mask;
+pub mod mmap;
 pub mod persist;
+pub(crate) mod section;
 pub mod seedcode;
 pub mod structure;
 
 pub use linked::LinkedBankIndex;
 pub use mask::MaskSet;
+pub use mmap::{attach_index_file, map_index_file, AttachMode, Mapping};
 pub use persist::{read_index_file, write_index_file, IndexMeta, PersistError};
 pub use seedcode::{RollingCoder, SeedCoder, MAX_SEED_LEN};
 pub use structure::{BankIndex, BuildStrategy, IndexConfig, IndexStats};

@@ -1,0 +1,315 @@
+//! Read-only memory mapping of index files.
+//!
+//! The sharded-database workload holds many persisted volumes and wants
+//! them attached cheaply: [`map_index_file`] maps an index file once and
+//! hands [`crate::BankIndex`] zero-copy views of its two big sections
+//! (row offsets and postings), so attaching a volume costs one mapping
+//! plus the small heap pieces (the bit-set, whose word array the order
+//! guard walks with a cursor, is still copied — it is `len/8` bytes,
+//! an order of magnitude below the postings). The file's whole-stream
+//! checksum and every structural invariant are verified at attach time,
+//! exactly as the heap-copy loader does, so a mapped index gives the
+//! same corruption guarantees — the two loaders are equivalence-tested.
+//!
+//! The mapping is implemented with direct `mmap(2)`/`munmap(2)` calls
+//! (declared `extern "C"` — this build environment has no crates.io
+//! access, and the platform C library already exports them). On
+//! non-Unix targets, or if the kernel refuses the mapping,
+//! [`map_index_file`] falls back to [`crate::read_index_file`]'s heap
+//! copy: callers always get a working index, mapped when possible.
+//!
+//! **Caveat** (inherent to file mappings, not this implementation): the
+//! kernel does not snapshot the file. Truncating or rewriting an index
+//! file while a process holds it mapped can deliver `SIGBUS` on access.
+//! The `makedb`/`Database` layer writes volumes once and never rewrites
+//! them in place, which is the discipline this module assumes.
+
+use std::fs::File;
+use std::io;
+use std::ops::Deref;
+use std::path::Path;
+use std::sync::Arc;
+
+use crate::persist::PersistError;
+use crate::structure::BankIndex;
+use crate::IndexMeta;
+
+/// A read-only, shared mapping of an entire file.
+pub struct Mapping {
+    ptr: *mut u8,
+    len: usize,
+}
+
+// SAFETY: the mapping is read-only (`PROT_READ`) and never handed out
+// mutably; see `Section`'s rationale.
+unsafe impl Send for Mapping {}
+unsafe impl Sync for Mapping {}
+
+#[cfg(unix)]
+mod sys {
+    use std::os::unix::io::RawFd;
+
+    // Minimal prototypes for the two calls used, matching the Linux/BSD
+    // C library ABI. `mmap` takes a 6th `off_t` argument; declaring it
+    // `i64` matches 64-bit `off_t` on the LP64 targets this runs on.
+    extern "C" {
+        pub fn mmap(
+            addr: *mut core::ffi::c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: RawFd,
+            offset: i64,
+        ) -> *mut core::ffi::c_void;
+        pub fn munmap(addr: *mut core::ffi::c_void, len: usize) -> i32;
+    }
+
+    pub const PROT_READ: i32 = 1;
+    pub const MAP_PRIVATE: i32 = 2;
+    pub const MAP_FAILED: *mut core::ffi::c_void = usize::MAX as *mut core::ffi::c_void;
+}
+
+impl Mapping {
+    /// Maps `file` read-only in its entirety.
+    ///
+    /// Returns `Err` when the platform has no `mmap` (non-Unix) or the
+    /// kernel refuses; callers are expected to fall back to a buffered
+    /// read.
+    #[cfg(unix)]
+    pub fn of_file(file: &File) -> io::Result<Mapping> {
+        use std::os::unix::io::AsRawFd;
+        let len = file.metadata()?.len();
+        if len == 0 {
+            // A zero-length mmap is EINVAL; an empty file is simply an
+            // empty byte slice.
+            return Ok(Mapping {
+                ptr: std::ptr::null_mut(),
+                len: 0,
+            });
+        }
+        let len = usize::try_from(len)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "file too large to map"))?;
+        // SAFETY: a fresh PROT_READ/MAP_PRIVATE mapping of a file we hold
+        // open; the result is checked against MAP_FAILED before use.
+        let ptr = unsafe {
+            sys::mmap(
+                std::ptr::null_mut(),
+                len,
+                sys::PROT_READ,
+                sys::MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr == sys::MAP_FAILED {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Mapping {
+            ptr: ptr.cast(),
+            len,
+        })
+    }
+
+    #[cfg(not(unix))]
+    pub fn of_file(_file: &File) -> io::Result<Mapping> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "memory mapping is only implemented on Unix targets",
+        ))
+    }
+
+    /// Number of mapped bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the mapping is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl Deref for Mapping {
+    type Target = [u8];
+
+    #[inline]
+    fn deref(&self) -> &[u8] {
+        if self.len == 0 {
+            &[]
+        } else {
+            // SAFETY: `ptr` is a live PROT_READ mapping of `len` bytes,
+            // unmapped only in Drop.
+            unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+        }
+    }
+}
+
+impl Drop for Mapping {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if self.len > 0 {
+            // SAFETY: exactly the region mmap returned; errors at unmap
+            // time are unreportable and ignored (the standard idiom).
+            unsafe {
+                sys::munmap(self.ptr.cast(), self.len);
+            }
+        }
+    }
+}
+
+/// How a persisted index should be brought into memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AttachMode {
+    /// `mmap` the file and reference the offsets/postings sections
+    /// zero-copy (falling back to [`AttachMode::HeapCopy`] if the
+    /// platform cannot map, e.g. non-Unix or a misaligned section).
+    #[default]
+    Mmap,
+    /// Read the file into fresh heap arrays ([`crate::read_index_file`]).
+    HeapCopy,
+}
+
+/// Loads an index file under `mode`. Both modes verify the same header,
+/// checksum and structural invariants and produce behaviourally
+/// identical indexes; they differ only in where the two big array
+/// sections live (page cache vs heap).
+pub fn attach_index_file(
+    path: impl AsRef<Path>,
+    mode: AttachMode,
+) -> Result<(BankIndex, IndexMeta), PersistError> {
+    match mode {
+        AttachMode::HeapCopy => crate::persist::read_index_file(path),
+        AttachMode::Mmap => map_index_file(path),
+    }
+}
+
+/// Maps an index file written by [`crate::write_index_file`] and builds a
+/// [`BankIndex`] whose offsets and postings sections are zero-copy views
+/// of the mapping. Falls back to the heap-copy loader when the platform
+/// cannot map the file; returns the same typed errors as
+/// [`crate::persist::read_index`] for malformed files.
+pub fn map_index_file(path: impl AsRef<Path>) -> Result<(BankIndex, IndexMeta), PersistError> {
+    let path = path.as_ref();
+    let file = File::open(path).map_err(PersistError::Io)?;
+    let map = match Mapping::of_file(&file) {
+        Ok(m) => Arc::new(m),
+        // Unsupported platform / kernel refusal: same bytes, heap copy.
+        Err(_) => return crate::persist::read_index_file(path),
+    };
+    crate::persist::index_from_mapping(&map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn tmp_file(name: &str, bytes: &[u8]) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("oris_mmap_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("{}_{name}", std::process::id()));
+        let mut f = File::create(&path).unwrap();
+        f.write_all(bytes).unwrap();
+        path
+    }
+
+    #[test]
+    fn mapping_exposes_file_bytes() {
+        let path = tmp_file("bytes", b"hello mapping");
+        let map = Mapping::of_file(&File::open(&path).unwrap()).unwrap();
+        assert_eq!(&*map, b"hello mapping");
+        assert_eq!(map.len(), 13);
+    }
+
+    #[test]
+    fn empty_file_maps_to_empty_slice() {
+        let path = tmp_file("empty", b"");
+        let map = Mapping::of_file(&File::open(&path).unwrap()).unwrap();
+        assert!(map.is_empty());
+        assert_eq!(&*map, b"");
+    }
+
+    fn bank_of(seqs: &[&str]) -> oris_seqio::Bank {
+        let mut b = oris_seqio::BankBuilder::new();
+        for (i, s) in seqs.iter().enumerate() {
+            b.push_str(&format!("s{i}"), s).unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn mmap_attach_equals_heap_copy() {
+        use crate::structure::{BankIndex, IndexConfig};
+        // The equivalence the database layer relies on: both attach modes
+        // produce behaviourally identical indexes — same occurrences
+        // slices, stats, provenance — differing only in where the big
+        // sections live.
+        let bank = bank_of(&["ACGTACGTTTGGCCAAACGTNACGT", "TTGGCCAAGGTTACCA"]);
+        for cfg in [IndexConfig::full(4), IndexConfig::asymmetric(5)] {
+            let idx = BankIndex::build(&bank, cfg);
+            let meta = IndexMeta {
+                masked_fraction: 0.0,
+                filter_code: 1,
+                bank_hash: crate::persist::fnv1a(bank.data()),
+            };
+            let path = {
+                let mut buf = Vec::new();
+                crate::persist::write_index(&mut buf, &idx, &meta).unwrap();
+                tmp_file(&format!("attach_w{}s{}", cfg.w, cfg.stride), &buf)
+            };
+            let (mapped, m_meta) = attach_index_file(&path, AttachMode::Mmap).unwrap();
+            let (copied, c_meta) = attach_index_file(&path, AttachMode::HeapCopy).unwrap();
+            assert_eq!(m_meta, c_meta);
+            assert_eq!(m_meta, meta);
+            assert!(mapped.is_mmap_backed(), "unix target must really map");
+            assert!(!copied.is_mmap_backed());
+            assert_eq!(mapped.offsets(), copied.offsets());
+            assert_eq!(mapped.positions(), copied.positions());
+            assert_eq!(mapped.indexed_words(), copied.indexed_words());
+            assert_eq!(mapped.is_fully_indexed(), copied.is_fully_indexed());
+            assert_eq!(mapped.bank_len(), copied.bank_len());
+            for code in 0..mapped.coder().num_seeds() as u32 {
+                assert_eq!(mapped.occurrences(code), copied.occurrences(code));
+            }
+            // The mapped index keeps the big sections off the heap.
+            assert!(mapped.heap_bytes() < copied.heap_bytes());
+            // A clone of a mapped index shares the mapping and stays valid
+            // after the original is dropped.
+            let cloned = mapped.clone();
+            drop(mapped);
+            assert_eq!(cloned.offsets(), copied.offsets());
+        }
+    }
+
+    #[test]
+    fn both_loaders_reject_the_same_corruptions() {
+        use crate::structure::{BankIndex, IndexConfig};
+        let bank = bank_of(&["ACGTACGTACGTTTGGCCAA"]);
+        let idx = BankIndex::build(&bank, IndexConfig::full(4));
+        let mut clean = Vec::new();
+        crate::persist::write_index(&mut clean, &idx, &IndexMeta::default()).unwrap();
+
+        // Truncations, a payload flip, and trailing junk: the mapped
+        // loader must return an error (never panic or accept) exactly
+        // where the streaming loader does.
+        let mut variants: Vec<Vec<u8>> = vec![];
+        for cut in [0, 8, 40, clean.len() / 2, clean.len() - 1] {
+            variants.push(clean[..cut].to_vec());
+        }
+        let mut flipped = clean.clone();
+        let mid = clean.len() / 2;
+        flipped[mid] ^= 0x04;
+        variants.push(flipped);
+        let mut trailing = clean.clone();
+        trailing.push(0);
+        variants.push(trailing);
+
+        for (i, bytes) in variants.iter().enumerate() {
+            let path = tmp_file(&format!("corrupt{i}"), bytes);
+            let via_map = attach_index_file(&path, AttachMode::Mmap);
+            let via_copy = attach_index_file(&path, AttachMode::HeapCopy);
+            assert!(via_map.is_err(), "variant {i} must be rejected by mmap");
+            assert!(via_copy.is_err(), "variant {i} must be rejected by copy");
+        }
+    }
+}

@@ -10,11 +10,11 @@
 //! [`BankIndex::is_fully_indexed`] provenance, so step 2's guard
 //! auto-selection makes the same choice it would have made in memory.
 //!
-//! ## Format (version 1, all integers little-endian)
+//! ## Format (version 2, all integers little-endian)
 //!
 //! ```text
 //! magic             8 B   "ORISIDX\0"
-//! version           u32   1
+//! version           u32   2
 //! w                 u32   seed length
 //! stride            u32   sampling stride (1 = full, 2 = asymmetric)
 //! flags             u32   bit 0 = fully_indexed; other bits reserved (must be 0)
@@ -25,11 +25,23 @@
 //! num_offsets       u64   must equal 4^w + 1
 //! num_positions     u64   number of postings
 //! num_bitset_words  u64   must equal bank_len.div_ceil(64)
+//! -- zero padding to the next 8-byte file offset --
 //! offsets           num_offsets × u32
+//! -- zero padding to the next 8-byte file offset --
 //! positions         num_positions × u32
+//! -- zero padding to the next 8-byte file offset --
 //! bitset            num_bitset_words × u64
 //! checksum          u64   FNV-1a of every preceding byte of the stream
 //! ```
+//!
+//! Version 2 differs from version 1 only in the zero padding that starts
+//! every array section on an 8-byte file offset. That alignment is what
+//! lets the sharded-database attach path (`oris_index::mmap`) reference
+//! the offsets and postings sections **zero-copy from the mapped file**
+//! — a `&[u32]` view requires its byte offset to be aligned, and an
+//! unaligned section would force the copy the mapping exists to avoid.
+//! Version-1 files are refused with a typed error (rebuild with
+//! `mkindex`); the format carries no compatibility shims.
 //!
 //! `masked_fraction` and `filter_code` describe how the index was
 //! *prepared* (the mask itself is not persisted — steps 2–4 never consult
@@ -57,20 +69,34 @@
 //! that could change output — a false `fully_indexed` claim — is
 //! re-verified against the bank when the index is attached, see
 //! `oris_core::PreparedBank::from_index`.)
+//!
+//! The mmap attach path ([`crate::mmap::map_index_file`]) runs the same
+//! checksum and structural validation over the mapped bytes, so both
+//! loaders reject exactly the same files (equivalence-tested).
 
 use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::Path;
+use std::sync::Arc;
 
 use crate::mask::MaskSet;
+use crate::mmap::Mapping;
+use crate::section::Section;
 use crate::seedcode::MAX_SEED_LEN;
 use crate::structure::BankIndex;
 
 /// File magic, first 8 bytes of every index file.
 pub const MAGIC: [u8; 8] = *b"ORISIDX\0";
 
-/// Current (and only) format version.
-pub const FORMAT_VERSION: u32 = 1;
+/// Current format version (2: version 1 plus 8-byte section alignment,
+/// see the module docs).
+pub const FORMAT_VERSION: u32 = 2;
+
+/// Bytes of the fixed header (everything before the first padding run).
+const HEADER_BYTES: u64 = 76;
+
+/// File-offset alignment of every array section.
+const SECTION_ALIGN: u64 = 8;
 
 /// Preparation provenance stored alongside the index arrays.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -108,17 +134,20 @@ fn fnv1a_fold(mut h: u64, bytes: &[u8]) -> u64 {
     h
 }
 
-/// Forwards writes while folding every byte into an FNV-1a state, so the
-/// trailing checksum covers the exact stream written.
+/// Forwards writes while folding every byte into an FNV-1a state and
+/// counting bytes, so the trailing checksum covers the exact stream
+/// written and padding can be sized from the running file offset.
 struct HashingWriter<'w, W: Write> {
     inner: &'w mut W,
     hash: u64,
+    written: u64,
 }
 
 impl<W: Write> Write for HashingWriter<'_, W> {
     fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
         let n = self.inner.write(buf)?;
         self.hash = fnv1a_fold(self.hash, &buf[..n]);
+        self.written += n as u64;
         Ok(n)
     }
 
@@ -127,17 +156,20 @@ impl<W: Write> Write for HashingWriter<'_, W> {
     }
 }
 
-/// Forwards reads while folding every byte into an FNV-1a state, so the
-/// checksum can be verified without buffering the whole file.
+/// Forwards reads while folding every byte into an FNV-1a state and
+/// counting bytes, so the checksum can be verified (and padding located)
+/// without buffering the whole file.
 struct HashingReader<'r, R: Read> {
     inner: &'r mut R,
     hash: u64,
+    consumed: u64,
 }
 
 impl<R: Read> Read for HashingReader<'_, R> {
     fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
         let n = self.inner.read(buf)?;
         self.hash = fnv1a_fold(self.hash, &buf[..n]);
+        self.consumed += n as u64;
         Ok(n)
     }
 }
@@ -186,12 +218,20 @@ impl From<io::Error> for PersistError {
     }
 }
 
+/// Zero bytes needed to advance file offset `at` to [`SECTION_ALIGN`].
+fn padding_for(at: u64) -> u64 {
+    (SECTION_ALIGN - at % SECTION_ALIGN) % SECTION_ALIGN
+}
+
 /// Serializes `idx` (with its preparation provenance) to `out`, ending
-/// with the whole-stream checksum.
+/// with the whole-stream checksum. Every array section starts on an
+/// 8-byte file offset (zero padded) so a mapped file can hand out
+/// aligned slices.
 pub fn write_index(out: &mut impl Write, idx: &BankIndex, meta: &IndexMeta) -> io::Result<()> {
     let mut out = HashingWriter {
         inner: out,
         hash: FNV_OFFSET_BASIS,
+        written: 0,
     };
     out.write_all(&MAGIC)?;
     out.write_all(&FORMAT_VERSION.to_le_bytes())?;
@@ -206,13 +246,22 @@ pub fn write_index(out: &mut impl Write, idx: &BankIndex, meta: &IndexMeta) -> i
     out.write_all(&(idx.positions().len() as u64).to_le_bytes())?;
     let words = idx.indexed_words();
     out.write_all(&(words.len() as u64).to_le_bytes())?;
+    debug_assert_eq!(out.written, HEADER_BYTES);
+    write_padding(&mut out)?;
     write_u32_section(&mut out, idx.offsets())?;
+    write_padding(&mut out)?;
     write_u32_section(&mut out, idx.positions())?;
+    write_padding(&mut out)?;
     write_u64_section(&mut out, words)?;
     // The checksum itself is written to the inner stream, outside its own
     // coverage.
     let checksum = out.hash;
     out.inner.write_all(&checksum.to_le_bytes())
+}
+
+fn write_padding<W: Write>(out: &mut HashingWriter<'_, W>) -> io::Result<()> {
+    let pad = padding_for(out.written) as usize;
+    out.write_all(&[0u8; SECTION_ALIGN as usize][..pad])
 }
 
 /// Scalars encoded per chunk of section output — one `write_all` per
@@ -285,15 +334,47 @@ fn read_section<const S: usize, T>(
         .collect())
 }
 
-/// Deserializes an index written by [`write_index`], validating every
-/// structural invariant and the trailing checksum. Never panics on
-/// malformed input.
-pub fn read_index(r: &mut impl Read) -> Result<(BankIndex, IndexMeta), PersistError> {
-    let mut hashing = HashingReader {
-        inner: r,
-        hash: FNV_OFFSET_BASIS,
-    };
-    let r = &mut hashing;
+/// The validated fixed header of an index file — the part both loaders
+/// (streamed heap copy and mmap) parse identically before touching the
+/// array sections.
+struct Header {
+    w: usize,
+    stride: usize,
+    fully_indexed: bool,
+    bank_len: usize,
+    meta: IndexMeta,
+    num_offsets: u64,
+    num_positions: u64,
+    num_words: u64,
+}
+
+impl Header {
+    /// File offset of the offsets section.
+    fn offsets_at(&self) -> u64 {
+        HEADER_BYTES + padding_for(HEADER_BYTES)
+    }
+
+    /// File offset of the positions section.
+    fn positions_at(&self) -> u64 {
+        let end = self.offsets_at() + 4 * self.num_offsets;
+        end + padding_for(end)
+    }
+
+    /// File offset of the bit-set section.
+    fn bitset_at(&self) -> u64 {
+        let end = self.positions_at() + 4 * self.num_positions;
+        end + padding_for(end)
+    }
+
+    /// Total file size including the trailing checksum.
+    fn file_size(&self) -> u64 {
+        self.bitset_at() + 8 * self.num_words + 8
+    }
+}
+
+/// Parses and validates the fixed header: magic, version, and every
+/// field-level invariant (sections are not touched here).
+fn read_header(r: &mut impl Read) -> Result<Header, PersistError> {
     let magic = read_array::<8>(r)?;
     if magic != MAGIC {
         return Err(PersistError::BadMagic);
@@ -355,11 +436,52 @@ pub fn read_index(r: &mut impl Read) -> Result<(BankIndex, IndexMeta), PersistEr
             bank_len.div_ceil(64)
         )));
     }
+    Ok(Header {
+        w,
+        stride,
+        fully_indexed,
+        bank_len,
+        meta: IndexMeta {
+            masked_fraction,
+            filter_code,
+            bank_hash,
+        },
+        num_offsets,
+        num_positions,
+        num_words,
+    })
+}
 
-    let offsets = read_section::<4, u32>(r, num_offsets as usize, u32::from_le_bytes)?;
-    let positions = read_section::<4, u32>(r, num_positions as usize, u32::from_le_bytes)?;
-    let words = read_section::<8, u64>(r, num_words as usize, u64::from_le_bytes)?;
-    let indexed = MaskSet::from_raw_words(words, bank_len)
+/// Consumes (and requires zero) the padding run before the next section.
+fn read_padding<R: Read>(r: &mut HashingReader<'_, R>) -> Result<(), PersistError> {
+    let pad = padding_for(r.consumed) as usize;
+    let mut buf = [0u8; SECTION_ALIGN as usize];
+    r.read_exact(&mut buf[..pad])?;
+    if buf[..pad].iter().any(|&b| b != 0) {
+        return Err(PersistError::Corrupt("non-zero section padding".into()));
+    }
+    Ok(())
+}
+
+/// Deserializes an index written by [`write_index`], validating every
+/// structural invariant and the trailing checksum. Never panics on
+/// malformed input.
+pub fn read_index(r: &mut impl Read) -> Result<(BankIndex, IndexMeta), PersistError> {
+    let mut hashing = HashingReader {
+        inner: r,
+        hash: FNV_OFFSET_BASIS,
+        consumed: 0,
+    };
+    let r = &mut hashing;
+    let h = read_header(r)?;
+
+    read_padding(r)?;
+    let offsets = read_section::<4, u32>(r, h.num_offsets as usize, u32::from_le_bytes)?;
+    read_padding(r)?;
+    let positions = read_section::<4, u32>(r, h.num_positions as usize, u32::from_le_bytes)?;
+    read_padding(r)?;
+    let words = read_section::<8, u64>(r, h.num_words as usize, u64::from_le_bytes)?;
+    let indexed = MaskSet::from_raw_words(words, h.bank_len)
         .ok_or_else(|| PersistError::Corrupt("bit-set has bits beyond the bank length".into()))?;
 
     // Verify the whole-stream checksum before trusting the arrays: a
@@ -374,23 +496,100 @@ pub fn read_index(r: &mut impl Read) -> Result<(BankIndex, IndexMeta), PersistEr
     }
 
     let index = BankIndex::from_raw_parts(
-        w,
-        stride,
+        h.w,
+        h.stride,
+        offsets.into(),
+        positions.into(),
+        indexed,
+        h.fully_indexed,
+        h.bank_len,
+    )
+    .map_err(PersistError::Corrupt)?;
+    Ok((index, h.meta))
+}
+
+/// Builds an index from a whole-file [`Mapping`], referencing the offsets
+/// and postings sections zero-copy (the bit-set, an order of magnitude
+/// smaller, is copied to the heap). Runs the same checksum and
+/// structural validation as [`read_index`], so both loaders accept and
+/// reject exactly the same files. On a big-endian target, or when a
+/// section is misaligned inside the mapping, the affected sections are
+/// decoded into heap arrays instead — the result is always behaviourally
+/// identical.
+pub(crate) fn index_from_mapping(
+    map: &Arc<Mapping>,
+) -> Result<(BankIndex, IndexMeta), PersistError> {
+    let bytes: &[u8] = map;
+    let h = read_header(&mut { bytes })?;
+    let size = h.file_size();
+    if (bytes.len() as u64) < size {
+        return Err(PersistError::Corrupt("truncated file".into()));
+    }
+    if bytes.len() as u64 > size {
+        return Err(PersistError::Corrupt(
+            "trailing bytes after the index".into(),
+        ));
+    }
+    // Whole-stream checksum over everything but the trailing 8 bytes —
+    // identical coverage to the streaming reader (padding included).
+    let body = &bytes[..bytes.len() - 8];
+    let stored = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().expect("8 bytes"));
+    let computed = fnv1a(body);
+    if stored != computed {
+        return Err(PersistError::Corrupt(format!(
+            "checksum mismatch (stored {stored:#018x}, computed {computed:#018x})"
+        )));
+    }
+    for range in [
+        h.offsets_at() - padding_for(HEADER_BYTES)..h.offsets_at(),
+        h.positions_at() - padding_for(h.offsets_at() + 4 * h.num_offsets)..h.positions_at(),
+        h.bitset_at() - padding_for(h.positions_at() + 4 * h.num_positions)..h.bitset_at(),
+    ] {
+        if bytes[range.start as usize..range.end as usize]
+            .iter()
+            .any(|&b| b != 0)
+        {
+            return Err(PersistError::Corrupt("non-zero section padding".into()));
+        }
+    }
+
+    let offsets = mapped_u32_section(map, h.offsets_at() as usize, h.num_offsets as usize);
+    let positions = mapped_u32_section(map, h.positions_at() as usize, h.num_positions as usize);
+    let word_bytes = &bytes[h.bitset_at() as usize..(h.bitset_at() + 8 * h.num_words) as usize];
+    let words: Vec<u64> = word_bytes
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
+        .collect();
+    let indexed = MaskSet::from_raw_words(words, h.bank_len)
+        .ok_or_else(|| PersistError::Corrupt("bit-set has bits beyond the bank length".into()))?;
+
+    let index = BankIndex::from_raw_parts(
+        h.w,
+        h.stride,
         offsets,
         positions,
         indexed,
-        fully_indexed,
-        bank_len,
+        h.fully_indexed,
+        h.bank_len,
     )
     .map_err(PersistError::Corrupt)?;
-    Ok((
-        index,
-        IndexMeta {
-            masked_fraction,
-            filter_code,
-            bank_hash,
-        },
-    ))
+    Ok((index, h.meta))
+}
+
+/// A zero-copy `u32` section over the mapping when the byte order and
+/// alignment allow it, a decoded heap copy otherwise.
+fn mapped_u32_section(map: &Arc<Mapping>, byte_off: usize, len: usize) -> Section<u32> {
+    if cfg!(target_endian = "little") {
+        if let Some(s) = Section::mapped(map, byte_off, len) {
+            return s;
+        }
+    }
+    let bytes = &map[byte_off..byte_off + 4 * len];
+    bytes
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")))
+        .collect::<Vec<u32>>()
+        .into()
 }
 
 /// Writes `idx` to a new file at `path` (buffered).
@@ -404,9 +603,10 @@ pub fn write_index_file(
     out.flush()
 }
 
-/// Loads an index file written by [`write_index_file`]. Trailing bytes
-/// after the last section are rejected — an index file contains exactly
-/// one index.
+/// Loads an index file written by [`write_index_file`] into fresh heap
+/// arrays. Trailing bytes after the last section are rejected — an index
+/// file contains exactly one index. (For the zero-copy alternative see
+/// [`crate::mmap::map_index_file`].)
 pub fn read_index_file(path: impl AsRef<Path>) -> Result<(BankIndex, IndexMeta), PersistError> {
     let mut r = BufReader::new(File::open(path).map_err(PersistError::Io)?);
     let result = read_index(&mut r)?;
@@ -477,6 +677,31 @@ mod tests {
     }
 
     #[test]
+    fn sections_are_eight_byte_aligned() {
+        // The property the mmap attach rests on: each array section must
+        // start on an 8-byte file offset regardless of W or bank size.
+        for (w, seqs) in [(3usize, vec!["ACGTACG"]), (4, vec!["ACGTACGTTTGG", "CC"])] {
+            let refs: Vec<&str> = seqs.to_vec();
+            let bank = bank_of(&refs);
+            let idx = BankIndex::build(&bank, IndexConfig::full(w));
+            let bytes = to_bytes(&idx, &IndexMeta::default());
+            let num_offsets = (1u64 << (2 * w)) + 1;
+            let offsets_at = 80u64; // header 76 + 4 padding
+            let pos_at = {
+                let end = offsets_at + 4 * num_offsets;
+                end + (8 - end % 8) % 8
+            };
+            assert_eq!(offsets_at % 8, 0);
+            assert_eq!(pos_at % 8, 0);
+            // The first offsets slot is 0 (row 0 starts at postings 0).
+            assert_eq!(
+                &bytes[offsets_at as usize..offsets_at as usize + 4],
+                &[0, 0, 0, 0]
+            );
+        }
+    }
+
+    #[test]
     fn roundtrip_masked_and_strided() {
         let bank = bank_of(&[&"ACGTTGCA".repeat(50)]);
         for (idx, frac) in [
@@ -541,6 +766,14 @@ mod tests {
             read_index(&mut bytes.as_slice()),
             Err(PersistError::UnsupportedVersion(99))
         ));
+        // Version-1 files (no section alignment) are refused too — there
+        // is no compatibility shim, rebuild with mkindex.
+        let mut v1 = to_bytes(&idx, &IndexMeta::default());
+        v1[8] = 1;
+        assert!(matches!(
+            read_index(&mut v1.as_slice()),
+            Err(PersistError::UnsupportedVersion(1))
+        ));
     }
 
     #[test]
@@ -560,15 +793,31 @@ mod tests {
         let bank = bank_of(&["ACGTACGTACGT"]);
         let idx = BankIndex::build(&bank, IndexConfig::full(3));
         let bytes = to_bytes(&idx, &IndexMeta::default());
-        // Header is 8 + 4*4 + 8 + 8 + 4 + 8 + 3*8 = 76 bytes; offsets
-        // follow. Overwrite the first offset slot with a huge value AND
-        // recompute the trailing checksum, so it is the structural
-        // validation (offsets[0] == 0) that must trip, not the checksum.
+        // Header is 76 bytes, padded to 80; offsets follow. Overwrite the
+        // first offset slot with a huge value AND recompute the trailing
+        // checksum, so it is the structural validation (offsets[0] == 0)
+        // that must trip, not the checksum.
         let mut corrupt = bytes.clone();
-        corrupt[76..80].copy_from_slice(&u32::MAX.to_le_bytes());
+        corrupt[80..84].copy_from_slice(&u32::MAX.to_le_bytes());
         restamp_checksum(&mut corrupt);
         assert!(matches!(
             read_index(&mut corrupt.as_slice()),
+            Err(PersistError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn nonzero_padding_errors() {
+        let bank = bank_of(&["ACGTACGTACGT"]);
+        let idx = BankIndex::build(&bank, IndexConfig::full(3));
+        let mut bytes = to_bytes(&idx, &IndexMeta::default());
+        // The 4 padding bytes between header (76) and offsets (80) must
+        // be zero; a non-zero byte with a restamped checksum is caught by
+        // the padding check itself.
+        bytes[77] = 0xAB;
+        restamp_checksum(&mut bytes);
+        assert!(matches!(
+            read_index(&mut bytes.as_slice()),
             Err(PersistError::Corrupt(_))
         ));
     }

@@ -70,6 +70,7 @@ use oris_seqio::Bank;
 use rayon::prelude::*;
 
 use crate::mask::MaskSet;
+use crate::section::Section;
 use crate::seedcode::{RollingCoder, SeedCoder, MAX_SEED_LEN};
 
 /// Options controlling index construction.
@@ -144,11 +145,12 @@ pub struct BankIndex {
     coder: SeedCoder,
     stride: usize,
     /// Row boundaries: occurrences of `code` live at
-    /// `positions[offsets[code] .. offsets[code + 1]]`.
-    offsets: Vec<u32>,
+    /// `positions[offsets[code] .. offsets[code + 1]]`. Owned for a fresh
+    /// build; a zero-copy view into the index file for an mmap attach.
+    offsets: Section<u32>,
     /// All indexed positions, grouped by seed code, ascending within a
-    /// group.
-    positions: Vec<u32>,
+    /// group. Same storage duality as `offsets`.
+    positions: Section<u32>,
     /// One bit per bank position: is a seed occurrence anchored here?
     ///
     /// This answers the question the ORIS order guard must ask during
@@ -221,8 +223,8 @@ impl BankIndex {
         BankIndex {
             coder,
             stride: cfg.stride,
-            offsets,
-            positions,
+            offsets: offsets.into(),
+            positions: positions.into(),
             indexed,
             fully_indexed: cfg.stride == 1 && policy_excluded == 0,
             bank_bytes: data.len(),
@@ -242,8 +244,8 @@ impl BankIndex {
     pub(crate) fn from_raw_parts(
         w: usize,
         stride: usize,
-        offsets: Vec<u32>,
-        positions: Vec<u32>,
+        offsets: Section<u32>,
+        positions: Section<u32>,
         indexed: MaskSet,
         fully_indexed: bool,
         bank_bytes: usize,
@@ -443,9 +445,18 @@ impl BankIndex {
     }
 
     /// Heap bytes used by the index arrays (row offsets, postings and the
-    /// indexed-position bit vector).
+    /// indexed-position bit vector). For an mmap-backed index the mapped
+    /// sections count zero — their bytes live in the shared, evictable
+    /// page cache, not this process's heap; only the copied bit-set
+    /// remains resident per attach.
     pub fn heap_bytes(&self) -> usize {
-        self.offsets.len() * 4 + self.positions.len() * 4 + self.indexed.heap_bytes()
+        self.offsets.heap_bytes() + self.positions.heap_bytes() + self.indexed.heap_bytes()
+    }
+
+    /// Whether the offsets/postings sections are zero-copy views into a
+    /// memory-mapped index file (see `oris_index::mmap`).
+    pub fn is_mmap_backed(&self) -> bool {
+        self.offsets.is_mapped() || self.positions.is_mapped()
     }
 
     /// The full postings array: every indexed position, grouped by seed

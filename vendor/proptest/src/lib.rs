@@ -222,7 +222,7 @@ pub mod collection {
         hi_exclusive: usize,
     }
 
-    /// Length specifications accepted by [`vec`]: an exact `usize` or a
+    /// Length specifications accepted by [`vec()`]: an exact `usize` or a
     /// half-open `Range<usize>` (the shim's stand-in for `SizeRange`).
     pub trait IntoLenRange {
         /// `(lo, hi_exclusive)` bounds.
