@@ -431,6 +431,7 @@ fn main() {
             oris_db::DbOptions {
                 attach: oris_index::AttachMode::Mmap,
                 window: 1,
+                ..oris_db::DbOptions::default()
             },
         )
         .expect("valid db config");
@@ -483,6 +484,36 @@ fn main() {
         db_attaches as usize, db_volumes,
         "warm run must not re-attach"
     );
+
+    // Deadline overhead: the same warm query with the cooperative clock
+    // disarmed vs armed with a generous budget, rep-paired on two fully
+    // warmed sessions so neither side pays an attach. The armed side
+    // stages records in an internal buffer and polls the clock at volume
+    // and partition boundaries; the contract is ≤1% wall-clock.
+    let mut armed_session = oris_db::DbSession::new(&db, &db_cfg, oris_db::DbOptions::default())
+        .expect("valid db config");
+    let _ = armed_session.run_query(cold_query).expect("warm-up query");
+    let generous = oris_core::Deadline::after(std::time::Duration::from_secs(3600));
+    let run_with = |session: &mut oris_db::DbSession, deadline: &oris_core::Deadline| {
+        let mut sink = oris_core::CollectSink::new();
+        session
+            .run_query_deadline(cold_query, &mut sink, deadline)
+            .expect("deadline query");
+        sink.into_records().len()
+    };
+    let (t_deadline_off, t_deadline_on) = time2(
+        reps.max(20),
+        || run_with(&mut warm_session, &oris_core::Deadline::none()),
+        || run_with(&mut armed_session, &generous),
+    );
+    let deadline_overhead = t_deadline_on / t_deadline_off.max(1e-9);
+    if !test_mode {
+        assert!(
+            deadline_overhead <= 1.01,
+            "armed deadline must cost ≤1% wall-clock on a warm query \
+             ({t_deadline_on:.6}s vs {t_deadline_off:.6}s, ratio {deadline_overhead:.4})"
+        );
+    }
     let _ = std::fs::remove_dir_all(&db_dir);
     // Locals for the JSON block (all idents, so the giant format string
     // stays positional-argument-free for this section).
@@ -532,6 +563,9 @@ fn main() {
          \"cold_query_secs\": {t_db_cold:.6},\n    \
          \"warm_query_secs\": {t_db_warm:.6},\n    \
          \"cold_over_warm\": {cold_over_warm:.3},\n    \
+         \"deadline_off_secs\": {t_deadline_off:.6},\n    \
+         \"deadline_on_secs\": {t_deadline_on:.6},\n    \
+         \"deadline_overhead\": {deadline_overhead:.4},\n    \
          \"outputs_identical\": true\n  }},\n  \
          \"heap_bytes_est\": {{\n    \"linked_full\": {},\n    \
          \"csr_full\": {},\n    \"csr_asymmetric\": {}\n  }},\n  \

@@ -32,6 +32,14 @@
 //!                       subject sequence's length (BLAST's -z; what a
 //!                       --db search does implicitly with the manifest
 //!                       total)
+//!       --deadline MS   per-query budget (with --db): a query that exceeds
+//!                       MS milliseconds fails cleanly with exit code 7,
+//!                       output untouched, instead of running unbounded
+//!       --skip-bad-volumes
+//!                       with --db: quarantine a volume that fails to attach
+//!                       (after retrying transient faults) and complete the
+//!                       query over the surviving volumes, warning on stderr
+//!                       with the residue coverage actually searched
 //!       --batch PATH    many-query mode: prepare bank 2 once, stream each
 //!                       query bank's records out as it finishes. PATH is a
 //!                       directory of FASTA files (sorted by name, one query
@@ -57,7 +65,42 @@ fn usage() -> &'static str {
      \t[-f none|entropy|dust] [-t n] [--engine oris|blast] [--asymmetric]\n\
      \t[--both-strands] [--index bank2.oidx] [--batch dir-or-multi.fa]\n\
      \t[--db dir] [--attach mmap|copy] [--window n] [--dbsize n]\n\
-     \t[--stats] [-o out.m8]"
+     \t[--deadline ms] [--skip-bad-volumes] [--stats] [-o out.m8]"
+}
+
+/// A CLI failure: the one-line stderr message plus the process exit
+/// code. Generic usage/input problems exit 1; database failures carry
+/// [`oris_db::DbError::exit_code`]'s stable per-class codes (2 manifest,
+/// 3 volume, 4 I/O, 5 configuration, 6 sink, 7 deadline) so scripts can
+/// distinguish \"the database is rotten\" from \"the query timed out\"
+/// without parsing stderr.
+struct CliError {
+    msg: String,
+    code: u8,
+}
+
+impl From<String> for CliError {
+    fn from(msg: String) -> CliError {
+        CliError { msg, code: 1 }
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(msg: &str) -> CliError {
+        CliError {
+            msg: msg.to_string(),
+            code: 1,
+        }
+    }
+}
+
+impl From<oris_db::DbError> for CliError {
+    fn from(e: oris_db::DbError) -> CliError {
+        CliError {
+            code: e.exit_code(),
+            msg: e.to_string(),
+        }
+    }
 }
 
 /// Where records go: stdout, or a temporary sibling of `-o`'s path that
@@ -257,7 +300,7 @@ fn build_session<'a>(
     }
 }
 
-fn run() -> Result<(), String> {
+fn run() -> Result<(), CliError> {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let args = Args::parse(
         &argv,
@@ -276,9 +319,16 @@ fn run() -> Result<(), String> {
             "attach",
             "window",
             "dbsize",
+            "deadline",
             "out",
         ],
-        &["asymmetric", "both-strands", "stats", "help"],
+        &[
+            "asymmetric",
+            "both-strands",
+            "skip-bad-volumes",
+            "stats",
+            "help",
+        ],
         &[
             ("W", "word"),
             ("e", "evalue"),
@@ -313,20 +363,23 @@ fn run() -> Result<(), String> {
             (false, true) => "expected one FASTA bank (the query; subject comes from --db)",
             (false, false) => "expected two FASTA banks",
         };
-        return Err(format!("{what}\n{}", usage()));
+        return Err(format!("{what}\n{}", usage()).into());
     }
     if db_mode && args.options.contains_key("index") {
         return Err(
             "--db and --index are mutually exclusive (a database carries its own indexes)".into(),
         );
     }
-    for db_only in ["attach", "window"] {
+    for db_only in ["attach", "window", "deadline"] {
         if !db_mode && args.options.contains_key(db_only) {
             // Silently ignoring these would let a mistyped --db flag run
             // the plain two-bank path with none of the requested
             // attach/memory behaviour.
-            return Err(format!("--{db_only} requires --db"));
+            return Err(format!("--{db_only} requires --db").into());
         }
+    }
+    if !db_mode && args.has_flag("skip-bad-volumes") {
+        return Err("--skip-bad-volumes requires --db".into());
     }
 
     let filter = match args
@@ -338,7 +391,7 @@ fn run() -> Result<(), String> {
         "none" => FilterKind::None,
         "entropy" => FilterKind::Entropy,
         "dust" => FilterKind::Dust,
-        other => return Err(format!("unknown filter {other:?}")),
+        other => return Err(format!("unknown filter {other:?}").into()),
     };
     let threads: usize = args.get_or("threads", 0).map_err(|e| e.to_string())?;
 
@@ -392,7 +445,7 @@ fn run() -> Result<(), String> {
         return run_db(&args, &cfg, batch_mode);
     }
     if batch_mode {
-        return run_batch(&args, &cfg);
+        return run_batch(&args, &cfg).map_err(CliError::from);
     }
 
     let bank1 = oris_seqio::read_fasta_file(&args.positional[0])
@@ -436,14 +489,14 @@ fn run() -> Result<(), String> {
                 ),
             )
         }
-        other => return Err(format!("unknown engine {other:?}")),
+        other => return Err(format!("unknown engine {other:?}").into()),
     };
 
     let (mut w, out) = Output::open(args.options.get("out"))?;
     for r in &records {
         if let Err(e) = writeln!(w, "{r}") {
             out.discard();
-            return Err(e.to_string());
+            return Err(e.to_string().into());
         }
     }
     out.finish(w)?;
@@ -461,7 +514,7 @@ fn run() -> Result<(), String> {
 /// residue total from the manifest — so the output is byte-identical to
 /// a single-bank run over the concatenated input under `--dbsize
 /// <total>`. Composes with `--batch` for many-query runs.
-fn run_db(args: &Args, cfg: &OrisConfig, batch_mode: bool) -> Result<(), String> {
+fn run_db(args: &Args, cfg: &OrisConfig, batch_mode: bool) -> Result<(), CliError> {
     let db_dir = args.options.get("db").expect("checked by caller");
     let attach = match args
         .options
@@ -471,17 +524,43 @@ fn run_db(args: &Args, cfg: &OrisConfig, batch_mode: bool) -> Result<(), String>
     {
         "mmap" => oris_index::AttachMode::Mmap,
         "copy" => oris_index::AttachMode::HeapCopy,
-        other => return Err(format!("unknown attach mode {other:?} (mmap | copy)")),
+        other => return Err(format!("unknown attach mode {other:?} (mmap | copy)").into()),
     };
     let window: usize = args.get_or("window", 0).map_err(|e| e.to_string())?;
+    // --deadline 0 is legal and expires immediately: a cheap way to
+    // check the failure path end to end (and what the e2e tests pin).
+    let deadline = match args.options.get("deadline") {
+        None => None,
+        Some(v) => {
+            let ms: u64 = v.parse().map_err(|e| format!("--deadline {v:?}: {e}"))?;
+            Some(std::time::Duration::from_millis(ms))
+        }
+    };
+    let on_volume_error = if args.has_flag("skip-bad-volumes") {
+        oris_db::OnVolumeError::SkipAndReport
+    } else {
+        oris_db::OnVolumeError::Fail
+    };
 
     // `open` covers the whole manifest read + validation + session
     // config checks — everything between "a directory name" and "ready
     // to attach volumes".
     let t0 = std::time::Instant::now();
-    let db = oris_db::Database::open(db_dir).map_err(|e| format!("{db_dir}: {e}"))?;
-    let mut session = oris_db::DbSession::new(&db, cfg, oris_db::DbOptions { attach, window })
-        .map_err(|e| format!("{db_dir}: {e}"))?;
+    let db = oris_db::Database::open(db_dir).map_err(|e| CliError {
+        msg: format!("{db_dir}: {e}"),
+        code: e.exit_code(),
+    })?;
+    let opts = oris_db::DbOptions {
+        attach,
+        window,
+        on_volume_error,
+        deadline,
+        ..oris_db::DbOptions::default()
+    };
+    let mut session = oris_db::DbSession::new(&db, cfg, opts).map_err(|e| CliError {
+        msg: format!("{db_dir}: {e}"),
+        code: e.exit_code(),
+    })?;
     let open_secs = t0.elapsed().as_secs_f64();
 
     // Every input is opened BEFORE Output::open creates the .tmp.<pid>
@@ -505,32 +584,51 @@ fn run_db(args: &Args, cfg: &OrisConfig, batch_mode: bool) -> Result<(), String>
     let (w, out) = Output::open(args.options.get("out"))?;
     let mut sink = StreamWriter::new(w);
 
-    let (per_query, queries_run) = match input {
+    let (per_query, queries_run, reports) = match input {
         DbInput::Batch(mut queries) => {
             let batch = match session.run_batch(&mut queries, &mut sink) {
                 Ok(b) => b,
                 Err(e) => {
                     out.discard();
-                    return Err(e.to_string());
+                    return Err(e.into());
                 }
             };
             if let Some(e) = queries.error() {
                 out.discard();
-                return Err(e);
+                return Err(e.into());
             }
             let n = batch.queries();
-            (batch.query_totals(), n)
+            (batch.query_totals(), n, batch.reports)
         }
-        DbInput::Single(query) => match session.run_query_into(&query, &mut sink) {
-            Ok(s) => (s, 1),
+        DbInput::Single(query) => match session.run_query_reported(&query, &mut sink) {
+            Ok((s, r)) => (s, 1, vec![r]),
             Err(e) => {
                 out.discard();
-                return Err(e.to_string());
+                return Err(e.into());
             }
         },
     };
     let records = sink.records_written();
     out.finish(sink.into_inner())?;
+
+    // A degraded run succeeded by design — but it must say so, loudly and
+    // per quarantined volume, on stderr (the results channel stays clean).
+    for (v, e) in session.quarantined() {
+        eprintln!("scoris-n: warning: quarantined {e} (volume {v} skipped for this session)");
+    }
+    if let Some(worst) = reports
+        .iter()
+        .filter(|r| !r.is_complete())
+        .min_by(|a, b| a.coverage().total_cmp(&b.coverage()))
+    {
+        eprintln!(
+            "scoris-n: warning: results are partial: searched {} of {} volumes \
+             ({:.1}% of database residues)",
+            worst.searched.len(),
+            worst.volumes_total,
+            worst.coverage() * 100.0
+        );
+    }
 
     if args.has_flag("stats") {
         let costs = session.volume_costs();
@@ -619,8 +717,8 @@ fn main() -> ExitCode {
     match run() {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("scoris-n: {e}");
-            ExitCode::FAILURE
+            eprintln!("scoris-n: {}", e.msg);
+            ExitCode::from(e.code)
         }
     }
 }

@@ -1,0 +1,286 @@
+//! End-to-end failure-path tests: each database failure class must leave
+//! the CLI with its documented exit code and a single-line stderr
+//! diagnostic — plus the `verifydb` smoke workflow (build → corrupt one
+//! byte → the report names exactly the rotten volume).
+//!
+//! Exit-code table (shared by `scoris-n --db` and `verifydb`):
+//! 0 success · 1 usage · 2 manifest · 3 volume · 4 I/O · 5 config ·
+//! 6 sink · 7 deadline.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn scoris_n() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_scoris_n"))
+}
+
+fn makedb() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_makedb"))
+}
+
+fn verifydb() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_verifydb"))
+}
+
+fn scratch(test: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("oris_cli_faults")
+        .join(format!("{}_{test}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+const CORE: &str = "ATGGCGTACGTTAGCCTAGGCTTAACGGATCGATCCGGTAAGCTACCGGTATTGACCGTA\
+                    GGCATTACGGATCCATTGGCCAATTGGCACGTACGTAACGGTTAACCGGATTACGCTAGG";
+
+/// Builds a small multi-volume database plus a homologous query;
+/// returns (db dir, query path).
+fn fixture(test: &str) -> (PathBuf, PathBuf) {
+    let dir = scratch(test);
+    let mut fasta = String::new();
+    for i in 0..5 {
+        fasta.push_str(&format!(
+            ">subj{i}\nCCGGAATTAT{CORE}GGTTAACCGG{}\n",
+            "ACGT".repeat(4 + i)
+        ));
+    }
+    let subject = dir.join("subject.fa");
+    std::fs::write(&subject, fasta).unwrap();
+    let query = dir.join("query.fa");
+    std::fs::write(&query, format!(">q\nTTGACCGTAA{CORE}CCGGTAAGCT\n")).unwrap();
+
+    let db = dir.join("db");
+    let out = makedb()
+        .arg(&subject)
+        .arg("-o")
+        .arg(&db)
+        .args(["--volume-size", "200", "-W", "8"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (db, query)
+}
+
+/// XORs one byte of `path` in place.
+fn flip_byte(path: &Path, offset: usize, mask: u8) {
+    let mut bytes = std::fs::read(path).unwrap();
+    bytes[offset] ^= mask;
+    std::fs::write(path, bytes).unwrap();
+}
+
+fn search(db: &Path, query: &Path, extra: &[&str]) -> std::process::Output {
+    scoris_n()
+        .arg(query)
+        .arg("--db")
+        .arg(db)
+        .args(["-W", "8"])
+        .args(extra)
+        .output()
+        .unwrap()
+}
+
+/// Asserts a failed run: the given exit code, empty stdout, and exactly
+/// one stderr line carrying the `scoris-n:` prefix plus `needle`.
+fn assert_clean_failure(out: &std::process::Output, code: i32, needle: &str) {
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(code), "stderr: {stderr}");
+    assert!(out.stdout.is_empty(), "failed runs must not emit records");
+    let lines: Vec<&str> = stderr.lines().collect();
+    assert_eq!(lines.len(), 1, "want one diagnostic line, got: {stderr}");
+    assert!(lines[0].starts_with("scoris-n: "), "{stderr}");
+    assert!(lines[0].contains(needle), "wanted {needle:?} in: {stderr}");
+}
+
+#[test]
+fn clean_database_still_exits_zero() {
+    let (db, query) = fixture("ok");
+    let out = search(&db, &query, &[]);
+    assert_eq!(out.status.code(), Some(0));
+    assert!(!out.stdout.is_empty(), "homologous query must hit");
+}
+
+#[test]
+fn missing_volume_exits_3() {
+    let (db, query) = fixture("missing");
+    std::fs::remove_file(db.join("vol00001.fa")).unwrap();
+    let out = search(&db, &query, &[]);
+    assert_clean_failure(&out, 3, "missing");
+}
+
+#[test]
+fn corrupt_manifest_exits_2() {
+    let (db, query) = fixture("manifest");
+    flip_byte(&db.join("manifest.orisdb"), 20, 0x04);
+    let out = search(&db, &query, &[]);
+    assert_clean_failure(&out, 2, "manifest");
+}
+
+#[test]
+fn rewritten_volume_exits_3_with_hash_mismatch() {
+    let (db, query) = fixture("hash");
+    // Flip one sequence base to another valid base ('A' ^ 0x06 = 'G'):
+    // still a parseable FASTA, but the content hash no longer matches
+    // the manifest row.
+    let vol = db.join("vol00000.fa");
+    let bytes = std::fs::read(&vol).unwrap();
+    let header_end = bytes.iter().position(|&b| b == b'\n').unwrap();
+    let offset = header_end
+        + 1
+        + bytes[header_end + 1..]
+            .iter()
+            .position(|&b| b == b'A')
+            .unwrap();
+    flip_byte(&vol, offset, 0x06);
+    let out = search(&db, &query, &[]);
+    assert_clean_failure(&out, 3, "content hash");
+}
+
+#[test]
+fn corrupt_index_exits_3() {
+    let (db, query) = fixture("index");
+    flip_byte(&db.join("vol00001.oidx"), 0, 0xFF);
+    let out = search(&db, &query, &[]);
+    assert_clean_failure(&out, 3, "vol00001.oidx");
+}
+
+#[test]
+fn zero_deadline_exits_7() {
+    let (db, query) = fixture("deadline");
+    let out = search(&db, &query, &["--deadline", "0"]);
+    assert_clean_failure(&out, 7, "deadline");
+}
+
+#[test]
+fn generous_deadline_output_matches_unguarded() {
+    let (db, query) = fixture("deadline_ok");
+    let plain = search(&db, &query, &[]);
+    let guarded = search(&db, &query, &["--deadline", "3600000"]);
+    assert_eq!(guarded.status.code(), Some(0));
+    assert_eq!(
+        plain.stdout, guarded.stdout,
+        "deadline must not change output"
+    );
+}
+
+#[test]
+fn skip_bad_volumes_degrades_with_warning() {
+    let (db, query) = fixture("skip");
+    let full = search(&db, &query, &[]);
+    assert_eq!(full.status.code(), Some(0));
+
+    flip_byte(&db.join("vol00001.oidx"), 0, 0xFF);
+    // Without the flag: hard failure.
+    assert_eq!(search(&db, &query, &[]).status.code(), Some(3));
+    // With it: success, fewer records, loud stderr.
+    let out = search(&db, &query, &["--skip-bad-volumes"]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(0), "stderr: {stderr}");
+    assert!(stderr.contains("quarantined"), "{stderr}");
+    assert!(stderr.contains("partial"), "{stderr}");
+    assert!(
+        out.stdout.len() < full.stdout.len(),
+        "degraded output must be a subset"
+    );
+}
+
+#[test]
+fn deadline_without_db_is_a_usage_error() {
+    let (db, query) = fixture("usage");
+    let subject = db.parent().unwrap().join("subject.fa");
+    let out = scoris_n()
+        .arg(&query)
+        .arg(&subject)
+        .args(["-W", "8", "--deadline", "5"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let out = scoris_n()
+        .arg(&query)
+        .arg(&subject)
+        .args(["-W", "8", "--skip-bad-volumes"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+}
+
+// ---------------------------------------------------------------------
+// verifydb
+// ---------------------------------------------------------------------
+
+#[test]
+fn verifydb_passes_a_clean_database_both_modes() {
+    let (db, _) = fixture("verify_ok");
+    for mode in ["mmap", "copy"] {
+        let out = verifydb()
+            .arg(&db)
+            .args(["--attach", mode])
+            .output()
+            .unwrap();
+        assert_eq!(
+            out.status.code(),
+            Some(0),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("OK"), "{stdout}");
+        assert!(!stdout.contains("FAILED"), "{stdout}");
+    }
+    // --quiet prints nothing on success.
+    let out = verifydb().arg(&db).arg("--quiet").output().unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    assert!(out.stdout.is_empty());
+}
+
+#[test]
+fn verifydb_smoke_names_exactly_the_corrupt_volume() {
+    // The CI smoke: build → flip one byte in one volume's index →
+    // verifydb reports that volume (and only it) and exits 3.
+    let (db, _) = fixture("verify_smoke");
+    flip_byte(&db.join("vol00001.oidx"), 12, 0x01);
+    let out = verifydb().arg(&db).output().unwrap();
+    assert_eq!(out.status.code(), Some(3));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let failed: Vec<&str> = stdout.lines().filter(|l| l.contains("FAILED")).collect();
+    assert_eq!(failed.len(), 1, "{stdout}");
+    assert!(failed[0].contains("volume 00001"), "{stdout}");
+    assert!(
+        stdout.lines().filter(|l| l.contains(": OK")).count() >= 1,
+        "{stdout}"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("failed verification"), "{stderr}");
+}
+
+#[test]
+fn verifydb_corrupt_manifest_exits_2() {
+    let (db, _) = fixture("verify_manifest");
+    flip_byte(&db.join("manifest.orisdb"), 25, 0x10);
+    let out = verifydb().arg(&db).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn verifydb_missing_directory_exits_4() {
+    let dir = scratch("verify_absent");
+    let out = verifydb().arg(dir.join("no_such_db")).output().unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(4),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn verifydb_usage_errors_exit_1() {
+    let out = verifydb().output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let out = verifydb().args(["a", "b"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+}

@@ -31,6 +31,7 @@ use oris_index::{BankIndex, IndexConfig};
 use oris_seqio::Bank;
 
 use crate::config::{FilterKind, OrisConfig};
+use crate::deadline::{Deadline, DeadlineExceeded};
 use crate::pipeline::{run_prepared_pipeline_into, OrisResult, PipelineStats, SubjectStrand};
 use crate::sink::{CollectSink, RecordSink};
 
@@ -511,6 +512,31 @@ impl<'a> Session<'a> {
         query: &PreparedBank<'_>,
         sink: &mut dyn RecordSink,
     ) -> PipelineStats {
+        self.run_prepared_streaming_deadline(query, sink, &Deadline::none())
+            .expect("a disarmed deadline cannot expire")
+    }
+
+    /// [`Session::run_prepared_streaming`] under a cooperative
+    /// [`Deadline`]: the token is consulted at step-2 partition
+    /// boundaries (and within hot partitions) and between strands, so a
+    /// pathological query — one hot seed code whose `|X1|·|X2|` pair
+    /// product is quadratic — stops within a bounded sliver of work and
+    /// returns [`DeadlineExceeded`]. On `Err` the sink may already hold
+    /// records pushed before the expiry (this method never fires
+    /// `end_query`); the caller owns discarding or buffering them — the
+    /// database layer buffers deadline-guarded queries precisely so its
+    /// callers' sinks stay untouched. A completed run is byte-identical
+    /// to the deadline-free path: the token never changes what is
+    /// computed, only whether the run finishes.
+    ///
+    /// # Panics
+    /// Same configuration checks as [`Session::run_prepared`].
+    pub fn run_prepared_streaming_deadline(
+        &self,
+        query: &PreparedBank<'_>,
+        sink: &mut dyn RecordSink,
+        deadline: &Deadline,
+    ) -> Result<PipelineStats, DeadlineExceeded> {
         let qcfg = self.cfg.query_index_config();
         assert_eq!(
             query.index().w(),
@@ -536,16 +562,21 @@ impl<'a> Session<'a> {
                 &self.cfg,
                 SubjectStrand::Plus,
                 &mut push,
-            );
+                deadline,
+            )?;
             match &self.minus {
-                None => plus,
-                Some(minus) => plus.merge(&run_prepared_pipeline_into(
-                    query,
-                    minus,
-                    &self.cfg,
-                    SubjectStrand::Minus,
-                    &mut push,
-                )),
+                None => Ok(plus),
+                Some(minus) => {
+                    deadline.check()?;
+                    Ok(plus.merge(&run_prepared_pipeline_into(
+                        query,
+                        minus,
+                        &self.cfg,
+                        SubjectStrand::Minus,
+                        &mut push,
+                        deadline,
+                    )?))
+                }
             }
         })
     }

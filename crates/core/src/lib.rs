@@ -119,6 +119,7 @@
 
 pub mod ablation;
 pub mod config;
+pub mod deadline;
 pub mod engine;
 pub mod hsp;
 pub mod pipeline;
@@ -128,6 +129,7 @@ pub mod step3;
 pub mod step4;
 
 pub use config::{FilterKind, OrisConfig};
+pub use deadline::{Deadline, DeadlineExceeded};
 pub use engine::{BatchStats, PrepareStats, PreparedBank, Session};
 pub use hsp::Hsp;
 pub use pipeline::{compare_banks, merge_strands, OrisResult, PipelineStats};

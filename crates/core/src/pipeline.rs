@@ -15,6 +15,7 @@ use oris_eval::M8Record;
 use oris_seqio::Bank;
 
 use crate::config::OrisConfig;
+use crate::deadline::{Deadline, DeadlineExceeded};
 use crate::engine::{PreparedBank, Session};
 use crate::hsp::Hsp;
 use crate::step2::{self, Step2Stats};
@@ -173,13 +174,21 @@ pub fn gapped_stage_into(
 /// sink's job at the query boundary). Step 1 does not run here: the
 /// report's step-1 fields describe the prepared artifacts (masked
 /// fractions, resident index bytes) with zero build time and zero builds.
+///
+/// `deadline` is the cooperative cancellation token, consulted at step-2
+/// partition boundaries (and within hot partitions — see
+/// [`step2::find_hsps_deadline`]); an expiry aborts the strand before
+/// the gapped stage pushes anything further. Disarmed
+/// ([`Deadline::none`]) it costs one dead branch and the run is
+/// infallible.
 pub(crate) fn run_prepared_pipeline_into(
     query: &PreparedBank<'_>,
     subject: &PreparedBank<'_>,
     cfg: &OrisConfig,
     strand: SubjectStrand,
     push: &mut dyn FnMut(M8Record),
-) -> PipelineStats {
+    deadline: &Deadline,
+) -> Result<PipelineStats, DeadlineExceeded> {
     let mut stats = PipelineStats::default();
     let (bank1, idx1) = (query.bank(), query.index());
     let (bank2, idx2) = (subject.bank(), subject.index());
@@ -189,7 +198,16 @@ pub(crate) fn run_prepared_pipeline_into(
 
     // ---- Step 2: ordered hit extension ----------------------------------
     let t0 = std::time::Instant::now();
-    let (hsps, s2) = step2::find_hsps(bank1, idx1, bank2, idx2, cfg);
+    let (hsps, s2) = step2::find_hsps_deadline(
+        bank1,
+        idx1,
+        bank2,
+        idx2,
+        cfg,
+        step2::select_guard(idx1, idx2),
+        step2::PartitionStrategy::default(),
+        deadline,
+    )?;
     stats.hsps = hsps.len();
     stats.step2 = s2;
     stats.step2_secs = t0.elapsed().as_secs_f64();
@@ -209,7 +227,7 @@ pub(crate) fn run_prepared_pipeline_into(
     stats.step4 = r.step4;
     stats.step3_secs = r.step3_secs;
     stats.step4_secs = r.step4_secs;
-    stats
+    Ok(stats)
 }
 
 /// Merges plus- and minus-strand runs into one sorted result, under the

@@ -49,7 +49,15 @@ use oris_seqio::Bank;
 use rayon::prelude::*;
 
 use crate::config::OrisConfig;
+use crate::deadline::{Deadline, DeadlineExceeded};
 use crate::hsp::Hsp;
+
+/// With an armed [`Deadline`], the extension loop consults the clock
+/// after at most this many additional occurrence pairs — frequent enough
+/// that even a single hot seed code responds within a sliver of the
+/// range's work, rare enough that the clock read vanishes against the
+/// extensions it paces.
+const DEADLINE_CHECK_PAIRS: u64 = 4096;
 
 /// Counters reported by step 2.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -149,6 +157,12 @@ pub fn partition_codes(
 }
 
 /// Processes one contiguous range of seed codes sequentially.
+///
+/// With an armed `deadline` the pair loop re-checks the token every
+/// [`DEADLINE_CHECK_PAIRS`] examined pairs (and at the range entry) and
+/// returns [`DeadlineExceeded`] instead of its partial output; with the
+/// disarmed default the checks are a dead branch and the function cannot
+/// fail.
 #[allow(clippy::too_many_arguments)]
 fn process_code_range(
     bank1: &Bank,
@@ -159,13 +173,19 @@ fn process_code_range(
     min_score: i32,
     codes: std::ops::Range<u32>,
     guard: OrderGuard<'_>,
-) -> (Vec<Hsp>, Step2Stats) {
+    deadline: &Deadline,
+) -> Result<(Vec<Hsp>, Step2Stats), DeadlineExceeded> {
     let d1 = bank1.data();
     let d2 = bank2.data();
     let coder = idx1.coder();
     let w = params.w as u32;
     let mut out = Vec::new();
     let mut stats = Step2Stats::default();
+    let armed = deadline.is_armed();
+    if armed {
+        deadline.check()?;
+    }
+    let mut next_check = DEADLINE_CHECK_PAIRS;
 
     for code in codes {
         // X1 × X2 hit extensions for this seed (paper notation): both
@@ -179,6 +199,10 @@ fn process_code_range(
             continue;
         }
         for &a in x1 {
+            if armed && stats.pairs_examined >= next_check {
+                deadline.check()?;
+                next_check = stats.pairs_examined + DEADLINE_CHECK_PAIRS;
+            }
             // Resolve the guard once per bank-1 occurrence: `a`'s guard
             // words (and the guard-shape dispatch) are shared across every
             // partner in X2, so the inner loop only builds bank-2 state.
@@ -206,7 +230,7 @@ fn process_code_range(
             }
         }
     }
-    (out, stats)
+    Ok((out, stats))
 }
 
 /// Picks the cheapest correct order guard for a pair of indexes, from
@@ -276,6 +300,39 @@ pub fn find_hsps_partitioned(
     guard: OrderGuard<'_>,
     strategy: PartitionStrategy,
 ) -> (Vec<Hsp>, Step2Stats) {
+    find_hsps_deadline(
+        bank1,
+        idx1,
+        bank2,
+        idx2,
+        cfg,
+        guard,
+        strategy,
+        &Deadline::none(),
+    )
+    .expect("a disarmed deadline cannot expire")
+}
+
+/// [`find_hsps_partitioned`] under a cooperative [`Deadline`]: the token
+/// is consulted at every partition boundary and every
+/// `DEADLINE_CHECK_PAIRS` extension pairs within a partition, and an
+/// expiry surfaces as a clean [`DeadlineExceeded`] with no partial
+/// output. The deadline never changes *what* is computed — a run that
+/// completes returns exactly the [`find_hsps_partitioned`] result (the
+/// chunk count never affects output; ranges concatenate in code order) —
+/// so the no-deadline path and a generously-budgeted run are
+/// byte-identical.
+#[allow(clippy::too_many_arguments)]
+pub fn find_hsps_deadline(
+    bank1: &Bank,
+    idx1: &BankIndex,
+    bank2: &Bank,
+    idx2: &BankIndex,
+    cfg: &OrisConfig,
+    guard: OrderGuard<'_>,
+    strategy: PartitionStrategy,
+    deadline: &Deadline,
+) -> Result<(Vec<Hsp>, Step2Stats), DeadlineExceeded> {
     assert_eq!(
         idx1.w(),
         idx2.w(),
@@ -291,7 +348,11 @@ pub fn find_hsps_partitioned(
     // Enough chunks to keep workers busy even when a few ranges run long;
     // results are concatenated in range order, so the chunk count (and
     // hence the thread count) never changes the output. A single worker
-    // needs no partitioning at all — one range skips the work scan.
+    // needs no partitioning at all — one range skips the work scan. An
+    // armed deadline gets no finer split: the pair loop inside each
+    // range already polls the token every [`DEADLINE_CHECK_PAIRS`]
+    // extensions, so partition granularity adds nothing to cancellation
+    // latency — only overhead.
     let threads = rayon::current_num_threads();
     let chunks = if threads <= 1 {
         1
@@ -300,7 +361,7 @@ pub fn find_hsps_partitioned(
     };
     let ranges = partition_codes(idx1, idx2, strategy, chunks);
 
-    let results: Vec<(Vec<Hsp>, Step2Stats)> = ranges
+    let results: Vec<Result<(Vec<Hsp>, Step2Stats), DeadlineExceeded>> = ranges
         .into_par_iter()
         .map(|r| {
             process_code_range(
@@ -312,13 +373,15 @@ pub fn find_hsps_partitioned(
                 cfg.min_hsp_score,
                 r,
                 guard,
+                deadline,
             )
         })
         .collect();
 
     let mut stats = Step2Stats::default();
-    let mut hsps = Vec::with_capacity(results.iter().map(|(v, _)| v.len()).sum());
-    for (v, s) in results {
+    let mut hsps = Vec::new();
+    for res in results {
+        let (v, s) = res?;
         hsps.extend(v);
         stats = stats.merge(s);
     }
@@ -326,7 +389,7 @@ pub fn find_hsps_partitioned(
     // optimize data access of the next step"
     hsps.sort_by(Hsp::diag_order);
     hsps.dedup();
-    (hsps, stats)
+    Ok((hsps, stats))
 }
 
 #[cfg(test)]

@@ -1,46 +1,17 @@
 //! Opening a database directory and attaching its volumes.
 
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::Instant;
 
 use oris_core::PreparedBank;
 use oris_index::persist::fnv1a;
 use oris_index::{AttachMode, IndexMeta};
 
+use crate::io::{RealIo, VolumeIo};
 use crate::manifest::{Manifest, VolumeMeta, MANIFEST_FILE};
 
-/// Why a database could not be opened, attached or built.
-#[derive(Debug)]
-pub enum DbError {
-    /// I/O failure on a named path.
-    Io(PathBuf, std::io::Error),
-    /// The manifest is missing, malformed or inconsistent.
-    Manifest(String),
-    /// A volume failed validation (bad index file, content mismatch,
-    /// missing file).
-    Volume(String),
-    /// The search configuration does not match the database.
-    Config(String),
-    /// The caller's result sink failed (e.g. the output stream behind a
-    /// `StreamWriter` hit a full disk) — an *output* problem, kept
-    /// distinct from the database's own paths so the operator debugs the
-    /// right filesystem.
-    Sink(std::io::Error),
-}
-
-impl std::fmt::Display for DbError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            DbError::Io(path, e) => write!(f, "{}: {e}", path.display()),
-            DbError::Manifest(msg) => write!(f, "database manifest: {msg}"),
-            DbError::Volume(msg) => write!(f, "database volume: {msg}"),
-            DbError::Config(msg) => write!(f, "database configuration: {msg}"),
-            DbError::Sink(e) => write!(f, "writing results: {e}"),
-        }
-    }
-}
-
-impl std::error::Error for DbError {}
+pub use crate::error::{DbError, VolumeCause, VolumeError};
 
 /// Cost and provenance of one volume attach (step-1 work the database
 /// session performs instead of an index build).
@@ -60,34 +31,69 @@ pub struct AttachedVolumeStats {
 /// directory its volume files live in. Opening touches only the manifest
 /// (and checks the volume files exist); volumes are attached lazily by
 /// [`Database::attach_volume`] or a [`crate::DbSession`].
+///
+/// Every file the database reads goes through its [`VolumeIo`] — the
+/// real filesystem under [`Database::open`], or an injected
+/// [`crate::FaultyIo`] under [`Database::open_with_io`], which is how
+/// the fault-injection suite drives every error path below from tests.
 #[derive(Debug, Clone)]
 pub struct Database {
     dir: PathBuf,
     manifest: Manifest,
+    io: Arc<dyn VolumeIo>,
 }
 
 impl Database {
     /// Opens the database at `dir`: parses and validates the manifest and
     /// verifies every volume's FASTA and index files exist.
     pub fn open(dir: impl AsRef<Path>) -> Result<Database, DbError> {
+        Database::open_with_io(dir, Arc::new(RealIo))
+    }
+
+    /// [`Database::open`] with an explicit [`VolumeIo`] (fault injection,
+    /// instrumentation). All subsequent reads — every attach — go through
+    /// the same `io`.
+    pub fn open_with_io(dir: impl AsRef<Path>, io: Arc<dyn VolumeIo>) -> Result<Database, DbError> {
         let dir = dir.as_ref().to_path_buf();
         let manifest_path = dir.join(MANIFEST_FILE);
-        let text = std::fs::read_to_string(&manifest_path)
+        let bytes = io
+            .read(&manifest_path)
             .map_err(|e| DbError::Io(manifest_path.clone(), e))?;
+        let text = String::from_utf8(bytes)
+            .map_err(|_| DbError::Manifest("manifest is not valid UTF-8".into()))?;
         let manifest = Manifest::parse(&text).map_err(DbError::Manifest)?;
-        for v in &manifest.volumes {
-            for name in [&v.fasta, &v.index] {
-                let p = dir.join(name);
-                if !p.is_file() {
-                    return Err(DbError::Volume(format!(
-                        "volume {} file {} is missing",
-                        v.id,
-                        p.display()
-                    )));
+        let db = Database { dir, manifest, io };
+        for v in 0..db.num_volumes() {
+            let meta = db.volume(v);
+            for name in [&meta.fasta, &meta.index] {
+                let p = db.dir.join(name);
+                if !db.io.is_file(&p) {
+                    return Err(db.volume_error(v, p, VolumeCause::Missing));
                 }
             }
         }
-        Ok(Database { dir, manifest })
+        Ok(db)
+    }
+
+    /// Opens without the per-volume existence check: the manifest is
+    /// still fully validated, but missing or unreadable volume files
+    /// surface per-volume at attach time instead of failing the open.
+    /// This is `verifydb`'s entry point — a database with one rotten
+    /// volume must still yield a per-volume report, not a refusal to
+    /// look.
+    pub fn open_unchecked(
+        dir: impl AsRef<Path>,
+        io: Arc<dyn VolumeIo>,
+    ) -> Result<Database, DbError> {
+        let dir = dir.as_ref().to_path_buf();
+        let manifest_path = dir.join(MANIFEST_FILE);
+        let bytes = io
+            .read(&manifest_path)
+            .map_err(|e| DbError::Io(manifest_path.clone(), e))?;
+        let text = String::from_utf8(bytes)
+            .map_err(|_| DbError::Manifest("manifest is not valid UTF-8".into()))?;
+        let manifest = Manifest::parse(&text).map_err(DbError::Manifest)?;
+        Ok(Database { dir, manifest, io })
     }
 
     /// The database directory.
@@ -116,6 +122,15 @@ impl Database {
         &self.manifest.volumes[i]
     }
 
+    /// Wraps a typed cause into the volume's [`DbError`].
+    fn volume_error(&self, volume: usize, path: PathBuf, cause: VolumeCause) -> DbError {
+        DbError::Volume(VolumeError {
+            volume,
+            path,
+            cause,
+        })
+    }
+
     /// Attaches volume `i`: re-reads its FASTA, loads its index under
     /// `mode` (mmap by default — zero-copy postings/offsets), and pairs
     /// them into a `PreparedBank` after the full identity check chain:
@@ -126,6 +141,11 @@ impl Database {
     ///   `PreparedBank::from_index` check — so manifest, FASTA and index
     ///   must agree pairwise);
     /// * the index configuration must match the manifest's `w`/`stride`.
+    ///
+    /// Every failure is a [`DbError::Volume`] whose typed
+    /// [`VolumeCause`] distinguishes transient I/O from durable
+    /// corruption — the distinction the session's retry/quarantine
+    /// policy and `verifydb` dispatch on.
     pub fn attach_volume(
         &self,
         i: usize,
@@ -134,37 +154,51 @@ impl Database {
         let meta = self.volume(i);
         let t0 = Instant::now();
         let fasta_path = self.dir.join(&meta.fasta);
-        let bank = oris_seqio::read_fasta_file(&fasta_path)
-            .map_err(|e| DbError::Volume(format!("{}: {e}", fasta_path.display())))?;
+        let fasta_bytes = self
+            .io
+            .read(&fasta_path)
+            .map_err(|e| self.volume_error(i, fasta_path.clone(), VolumeCause::Io(e)))?;
+        let bank = oris_seqio::read_fasta(&fasta_bytes[..])
+            .map_err(|e| self.volume_error(i, fasta_path.clone(), VolumeCause::Fasta(e)))?;
         let actual_hash = fnv1a(bank.data());
         if actual_hash != meta.bank_hash {
-            return Err(DbError::Volume(format!(
-                "{}: content hash {actual_hash:016x} does not match the manifest \
-                 ({:016x}) — volume rewritten after makedb?",
-                fasta_path.display(),
-                meta.bank_hash
-            )));
+            return Err(self.volume_error(
+                i,
+                fasta_path.clone(),
+                VolumeCause::HashMismatch {
+                    expected: meta.bank_hash,
+                    actual: actual_hash,
+                },
+            ));
         }
         if bank.num_residues() as u64 != meta.residues {
-            return Err(DbError::Volume(format!(
-                "{}: {} residues, manifest records {}",
-                fasta_path.display(),
-                bank.num_residues(),
-                meta.residues
-            )));
+            return Err(self.volume_error(
+                i,
+                fasta_path.clone(),
+                VolumeCause::Mismatch(format!(
+                    "{} residues, manifest records {}",
+                    bank.num_residues(),
+                    meta.residues
+                )),
+            ));
         }
         let index_path = self.dir.join(&meta.index);
-        let (index, imeta): (_, IndexMeta) = oris_index::attach_index_file(&index_path, mode)
-            .map_err(|e| DbError::Volume(format!("{}: {e}", index_path.display())))?;
+        let (index, imeta): (_, IndexMeta) = self
+            .io
+            .attach_index(&index_path, mode)
+            .map_err(|e| self.volume_error(i, index_path.clone(), VolumeCause::Index(e)))?;
         if index.w() != self.manifest.w || index.stride() != self.manifest.stride {
-            return Err(DbError::Volume(format!(
-                "{}: index is w={} stride={}, manifest says w={} stride={}",
-                index_path.display(),
-                index.w(),
-                index.stride(),
-                self.manifest.w,
-                self.manifest.stride
-            )));
+            return Err(self.volume_error(
+                i,
+                index_path.clone(),
+                VolumeCause::Mismatch(format!(
+                    "index is w={} stride={}, manifest says w={} stride={}",
+                    index.w(),
+                    index.stride(),
+                    self.manifest.w,
+                    self.manifest.stride
+                )),
+            ));
         }
         // Index ↔ manifest: the index file's recorded bank hash must name
         // the same content the manifest row does. Combined with the
@@ -173,12 +207,14 @@ impl Database {
         // full-bank FNV pass per attach, not two (this is the hot path
         // under a bounded window, which re-attaches volumes per query).
         if imeta.bank_hash != 0 && imeta.bank_hash != meta.bank_hash {
-            return Err(DbError::Volume(format!(
-                "{}: index was built over content {:016x}, manifest records {:016x}",
-                index_path.display(),
-                imeta.bank_hash,
-                meta.bank_hash
-            )));
+            return Err(self.volume_error(
+                i,
+                index_path.clone(),
+                VolumeCause::Mismatch(format!(
+                    "index was built over content {:016x}, manifest records {:016x}",
+                    imeta.bank_hash, meta.bank_hash
+                )),
+            ));
         }
         let mmap_backed = index.is_mmap_backed();
         let index_heap_bytes = index.heap_bytes();
@@ -187,7 +223,7 @@ impl Database {
             ..imeta
         };
         let prepared = PreparedBank::from_index_owned(bank, index, &attach_meta)
-            .map_err(|e| DbError::Volume(format!("{}: {e}", index_path.display())))?;
+            .map_err(|e| self.volume_error(i, index_path.clone(), VolumeCause::Mismatch(e)))?;
         Ok((
             prepared,
             AttachedVolumeStats {

@@ -37,6 +37,39 @@
 //! per-volume lengths, which would make an alignment's significance
 //! depend on how `makedb` happened to shard the input.
 //!
+//! ## Failure model
+//!
+//! A database that serves many queries over a long lifetime meets
+//! failures the batch pipeline never sees, and this crate makes each of
+//! them typed, injectable and testable:
+//!
+//! * **Typed errors** — every failure is a [`DbError`] whose
+//!   [`VolumeError`]/[`VolumeCause`] pinpoints the volume, the file and
+//!   the cause (missing file, I/O error, FASTA parse failure, content
+//!   hash mismatch, index corruption, metadata mismatch), with full
+//!   `std::error::Error::source` chains down to the underlying
+//!   `io::Error`. [`DbError::exit_code`] gives each class a stable CLI
+//!   exit code, and [`DbError::is_transient`] is the retry policy's
+//!   classifier.
+//! * **Fault injection** — all file access goes through the [`VolumeIo`]
+//!   trait: [`RealIo`] is the filesystem; [`FaultyIo`] deterministically
+//!   fails the Nth open/read, truncates, bit-flips a chosen byte, or
+//!   delays — which is how the test suite reaches *every* error path
+//!   above without root or filesystem tricks.
+//! * **Degraded mode** — [`OnVolumeError::SkipAndReport`] lets a session
+//!   quarantine a failing volume (after bounded retry with backoff for
+//!   transient faults) and complete queries over the survivors; each
+//!   query's [`SearchReport`] records exactly what was searched, what
+//!   was skipped, and the residue coverage fraction.
+//! * **Deadlines** — [`DbOptions::deadline`] (or an explicit
+//!   [`Deadline`](oris_core::Deadline) token via
+//!   [`DbSession::run_query_deadline`]) bounds a query's wall-clock
+//!   cost; expiry is a clean [`DbError::DeadlineExceeded`] with the
+//!   caller's sink untouched and the session still usable.
+//! * **Offline verification** — [`verify_db`] (the `verifydb` binary) is
+//!   the fsck: manifest checksum, per-volume bank and index content
+//!   hashes, and index structural integrity, reported per volume.
+//!
 //! ```no_run
 //! use oris_core::{CollectSink, OrisConfig};
 //! use oris_db::{make_db, Database, DbOptions, DbSession, MakeDbOptions};
@@ -56,11 +89,17 @@
 //! ```
 
 pub mod database;
+pub mod error;
+pub mod io;
 pub mod makedb;
 pub mod manifest;
 pub mod session;
+pub mod verify;
 
 pub use database::{Database, DbError};
+pub use error::{VolumeCause, VolumeError};
+pub use io::{Fault, FaultRule, FaultyIo, RealIo, VolumeIo};
 pub use makedb::{make_db, MakeDbOptions};
 pub use manifest::{Manifest, VolumeMeta, MANIFEST_FILE};
-pub use session::{DbBatchStats, DbOptions, DbSession, VolumeCost};
+pub use session::{DbBatchStats, DbOptions, DbSession, OnVolumeError, SearchReport, VolumeCost};
+pub use verify::{verify_db, VerifyOptions, VerifyReport, VolumeVerdict};

@@ -79,8 +79,13 @@ pub fn make_db(
         let fasta = format!("vol{id:05}.fa");
         let index = format!("vol{id:05}.oidx");
         let fasta_path = out_dir.join(&fasta);
-        oris_seqio::write_fasta_file(&bank, &fasta_path)
-            .map_err(|e| DbError::Volume(format!("{}: {e}", fasta_path.display())))?;
+        oris_seqio::write_fasta_file(&bank, &fasta_path).map_err(|e| {
+            DbError::Volume(crate::error::VolumeError {
+                volume: id,
+                path: fasta_path.clone(),
+                cause: crate::error::VolumeCause::Fasta(e),
+            })
+        })?;
         let prepared = PreparedBank::prepare(&bank, opts.filter, opts.index_config);
         let imeta = IndexMeta {
             masked_fraction: prepared.stats().masked_fraction,

@@ -1,13 +1,49 @@
-//! Cross-volume search: one query, every volume, one result stream.
+//! Cross-volume search: one query, every volume, one result stream —
+//! with an explicit failure model.
+//!
+//! A long-lived serving session meets three failure classes the happy
+//! path never sees: volumes that rot underneath it (truncated index,
+//! flipped bit, deleted file), transient I/O hiccups that clear on
+//! retry, and adversarial queries whose step-2 cost is effectively
+//! unbounded. [`DbSession`] makes all three first-class:
+//!
+//! * [`OnVolumeError`] — fail the query (default) or **quarantine** the
+//!   bad volume for the session and complete over the survivors, after
+//!   a bounded retry with exponential backoff for transient faults.
+//! * [`SearchReport`] — per-query accounting of volumes searched,
+//!   skipped and retried plus the residue coverage fraction, so a
+//!   degraded result is explicitly labeled rather than silently partial.
+//! * [`DbOptions::deadline`] / [`DbSession::run_query_deadline`] — a
+//!   cooperative per-query budget checked at volume and step-2
+//!   partition boundaries; expiry returns a clean
+//!   [`DbError::DeadlineExceeded`] with the caller's sink untouched and
+//!   the session ready for the next query.
+
+use std::time::Duration;
 
 use oris_core::{
-    CollectSink, OrisConfig, OrisResult, PipelineStats, PreparedBank, RecordSink, Session,
+    CollectSink, Deadline, OrisConfig, OrisResult, PipelineStats, PreparedBank, RecordSink, Session,
 };
 use oris_eval::SubjectSpace;
 use oris_index::AttachMode;
 use oris_seqio::Bank;
 
 use crate::database::{Database, DbError};
+
+/// What a [`DbSession`] does when a volume fails to attach.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OnVolumeError {
+    /// Fail the query with the volume's [`DbError`] (the default — a
+    /// batch pipeline wants loud, atomic failures).
+    #[default]
+    Fail,
+    /// Retry transient faults (bounded, with exponential backoff), then
+    /// quarantine the volume **for the session** and complete the query
+    /// over the surviving volumes, recording the skip in the query's
+    /// [`SearchReport`]. A serving deployment prefers a labeled partial
+    /// answer over no answer.
+    SkipAndReport,
+}
 
 /// Options for a [`DbSession`].
 #[derive(Debug, Clone, Copy)]
@@ -21,6 +57,19 @@ pub struct DbOptions {
     /// its postings. A small window (e.g. 1) re-attaches volumes per
     /// query and bounds resident memory to one volume's working set.
     pub window: usize,
+    /// Volume-failure policy (see [`OnVolumeError`]).
+    pub on_volume_error: OnVolumeError,
+    /// Under [`OnVolumeError::SkipAndReport`], how many times a
+    /// *transient* attach failure ([`DbError::is_transient`]) is retried
+    /// before the volume is quarantined. Durable corruption is never
+    /// retried.
+    pub retries: u32,
+    /// Backoff before the first retry; doubles per subsequent retry.
+    pub retry_backoff: Duration,
+    /// Per-query deadline. `None` (the default) runs unguarded with
+    /// zero overhead; `Some(budget)` arms a fresh [`Deadline`] for each
+    /// query (see [`DbSession::run_query_deadline`] for the guarantees).
+    pub deadline: Option<Duration>,
 }
 
 impl Default for DbOptions {
@@ -28,6 +77,10 @@ impl Default for DbOptions {
         DbOptions {
             attach: AttachMode::Mmap,
             window: 0,
+            on_volume_error: OnVolumeError::Fail,
+            retries: 2,
+            retry_backoff: Duration::from_millis(10),
+            deadline: None,
         }
     }
 }
@@ -51,6 +104,54 @@ pub struct VolumeCost {
     pub index_heap_bytes: usize,
     /// Whether the most recent attach was mmap-backed.
     pub mmap_backed: bool,
+    /// Failed attach attempts retried on this volume (transient faults
+    /// under [`OnVolumeError::SkipAndReport`]).
+    pub retries: u32,
+}
+
+/// Per-query account of which volumes a search actually covered — the
+/// label that keeps a degraded result honest.
+///
+/// With no faults, `searched` lists every volume and
+/// [`SearchReport::coverage`] is `1.0`. Under
+/// [`OnVolumeError::SkipAndReport`] with quarantined volumes, `skipped`
+/// names them and the coverage fraction prices the loss in residues —
+/// the quantity e-values are computed over (which are **still** priced
+/// against the full database total: a degraded search under-reports
+/// hits, it never inflates significance).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SearchReport {
+    /// Total volumes in the database.
+    pub volumes_total: usize,
+    /// Volumes searched for this query, in scan order.
+    pub searched: Vec<usize>,
+    /// Volumes skipped because they are quarantined (failed this query
+    /// or a previous one this session).
+    pub skipped: Vec<usize>,
+    /// Failed attach attempts retried during this query (transient
+    /// faults only; quarantined volumes are not re-probed).
+    pub retries: u32,
+    /// Residues actually searched (sum over `searched`).
+    pub residues_searched: u64,
+    /// Database-wide residue total (the manifest's).
+    pub residues_total: u64,
+}
+
+impl SearchReport {
+    /// Fraction of the database's residues this query searched
+    /// (`1.0` = complete).
+    pub fn coverage(&self) -> f64 {
+        if self.residues_total == 0 {
+            1.0
+        } else {
+            self.residues_searched as f64 / self.residues_total as f64
+        }
+    }
+
+    /// Whether every volume was searched.
+    pub fn is_complete(&self) -> bool {
+        self.skipped.is_empty()
+    }
 }
 
 /// Report of one [`DbSession::run_batch`]: per-query pipeline reports (in
@@ -63,6 +164,8 @@ pub struct DbBatchStats {
     /// Per-query merged reports (each sums that query's runs across all
     /// volumes; `index_builds` counts exactly the query's own build).
     pub per_query: Vec<PipelineStats>,
+    /// Per-query coverage reports (parallel to `per_query`).
+    pub reports: Vec<SearchReport>,
     /// Per-volume attach costs at batch end.
     pub volumes: Vec<VolumeCost>,
 }
@@ -108,12 +211,18 @@ impl DbBatchStats {
 /// `SubjectSpace::Database(total_residues)` from the manifest (an
 /// explicit `Database(_)` already set by the caller — a `--dbsize`
 /// override — is kept).
+///
+/// The failure model (quarantine, retries, deadlines) is described in
+/// the [module docs](self) and on [`DbSession::run_query_deadline`].
 pub struct DbSession<'d> {
     db: &'d Database,
     cfg: OrisConfig,
     opts: DbOptions,
     cache: VolumeCache,
     costs: Vec<VolumeCost>,
+    /// Quarantined volumes (the session-lifetime skip set under
+    /// [`OnVolumeError::SkipAndReport`]) and why each was quarantined.
+    quarantined: Vec<Option<DbError>>,
 }
 
 /// Attached volume sessions. The unbounded form is a dense slot table
@@ -124,7 +233,7 @@ enum VolumeCache {
     /// Unbounded window: one slot per volume id, never evicts.
     All(Vec<Option<Session<'static>>>),
     /// Bounded window: eviction is Belady-optimal for the session's
-    /// fixed cyclic scan, see [`DbSession::session_for`].
+    /// fixed cyclic scan, see [`DbSession::attach_if_needed`].
     Window(Vec<(usize, Session<'static>)>),
 }
 
@@ -171,6 +280,7 @@ impl<'d> DbSession<'d> {
             opts,
             cache,
             costs: vec![VolumeCost::default(); db.num_volumes()],
+            quarantined: (0..db.num_volumes()).map(|_| None).collect(),
         })
     }
 
@@ -185,8 +295,27 @@ impl<'d> DbSession<'d> {
         &self.costs
     }
 
-    /// The session for volume `v`, attaching (and possibly evicting a
-    /// cached volume) as needed.
+    /// Volumes quarantined so far this session, with the error that
+    /// condemned each (only ever non-empty under
+    /// [`OnVolumeError::SkipAndReport`]).
+    pub fn quarantined(&self) -> impl Iterator<Item = (usize, &DbError)> {
+        self.quarantined
+            .iter()
+            .enumerate()
+            .filter_map(|(v, e)| e.as_ref().map(|e| (v, e)))
+    }
+
+    /// Whether the cache already holds volume `v`.
+    fn is_attached(&self, v: usize) -> bool {
+        match &self.cache {
+            VolumeCache::All(slots) => slots[v].is_some(),
+            VolumeCache::Window(entries) => entries.iter().any(|(id, _)| *id == v),
+        }
+    }
+
+    /// Attaches volume `v` into the cache (evicting under a bounded
+    /// window), retrying transient failures per the options. `retries`
+    /// accumulates into the current query's report.
     ///
     /// Eviction policy: every query scans volumes in ascending id order
     /// and wraps, so the access pattern is known exactly — the next use
@@ -195,96 +324,227 @@ impl<'d> DbSession<'d> {
     /// policy for this scan. (Plain LRU would be pathological here: the
     /// cyclic scan evicts every entry just before its reuse, giving a 0%
     /// hit rate for any window smaller than the volume count.)
-    fn session_for(&mut self, v: usize) -> Result<&Session<'static>, DbError> {
-        let needs_attach = match &self.cache {
-            VolumeCache::All(slots) => slots[v].is_none(),
-            VolumeCache::Window(entries) => !entries.iter().any(|(id, _)| *id == v),
-        };
-        if needs_attach {
-            if let VolumeCache::Window(entries) = &mut self.cache {
-                let num = self.db.num_volumes();
-                while entries.len() >= self.opts.window {
-                    let evict = entries
-                        .iter()
-                        .enumerate()
-                        .max_by_key(|(_, (id, _))| (id + num - v) % num)
-                        .map(|(pos, _)| pos)
-                        .expect("cache non-empty while at capacity");
-                    // Dropping the session frees the volume's bank, minus
-                    // strand and (heap or mapped) index before the next
-                    // volume attaches — the bounded-memory guarantee.
-                    entries.remove(evict);
-                }
-            }
-            let (prepared, attach) = self.db.attach_volume(v, self.opts.attach)?;
-            let bank_bytes = prepared.bank().heap_bytes();
-            let session = Session::with_subject(prepared, &self.cfg).map_err(DbError::Config)?;
-            let cost = &mut self.costs[v];
-            cost.attaches += 1;
-            cost.attach_secs += attach.attach_secs;
-            cost.strand_build_secs += session.subject_stats().build_secs;
-            cost.index_heap_bytes = attach.index_heap_bytes + bank_bytes;
-            cost.mmap_backed = attach.mmap_backed;
-            match &mut self.cache {
-                VolumeCache::All(slots) => slots[v] = Some(session),
-                VolumeCache::Window(entries) => entries.push((v, session)),
+    fn attach_if_needed(&mut self, v: usize, retries: &mut u32) -> Result<(), DbError> {
+        if self.is_attached(v) {
+            return Ok(());
+        }
+        if let VolumeCache::Window(entries) = &mut self.cache {
+            let num = self.db.num_volumes();
+            while entries.len() >= self.opts.window {
+                let evict = entries
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(_, (id, _))| (id + num - v) % num)
+                    .map(|(pos, _)| pos)
+                    .expect("cache non-empty while at capacity");
+                // Dropping the session frees the volume's bank, minus
+                // strand and (heap or mapped) index before the next
+                // volume attaches — the bounded-memory guarantee.
+                entries.remove(evict);
             }
         }
-        Ok(match &self.cache {
-            VolumeCache::All(slots) => slots[v].as_ref().expect("attached above"),
+        let mut attempt = 0u32;
+        let (prepared, attach) = loop {
+            match self.db.attach_volume(v, self.opts.attach) {
+                Ok(ok) => break ok,
+                Err(e)
+                    if self.opts.on_volume_error == OnVolumeError::SkipAndReport
+                        && attempt < self.opts.retries
+                        && e.is_transient() =>
+                {
+                    // Exponential backoff: base, 2·base, 4·base, …
+                    std::thread::sleep(self.opts.retry_backoff * (1u32 << attempt.min(16)) / 2);
+                    attempt += 1;
+                    *retries += 1;
+                    self.costs[v].retries += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        };
+        let bank_bytes = prepared.bank().heap_bytes();
+        let session = Session::with_subject(prepared, &self.cfg).map_err(DbError::Config)?;
+        let cost = &mut self.costs[v];
+        cost.attaches += 1;
+        cost.attach_secs += attach.attach_secs;
+        cost.strand_build_secs += session.subject_stats().build_secs;
+        cost.index_heap_bytes = attach.index_heap_bytes + bank_bytes;
+        cost.mmap_backed = attach.mmap_backed;
+        match &mut self.cache {
+            VolumeCache::All(slots) => slots[v] = Some(session),
+            VolumeCache::Window(entries) => entries.push((v, session)),
+        }
+        Ok(())
+    }
+
+    /// The cached session for volume `v` (must be attached).
+    fn cached_session(&self, v: usize) -> &Session<'static> {
+        match &self.cache {
+            VolumeCache::All(slots) => slots[v].as_ref().expect("volume attached"),
             VolumeCache::Window(entries) => {
                 &entries
                     .iter()
                     .find(|(id, _)| *id == v)
-                    .expect("attached above")
+                    .expect("volume attached")
                     .1
             }
-        })
+        }
+    }
+
+    /// Routes an attach failure per the policy: under
+    /// [`OnVolumeError::SkipAndReport`] a volume failure quarantines the
+    /// volume and the query continues; everything else (and every
+    /// failure under [`OnVolumeError::Fail`]) aborts the query.
+    fn quarantine_or_fail(&mut self, v: usize, e: DbError) -> Result<(), DbError> {
+        match (self.opts.on_volume_error, &e) {
+            (OnVolumeError::SkipAndReport, DbError::Volume(_)) => {
+                self.quarantined[v] = Some(e);
+                Ok(())
+            }
+            _ => Err(e),
+        }
     }
 
     /// Runs one query bank across every volume, streaming all volumes'
     /// records into `sink` and firing exactly one `end_query` at the end.
     /// The returned report merges the per-volume runs and counts the
     /// query's single index build; volume attach costs accumulate in
-    /// [`DbSession::volume_costs`].
+    /// [`DbSession::volume_costs`]. (This is
+    /// [`DbSession::run_query_reported`] minus the coverage report — the
+    /// options' policy and deadline still apply.)
     ///
-    /// Error atomicity: the only mid-query failure source is a volume
-    /// *attach* (the per-volume search itself cannot fail). With an
-    /// unbounded window (the default, and every `window ≥ volumes`
-    /// configuration) all volumes are attached **before** the first
-    /// record flows, so on `Err` the caller's sink is untouched — no
-    /// records, no boundary — and the sink's own retention policy (e.g.
+    /// Error atomicity: the only mid-query failure sources are a volume
+    /// *attach* (the per-volume search itself cannot fail) and an armed
+    /// deadline. With an unbounded window (the default, and every
+    /// `window ≥ volumes` configuration) all volumes are attached
+    /// **before** the first record flows, and deadline-guarded queries
+    /// buffer their records internally until the scan completes — so on
+    /// `Err` the caller's sink is untouched: no records, no boundary —
+    /// and the sink's own retention policy (e.g.
     /// [`oris_core::TopKSink`]'s O(k) bound) holds unweakened, records
     /// streaming straight through. With a bounded window, attaches
     /// necessarily interleave with the scan; a volume whose files were
     /// deleted or corrupted *after* [`Database::open`] validated them
-    /// then aborts the query mid-stream, and the sink may hold a partial
-    /// query — discard it on `Err` (the CLI discards its whole output).
+    /// then aborts the query mid-stream under [`OnVolumeError::Fail`],
+    /// and the sink may hold a partial query — discard it on `Err` (the
+    /// CLI discards its whole output). Under
+    /// [`OnVolumeError::SkipAndReport`] an attach failure never aborts
+    /// the query, so the bounded window regains sink-atomicity for
+    /// everything but sink failures themselves.
     pub fn run_query_into(
         &mut self,
         query: &Bank,
         sink: &mut dyn RecordSink,
     ) -> Result<PipelineStats, DbError> {
+        self.run_query_reported(query, sink).map(|(stats, _)| stats)
+    }
+
+    /// [`DbSession::run_query_into`] returning the query's
+    /// [`SearchReport`] alongside the pipeline stats. Arms a fresh
+    /// deadline from [`DbOptions::deadline`] if one is configured.
+    pub fn run_query_reported(
+        &mut self,
+        query: &Bank,
+        sink: &mut dyn RecordSink,
+    ) -> Result<(PipelineStats, SearchReport), DbError> {
+        let deadline = match self.opts.deadline {
+            Some(budget) => Deadline::after(budget),
+            None => Deadline::none(),
+        };
+        self.run_query_deadline(query, sink, &deadline)
+    }
+
+    /// The full-control query entry point: explicit [`Deadline`] token
+    /// (e.g. [`Deadline::cancellable`] driven by a supervisor thread).
+    ///
+    /// Deadline guarantees:
+    ///
+    /// * The token is checked at every volume boundary and, inside each
+    ///   volume, at step-2 partition boundaries (and every few thousand
+    ///   extension pairs within a hot partition) — the places a
+    ///   pathological query actually spends its time.
+    /// * On expiry the query returns [`DbError::DeadlineExceeded`] and
+    ///   the caller's sink is **untouched** — armed queries stage their
+    ///   records in an internal buffer and only stream into `sink` after
+    ///   every volume completed (the buffer is the records of one query,
+    ///   the same working set a `CollectSink` would hold; the disarmed
+    ///   path streams straight through with zero overhead and zero
+    ///   buffering).
+    /// * The session remains fully usable: the next query runs normally,
+    ///   volumes attached before the expiry stay attached, and no volume
+    ///   is quarantined by a deadline (slowness is not corruption).
+    /// * A query that completes under a deadline is byte-identical to
+    ///   the same query without one: the token never changes what is
+    ///   computed.
+    pub fn run_query_deadline(
+        &mut self,
+        query: &Bank,
+        sink: &mut dyn RecordSink,
+        deadline: &Deadline,
+    ) -> Result<(PipelineStats, SearchReport), DbError> {
         let num = self.db.num_volumes();
+        let mut report = SearchReport {
+            volumes_total: num,
+            residues_total: self.db.total_residues(),
+            ..SearchReport::default()
+        };
         if self.opts.window == 0 || self.opts.window >= num {
             // Attach-ahead: cached sessions make this a no-op after the
             // first query; any attach failure surfaces here, before the
             // sink sees a single record.
             for v in 0..num {
-                self.session_for(v)?;
+                deadline.check().map_err(DbError::from)?;
+                if self.quarantined[v].is_some() || self.is_attached(v) {
+                    continue;
+                }
+                if let Err(e) = self.attach_if_needed(v, &mut report.retries) {
+                    self.quarantine_or_fail(v, e)?;
+                }
             }
         }
         // The query is prepared once for the whole database, exactly as a
         // single-bank session prepares it once for both strands.
         let prep = PreparedBank::prepare(query, self.cfg.filter, self.cfg.query_index_config());
+        // Armed queries buffer so an expiry mid-scan leaves `sink`
+        // untouched; the disarmed path streams straight through.
+        let mut buffer = if deadline.is_armed() {
+            Some(CollectSink::new())
+        } else {
+            None
+        };
         let mut merged: Option<PipelineStats> = None;
         for v in 0..num {
-            let session = self.session_for(v)?;
-            let stats = session.run_prepared_streaming(&prep, sink);
+            if self.quarantined[v].is_some() {
+                report.skipped.push(v);
+                continue;
+            }
+            deadline.check().map_err(DbError::from)?;
+            if let Err(e) = self.attach_if_needed(v, &mut report.retries) {
+                self.quarantine_or_fail(v, e)?;
+                report.skipped.push(v);
+                continue;
+            }
+            let session = self.cached_session(v);
+            let out: &mut dyn RecordSink = match &mut buffer {
+                Some(b) => b,
+                None => sink,
+            };
+            let stats = session
+                .run_prepared_streaming_deadline(&prep, out, deadline)
+                .map_err(DbError::from)?;
             merged = Some(match merged {
                 None => stats,
                 Some(m) => m.merge(&stats),
             });
+            report.searched.push(v);
+            report.residues_searched += self.db.volume(v).residues;
+        }
+        if let Some(buffer) = buffer {
+            // Scan complete: release the staged records. Arrival order
+            // into the sink is irrelevant — its boundary sort below is a
+            // strict total order.
+            for record in buffer.into_records() {
+                sink.accept(record);
+            }
         }
         // An end_query failure is the caller's *output* stream failing
         // (e.g. a full disk under a StreamWriter), not a database
@@ -294,7 +554,7 @@ impl<'d> DbSession<'d> {
         let mut stats = merged.unwrap_or_default();
         stats.index_secs += prep.stats().build_secs;
         stats.index_builds += prep.stats().builds;
-        Ok(stats)
+        Ok((stats, report))
     }
 
     /// Collected form of [`DbSession::run_query_into`].
@@ -310,7 +570,10 @@ impl<'d> DbSession<'d> {
     /// Runs a batch of query banks across the database — one
     /// `end_query` boundary per bank, in batch order, each query's
     /// working set freed before the next (and, with a small
-    /// [`DbOptions::window`], each volume's too).
+    /// [`DbOptions::window`], each volume's too). The returned stats
+    /// carry one [`SearchReport`] per query: under
+    /// [`OnVolumeError::SkipAndReport`] a batch that limped over a bad
+    /// volume says so, per query.
     pub fn run_batch<I>(
         &mut self,
         queries: I,
@@ -322,11 +585,15 @@ impl<'d> DbSession<'d> {
     {
         use std::borrow::Borrow;
         let mut per_query = Vec::new();
+        let mut reports = Vec::new();
         for q in queries {
-            per_query.push(self.run_query_into(q.borrow(), sink)?);
+            let (stats, report) = self.run_query_reported(q.borrow(), sink)?;
+            per_query.push(stats);
+            reports.push(report);
         }
         Ok(DbBatchStats {
             per_query,
+            reports,
             volumes: self.costs.clone(),
         })
     }

@@ -192,7 +192,16 @@ fn db_search_matches_concatenated_bank() {
 
         for attach in [AttachMode::Mmap, AttachMode::HeapCopy] {
             for window in [0usize, 1] {
-                let mut session = DbSession::new(&db, &cfg, DbOptions { attach, window }).unwrap();
+                let mut session = DbSession::new(
+                    &db,
+                    &cfg,
+                    DbOptions {
+                        attach,
+                        window,
+                        ..DbOptions::default()
+                    },
+                )
+                .unwrap();
                 for q in &queries {
                     let via_db = session.run_query(q).unwrap();
                     let via_bank = reference.run(q);
@@ -284,6 +293,7 @@ fn window_eviction_is_not_pathological_for_the_cyclic_scan() {
         DbOptions {
             attach: AttachMode::Mmap,
             window,
+            ..DbOptions::default()
         },
     )
     .unwrap();
@@ -356,6 +366,7 @@ fn batch_streams_one_boundary_per_query_and_counts_attaches() {
         DbOptions {
             attach: AttachMode::Mmap,
             window: 1,
+            ..DbOptions::default()
         },
     )
     .unwrap();

@@ -204,7 +204,19 @@ impl std::fmt::Display for PersistError {
     }
 }
 
-impl std::error::Error for PersistError {}
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        // Preserve the I/O cause so callers (the database layer's retry
+        // policy, `verifydb`) can distinguish a device error from
+        // structural corruption without parsing display text.
+        match self {
+            PersistError::Io(e) => Some(e),
+            PersistError::BadMagic
+            | PersistError::UnsupportedVersion(_)
+            | PersistError::Corrupt(_) => None,
+        }
+    }
+}
 
 impl From<io::Error> for PersistError {
     fn from(e: io::Error) -> PersistError {

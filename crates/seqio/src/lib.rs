@@ -24,5 +24,7 @@ pub mod packed;
 pub use alphabet::{code_to_char, complement_code, nuc_from_char, Nuc, AMBIG, NUC_CODES, SENTINEL};
 pub use bank::{Bank, BankBuilder, SeqRecord};
 pub use error::SeqIoError;
-pub use fasta::{parse_fasta, read_fasta_file, write_fasta, write_fasta_file, FastaRecord};
+pub use fasta::{
+    parse_fasta, read_fasta, read_fasta_file, write_fasta, write_fasta_file, FastaRecord,
+};
 pub use packed::PackedSeq;

@@ -115,7 +115,7 @@ proptest! {
         for attach in [AttachMode::Mmap, AttachMode::HeapCopy] {
             let window = if tiny_window { 1 } else { 0 };
             let mut session =
-                DbSession::new(&db, &cfg, DbOptions { attach, window }).unwrap();
+                DbSession::new(&db, &cfg, DbOptions { attach, window, ..DbOptions::default() }).unwrap();
 
             // Collected records agree...
             let collected = session.run_query(&query).unwrap();
@@ -161,5 +161,118 @@ proptest! {
         // way the records must agree.
         prop_assert!(va >= vb);
         prop_assert_eq!(ra, rb);
+    }
+
+    /// Degraded mode cannot invent, drop or re-price surviving records:
+    /// corrupt one random volume, search under SkipAndReport, and the
+    /// output is byte-identical to a database built from only the
+    /// surviving sequences — priced against the FULL residue total.
+    #[test]
+    fn degraded_search_equals_surviving_volumes(
+        seqs in proptest::collection::vec("[ACGT]{30,80}", 3..6),
+        w in 5usize..8,
+        bad_sel in 0usize..64,
+    ) {
+        use oris_db::{Fault, FaultRule, FaultyIo, OnVolumeError};
+        use std::sync::Arc;
+
+        let subject = bank_from(&seqs);
+        let total = subject.num_residues() as u64;
+        let query = bank_from(&seqs);
+        let cfg = OrisConfig::small(w);
+        let budget = (subject.num_residues() / 3).max(30);
+
+        let dir = scratch();
+        let manifest = make_db([subject], &dir, &MakeDbOptions::new(&cfg, budget)).unwrap();
+        let nv = manifest.volumes.len();
+        // budget ≤ total/3 means the collection can never fit one volume.
+        prop_assert!(nv >= 2);
+        let bad = bad_sel % nv;
+
+        // Degraded run: volume `bad`'s index has a flipped magic byte.
+        let io = FaultyIo::with_rules([FaultRule::always(
+            &manifest.volumes[bad].index,
+            Fault::FlipByte { offset: 0, mask: 0xFF },
+        )]);
+        let db = Database::open_with_io(&dir, Arc::new(io)).unwrap();
+        let opts = DbOptions {
+            on_volume_error: OnVolumeError::SkipAndReport,
+            ..DbOptions::default()
+        };
+        let mut session = DbSession::new(&db, &cfg, opts).unwrap();
+        let mut sink = CollectSink::new();
+        let (_, report) = session.run_query_reported(&query, &mut sink).unwrap();
+        prop_assert_eq!(&report.skipped, &vec![bad]);
+        prop_assert_eq!(report.residues_searched, total - manifest.volumes[bad].residues);
+
+        // Reference: only the surviving sequences (volumes never split a
+        // sequence, so manifest sequence counts give the partition), with
+        // the e-value space pinned to the full total.
+        let mut starts = vec![0u64];
+        for v in &manifest.volumes {
+            starts.push(starts.last().unwrap() + v.sequences);
+        }
+        let ref_cfg = OrisConfig {
+            subject_space: SubjectSpace::Database(total),
+            ..cfg
+        };
+        // The surviving bank must keep the ORIGINAL sequence names so
+        // records compare byte-for-byte.
+        let mut b = BankBuilder::new();
+        for (i, s) in seqs.iter().enumerate() {
+            let i64 = i as u64;
+            if !(starts[bad]..starts[bad + 1]).contains(&i64) {
+                b.push_str(&format!("s{i}"), s).unwrap();
+            }
+        }
+        let surviving_bank = b.finish();
+        let ref_session = Session::new(&surviving_bank, &ref_cfg).unwrap();
+        let expected = ref_session.run(&query);
+        prop_assert_eq!(render(sink.records()), render(&expected.alignments));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// An armed (deadline + SkipAndReport through a rule-less injector)
+    /// session with no faults is byte-identical to the plain path — the
+    /// failure machinery never changes what is computed.
+    #[test]
+    fn armed_no_fault_session_is_byte_identical(
+        seqs in proptest::collection::vec("[ACGT]{30,60}", 2..5),
+        w in 5usize..8,
+        budget in 40usize..300,
+    ) {
+        use oris_db::{FaultyIo, OnVolumeError};
+        use std::sync::Arc;
+        use std::time::Duration;
+
+        let subject = bank_from(&seqs);
+        let query = bank_from(&seqs[..1]);
+        let cfg = OrisConfig::small(w);
+        let dir = scratch();
+        make_db([subject], &dir, &MakeDbOptions::new(&cfg, budget)).unwrap();
+
+        let plain = {
+            let db = Database::open(&dir).unwrap();
+            let mut session = DbSession::new(&db, &cfg, DbOptions::default()).unwrap();
+            let mut sink = CollectSink::new();
+            session.run_query_into(&query, &mut sink).unwrap();
+            sink.into_records()
+        };
+        let armed = {
+            let db = Database::open_with_io(&dir, Arc::new(FaultyIo::new())).unwrap();
+            let opts = DbOptions {
+                on_volume_error: OnVolumeError::SkipAndReport,
+                deadline: Some(Duration::from_secs(3600)),
+                ..DbOptions::default()
+            };
+            let mut session = DbSession::new(&db, &cfg, opts).unwrap();
+            let mut sink = CollectSink::new();
+            let (_, report) = session.run_query_reported(&query, &mut sink).unwrap();
+            prop_assert!(report.is_complete());
+            prop_assert_eq!(report.coverage(), 1.0);
+            sink.into_records()
+        };
+        prop_assert_eq!(render(&plain), render(&armed));
+        std::fs::remove_dir_all(&dir).ok();
     }
 }
