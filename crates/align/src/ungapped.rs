@@ -422,7 +422,6 @@ pub enum ExtensionOutcome {
 /// Convenience wrapper that prepares the guard per call; a loop extending
 /// many hits that share `p1` should prepare once and call
 /// [`extend_hit_prepared`].
-#[allow(clippy::too_many_arguments)]
 pub fn extend_hit(
     d1: &[u8],
     d2: &[u8],
@@ -443,7 +442,6 @@ pub fn extend_hit(
 /// bank-1 occurrence serves all its bank-2 partners, keeping the bank-1
 /// guard-word loads (and the guard-shape dispatch inputs) out of the
 /// `X2` loop.
-#[allow(clippy::too_many_arguments)]
 pub fn extend_hit_prepared(
     d1: &[u8],
     d2: &[u8],
@@ -501,7 +499,6 @@ pub fn extend_hit_prepared(
 
 /// Shared body: runs both direction walks with their monomorphized guard
 /// states and assembles the outcome.
-#[allow(clippy::too_many_arguments)]
 fn extend_walks<L: GuardWalk, R: GuardWalk>(
     d1: &[u8],
     d2: &[u8],
@@ -534,7 +531,6 @@ fn extend_walks<L: GuardWalk, R: GuardWalk>(
 
 /// Left walk. Returns `(best_score_including_seed, residues_left_of_seed)`
 /// or `None` on an order abort.
-#[allow(clippy::too_many_arguments)]
 fn extend_left<W: GuardWalk>(
     d1: &[u8],
     d2: &[u8],
@@ -597,7 +593,6 @@ fn extend_left<W: GuardWalk>(
 
 /// Right walk. Returns `(best_score_including_seed, residues_right_of_seed)`
 /// or `None` on an order abort.
-#[allow(clippy::too_many_arguments)]
 fn extend_right<W: GuardWalk>(
     d1: &[u8],
     d2: &[u8],

@@ -64,9 +64,10 @@ fn time2<RA, RB>(reps: usize, mut a: impl FnMut() -> RA, mut b: impl FnMut() -> 
         std::hint::black_box(b());
         sb.push(t0.elapsed().as_secs_f64());
     }
-    sa.sort_by(|x, y| x.partial_cmp(y).unwrap());
-    sb.sort_by(|x, y| x.partial_cmp(y).unwrap());
-    (sa[sa.len() / 2], sb[sb.len() / 2])
+    (
+        oris_eval::timing::median_of(sa),
+        oris_eval::timing::median_of(sb),
+    )
 }
 
 fn main() {

@@ -26,7 +26,7 @@ fn main() {
             out.row.banks, out.row.search_space
         );
     }
-    rows.sort_by(|x, y| x.0.partial_cmp(&y.0).unwrap());
+    rows.sort_by(|x, y| x.0.total_cmp(&y.0));
 
     let mut t = Table::new(vec![
         "banks",

@@ -115,6 +115,9 @@ mod tests {
     fn gauges_track_alloc_free_cycle() {
         let a = CountingAlloc::new();
         let layout = Layout::from_size_align(4096, 8).unwrap();
+        // SAFETY: the layout is valid and non-zero, every alloc is
+        // paired with exactly one dealloc of the same layout, and the
+        // pointers are never used after free.
         unsafe {
             let base = a.reset_peak();
             assert_eq!(base, 0);
@@ -140,6 +143,9 @@ mod tests {
     fn realloc_tracks_deltas() {
         let a = CountingAlloc::new();
         let small = Layout::from_size_align(100, 8).unwrap();
+        // SAFETY: layouts are valid and non-zero, realloc receives the
+        // pointer's current layout each time, and the final pointer is
+        // freed once with its last layout.
         unsafe {
             let p = a.alloc(small);
             let p = a.realloc(p, small, 300);

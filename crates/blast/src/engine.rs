@@ -7,6 +7,8 @@
 //! streamed ORIS path. [`compare_banks`] is the collect-everything
 //! wrapper.
 
+// oris-lint: allow-file(det-time) — stage timers feed BlastStats (lookup/scan/output
+// seconds) only; record content never depends on the clock
 use oris_core::sink::{CollectSink, RecordSink};
 use oris_dust::{DustMasker, EntropyMasker, Masker};
 use oris_eval::M8Record;

@@ -96,7 +96,6 @@ impl DiagTable {
 }
 
 /// Scans one subject record against the query lookup table.
-#[allow(clippy::too_many_arguments)]
 fn scan_record(
     bank1: &Bank,
     lookup: &BankIndex,

@@ -24,6 +24,7 @@ pub struct Args {
     /// Positional arguments in order of appearance.
     pub positional: Vec<String>,
     /// `--key value` options, keyed by canonical (long) name.
+    // oris-lint: allow(det-hash) — keyed lookup only; option values are fetched by name, never iterated
     pub options: HashMap<String, String>,
     /// `--flag` switches present, by canonical name.
     pub flags: Vec<String>,

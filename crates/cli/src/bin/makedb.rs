@@ -85,6 +85,7 @@ fn run() -> Result<(), String> {
         return Err("--volume-size must be at least 1".into());
     }
 
+    // oris-lint: allow(det-time) — stats-only: build-time report line, volume content is clock-independent
     let t0 = std::time::Instant::now();
     // Banks are read (and dropped) one input file at a time; the volume
     // splitter holds at most one building volume beyond that.

@@ -459,6 +459,7 @@ fn run() -> Result<(), CliError> {
             // loaded from a `mkindex` file — and the per-run stats report
             // the amortized cost: `index` covers only the query's build,
             // the subject's one-time cost is its own field.
+            // oris-lint: allow(det-time) — stats-only: subject_secs is a report field, records are clock-independent
             let t0 = std::time::Instant::now();
             let (session, subject_source) = build_session(&bank2, &cfg, args.options.get("index"))?;
             let subject_secs = t0.elapsed().as_secs_f64();
@@ -545,6 +546,7 @@ fn run_db(args: &Args, cfg: &OrisConfig, batch_mode: bool) -> Result<(), CliErro
     // `open` covers the whole manifest read + validation + session
     // config checks — everything between "a directory name" and "ready
     // to attach volumes".
+    // oris-lint: allow(det-time) — stats-only: open_secs is a report field, records are clock-independent
     let t0 = std::time::Instant::now();
     let db = oris_db::Database::open(db_dir).map_err(|e| CliError {
         msg: format!("{db_dir}: {e}"),
@@ -669,6 +671,7 @@ fn run_batch(args: &Args, cfg: &OrisConfig) -> Result<(), String> {
     let bank2 = oris_seqio::read_fasta_file(&args.positional[0])
         .map_err(|e| format!("{}: {e}", args.positional[0]))?;
 
+    // oris-lint: allow(det-time) — stats-only: subject_secs is a report field, records are clock-independent
     let t0 = std::time::Instant::now();
     let (session, subject_source) = build_session(&bank2, cfg, args.options.get("index"))?;
     let subject_secs = t0.elapsed().as_secs_f64();

@@ -42,6 +42,7 @@ pub fn find_hsps_unordered_dedup(
     // find_hsps_with_guard dedups *exact* duplicates already via sort +
     // dedup; to measure the true duplicate volume we re-run the counting
     // from the kept statistic.
+    // oris-lint: allow(det-hash) — membership probe only; output order comes from the input slice
     let mut seen: HashSet<(u32, u32, u32)> = HashSet::with_capacity(raw.len());
     let mut out = Vec::with_capacity(raw.len());
     for h in &raw {

@@ -101,6 +101,7 @@ impl<'a> PreparedBank<'a> {
     }
 
     fn prepare_cow(bank: Cow<'a, Bank>, filter: FilterKind, icfg: IndexConfig) -> PreparedBank<'a> {
+        // oris-lint: allow(det-time) — stats-only: PrepareStats metering, prepared bank is clock-independent
         let t0 = Instant::now();
         let mask = mask_for(filter, &bank);
         let index = build_index(&bank, icfg, &mask);

@@ -147,9 +147,11 @@ pub fn gapped_stage_into(
     flip_subject: bool,
     push: &mut dyn FnMut(M8Record),
 ) -> GappedStageReport {
+    // oris-lint: allow(det-time) — stats-only: GappedStageReport seconds, emitted records are clock-independent
     let t0 = std::time::Instant::now();
     let mut report = GappedStageReport::default();
     let mut emit = |alns: Vec<GappedAlignment>| {
+        // oris-lint: allow(det-time) — stats-only: GappedStageReport seconds, emitted records are clock-independent
         let t4 = std::time::Instant::now();
         report.raw_alignments += alns.len();
         step4::emit_records(
@@ -197,6 +199,7 @@ pub(crate) fn run_prepared_pipeline_into(
     stats.index_bytes = idx1.heap_bytes() + idx2.heap_bytes();
 
     // ---- Step 2: ordered hit extension ----------------------------------
+    // oris-lint: allow(det-time) — stats-only: stage metering for CompareStats, results are clock-independent
     let t0 = std::time::Instant::now();
     let (hsps, s2) = step2::find_hsps_deadline(
         bank1,

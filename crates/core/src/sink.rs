@@ -126,6 +126,7 @@ impl Ord for Worst {
 pub struct TopKSink {
     k: usize,
     /// Current query's retention, keyed by query sequence id.
+    // oris-lint: allow(det-hash) — per-query retention only; drained and sorted before anything is emitted
     current: HashMap<String, BinaryHeap<Worst>>,
     /// Records dropped by the bound so far (across all queries).
     dropped: u64,

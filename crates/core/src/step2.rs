@@ -163,7 +163,6 @@ pub fn partition_codes(
 /// returns [`DeadlineExceeded`] instead of its partial output; with the
 /// disarmed default the checks are a dead branch and the function cannot
 /// fail.
-#[allow(clippy::too_many_arguments)]
 fn process_code_range(
     bank1: &Bank,
     idx1: &BankIndex,
@@ -290,7 +289,6 @@ pub fn find_hsps_with_guard(
 /// Full-control entry point: explicit guard *and* partition strategy (the
 /// scheduling benches compare [`PartitionStrategy::EqualWidth`] against
 /// the default work-balanced split).
-#[allow(clippy::too_many_arguments)]
 pub fn find_hsps_partitioned(
     bank1: &Bank,
     idx1: &BankIndex,
@@ -322,7 +320,6 @@ pub fn find_hsps_partitioned(
 /// chunk count never affects output; ranges concatenate in code order) —
 /// so the no-deadline path and a generously-budgeted run are
 /// byte-identical.
-#[allow(clippy::too_many_arguments)]
 pub fn find_hsps_deadline(
     bank1: &Bank,
     idx1: &BankIndex,

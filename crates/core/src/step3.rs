@@ -208,6 +208,7 @@ fn gapped_grouped(
     // Group HSPs by sequence pair. Alignments cannot cross sentinels, so
     // groups are fully independent.
     use std::collections::HashMap;
+    // oris-lint: allow(det-hash) — grouping only; group keys are collected and sorted before processing
     let mut groups: HashMap<(usize, usize), Vec<Hsp>> = HashMap::new();
     for h in hsps {
         let r1 = bank1

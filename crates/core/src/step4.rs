@@ -87,7 +87,6 @@ pub fn display_records(
 /// still resolves to a record **index** via [`Bank::locate`] — a
 /// name-keyed mapping after the fact would pick the wrong length
 /// whenever the subject bank carries duplicate record names.
-#[allow(clippy::too_many_arguments)] // streaming form of display_records_inner: same inputs + the two accumulators
 pub fn emit_records(
     bank1: &Bank,
     bank2: &Bank,

@@ -152,6 +152,7 @@ impl Database {
         mode: AttachMode,
     ) -> Result<(PreparedBank<'static>, AttachedVolumeStats), DbError> {
         let meta = self.volume(i);
+        // oris-lint: allow(det-time) — stats-only: AttachedVolumeStats metering, attached bank is clock-independent
         let t0 = Instant::now();
         let fasta_path = self.dir.join(&meta.fasta);
         let fasta_bytes = self

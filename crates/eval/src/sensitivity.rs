@@ -47,11 +47,13 @@ impl MissReport {
 
 /// Index of records bucketed by sequence pair, sorted by query start.
 struct PairIndex<'a> {
+    // oris-lint: allow(det-hash) — keyed lookup only; verdicts follow the probe record order, not map order
     buckets: HashMap<(&'a str, &'a str), Vec<&'a M8Record>>,
 }
 
 impl<'a> PairIndex<'a> {
     fn build(records: &'a [M8Record]) -> PairIndex<'a> {
+        // oris-lint: allow(det-hash) — keyed lookup only; verdicts follow the probe record order, not map order
         let mut buckets: HashMap<(&str, &str), Vec<&M8Record>> = HashMap::new();
         for r in records {
             buckets

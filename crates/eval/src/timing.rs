@@ -22,14 +22,25 @@ pub fn time_secs<T>(f: impl FnOnce() -> T) -> (f64, T) {
 /// Panics if `runs == 0`.
 pub fn median_secs(runs: usize, mut f: impl FnMut()) -> f64 {
     assert!(runs > 0);
-    let mut times: Vec<f64> = (0..runs)
+    let times: Vec<f64> = (0..runs)
         .map(|_| {
             let start = Instant::now();
             f();
             start.elapsed().as_secs_f64()
         })
         .collect();
-    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    median_of(times)
+}
+
+/// Median under `f64::total_cmp`, so a stray NaN (a zero-duration
+/// division upstream, a corrupted sample) sorts to the high end instead
+/// of panicking the whole measurement run.
+///
+/// # Panics
+/// Panics if `times` is empty.
+pub fn median_of(mut times: Vec<f64>) -> f64 {
+    assert!(!times.is_empty());
+    times.sort_by(f64::total_cmp);
     times[times.len() / 2]
 }
 
@@ -77,6 +88,17 @@ mod tests {
         });
         assert_eq!(n, 3);
         assert!(m >= 0.001);
+    }
+
+    #[test]
+    fn median_of_survives_nan_samples() {
+        // PR 2's e-value sort panicked on NaN via `partial_cmp`; the
+        // same failure shape existed here. total_cmp sorts NaN above
+        // every real sample, so the median of mostly-real data stays a
+        // real number and nothing panics.
+        let m = median_of(vec![2.0, f64::NAN, 1.0]);
+        assert_eq!(m, 2.0);
+        assert!(median_of(vec![f64::NAN]).is_nan());
     }
 
     #[test]

@@ -47,6 +47,7 @@ impl LinkedBankIndex {
             if pos % cfg.stride != 0 {
                 continue;
             }
+            // oris-lint: allow(narrow-cast) — guarded by the `data.len() < EMPTY` assert above
             pairs.push((pos as u32, code));
         }
         // Reverse scan: pushing each position onto the front of its seed's

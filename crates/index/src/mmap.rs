@@ -43,6 +43,8 @@ pub struct Mapping {
 // SAFETY: the mapping is read-only (`PROT_READ`) and never handed out
 // mutably; see `Section`'s rationale.
 unsafe impl Send for Mapping {}
+// SAFETY: same rationale as `Send` above — all access is through `&self`
+// into immutable pages, so concurrent shared references are sound.
 unsafe impl Sync for Mapping {}
 
 #[cfg(unix)]

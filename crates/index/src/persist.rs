@@ -247,9 +247,17 @@ pub fn write_index(out: &mut impl Write, idx: &BankIndex, meta: &IndexMeta) -> i
     };
     out.write_all(&MAGIC)?;
     out.write_all(&FORMAT_VERSION.to_le_bytes())?;
-    out.write_all(&(idx.w() as u32).to_le_bytes())?;
-    out.write_all(&(idx.stride() as u32).to_le_bytes())?;
-    out.write_all(&(idx.is_fully_indexed() as u32).to_le_bytes())?;
+    out.write_all(
+        &u32::try_from(idx.w())
+            .expect("seed width fits u32")
+            .to_le_bytes(),
+    )?;
+    out.write_all(
+        &u32::try_from(idx.stride())
+            .expect("stride fits u32")
+            .to_le_bytes(),
+    )?;
+    out.write_all(&u32::from(idx.is_fully_indexed()).to_le_bytes())?;
     out.write_all(&(idx.bank_len() as u64).to_le_bytes())?;
     out.write_all(&meta.masked_fraction.to_le_bytes())?;
     out.write_all(&meta.filter_code.to_le_bytes())?;

@@ -37,6 +37,8 @@ pub(crate) enum Section<T: 'static> {
 // access to the underlying bytes exists anywhere, so sharing across
 // threads is sound (same reasoning as `Arc<Vec<T>>`).
 unsafe impl<T: Send + Sync> Send for Section<T> {}
+// SAFETY: same rationale as `Send` above — the view is immutable for its
+// whole lifetime, so `&Section<T>` can cross threads freely.
 unsafe impl<T: Send + Sync> Sync for Section<T> {}
 
 impl<T> Section<T> {

@@ -108,6 +108,7 @@ impl SeedCoder {
             self.w
         );
         (0..self.w)
+            // oris-lint: allow(narrow-cast) — masked to two bits, always < 256
             .map(|i| ((code >> (2 * i)) & 0b11) as u8)
             .collect()
     }

@@ -210,6 +210,7 @@ impl BankIndex {
                 policy_excluded += 1;
                 continue;
             }
+            // oris-lint: allow(narrow-cast) — guarded by the `data.len() < u32::MAX` assert above
             pairs.push((pos as u32, code));
             indexed.set(pos);
         }
@@ -528,7 +529,7 @@ fn radix_rows(w: usize, num_seeds: usize, pairs: &[(u32, u32)]) -> (Vec<u32>, Ve
     let parts = 1usize << (2 * part_bases);
     // Codes per partition; exact because `part_bases <= w`.
     let width = num_seeds / parts;
-    let shift = 2 * (w - part_bases) as u32;
+    let shift = 2 * u32::try_from(w - part_bases).expect("seed width fits u32");
 
     // Stable bucketing by partition: histogram, exclusive prefix over the
     // (small) partition table, scatter.
@@ -607,7 +608,8 @@ fn radix_rows(w: usize, num_seeds: usize, pairs: &[(u32, u32)]) -> (Vec<u32>, Ve
                 off_chunk[0] = base;
             });
     }
-    offsets[num_seeds] = pairs.len() as u32;
+    offsets[num_seeds] =
+        u32::try_from(pairs.len()).expect("position count is u32-bounded by the bank-length guard");
     (offsets, positions)
 }
 

@@ -1,0 +1,18 @@
+// Fixture: a HashMap whose contents are sorted before anything reaches
+// the writer — justified with a line-scoped allow on each occurrence.
+use std::collections::HashMap;
+
+struct Sink {
+    // oris-lint: allow(det-hash) — drained per query and sorted with total_order before exposure
+    current: HashMap<String, Vec<u32>>,
+}
+
+impl Sink {
+    fn end_query(&mut self, out: &mut String) {
+        let mut rows: Vec<(String, Vec<u32>)> = self.current.drain().collect();
+        rows.sort();
+        for (qid, hits) in rows {
+            out.push_str(&format!("{qid}\t{}\n", hits.len()));
+        }
+    }
+}

@@ -1,0 +1,9 @@
+// Fixture: PR 4's bug shape — hash-order iteration feeding a writer
+// makes output depend on the hasher, not the data.
+use std::collections::HashMap;
+
+fn write_hits(out: &mut String, hits: HashMap<String, u32>) {
+    for (qid, n) in &hits {
+        out.push_str(&format!("{qid}\t{n}\n"));
+    }
+}

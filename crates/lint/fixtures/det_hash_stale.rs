@@ -1,0 +1,7 @@
+// Fixture: the map became a BTreeMap; the allow must be flagged.
+use std::collections::BTreeMap;
+
+struct Sink {
+    // oris-lint: allow(det-hash) — drained per query and sorted before exposure
+    current: BTreeMap<String, Vec<u32>>,
+}

@@ -1,0 +1,10 @@
+// Fixture: stats-only metering under a line-scoped allow.
+use std::time::Instant;
+
+fn search(queries: &[String], stats_secs: &mut f64) -> Vec<String> {
+    // oris-lint: allow(det-time) — fills the stats line only; records never depend on wall clock
+    let t0 = Instant::now();
+    let out = queries.to_vec();
+    *stats_secs = t0.elapsed().as_secs_f64();
+    out
+}

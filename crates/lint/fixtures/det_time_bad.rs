@@ -1,0 +1,13 @@
+// Fixture: a wall-clock read outside the Deadline/timing modules, with
+// no stats-only justification.
+use std::time::Instant;
+
+fn search(queries: &[String]) -> Vec<String> {
+    let t0 = Instant::now();
+    let out = queries.to_vec();
+    if t0.elapsed().as_secs() > 1 {
+        // time-dependent result shaping: exactly what the rule exists for
+        return Vec::new();
+    }
+    out
+}

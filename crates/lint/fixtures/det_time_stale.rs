@@ -1,0 +1,6 @@
+// Fixture: the timing moved into oris_eval::timing; the allow must be
+// flagged as unused.
+fn search(queries: &[String]) -> Vec<String> {
+    // oris-lint: allow(det-time) — fills the stats line only
+    queries.to_vec()
+}

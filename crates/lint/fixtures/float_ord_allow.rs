@@ -1,0 +1,6 @@
+// Fixture: a justified partial_cmp (e.g. ordering a type whose NaN-free
+// range is proven elsewhere) is suppressed by a line-scoped allow.
+fn sort_probabilities(rows: &mut Vec<f64>) {
+    // oris-lint: allow(float-ord) — values are clamped to [0, 1] upstream; NaN cannot reach this sort
+    rows.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}

@@ -1,0 +1,5 @@
+// Fixture: PR 2's bug shape — a float sort through partial_cmp panics
+// the moment an e-value is NaN. Must be caught by `float-ord`.
+fn sort_by_evalue(rows: &mut Vec<(f64, String)>) {
+    rows.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+}

@@ -1,0 +1,6 @@
+// Fixture: the violation was fixed but the allow remained — the allow
+// itself must now be flagged (`unused-allow`).
+fn sort_probabilities(rows: &mut Vec<f64>) {
+    // oris-lint: allow(float-ord) — values are clamped to [0, 1] upstream
+    rows.sort_by(f64::total_cmp);
+}

@@ -1,0 +1,6 @@
+// Fixture: a justified direct read (e.g. a diagnostic dump that is
+// explicitly outside the fault model) under a line-scoped allow.
+fn dump_raw(path: &std::path::Path) -> Vec<u8> {
+    // oris-lint: allow(io-seam) — debug dump helper, documented outside the serving fault model
+    std::fs::read(path).unwrap()
+}

@@ -1,0 +1,9 @@
+// Fixture: PR 6's blind spot — a database read outside the VolumeIo
+// seam escapes fault injection. Checked as if it lived in oris-db.
+fn load_volume(path: &std::path::Path) -> Vec<u8> {
+    std::fs::read(path).unwrap()
+}
+
+fn probe(path: &std::path::Path) -> bool {
+    path.exists()
+}

@@ -1,0 +1,6 @@
+// Fixture: the direct read was routed through the seam, the allow
+// stayed behind — flagged as unused-allow.
+fn load_volume(io: &dyn VolumeIoLike, path: &std::path::Path) -> Vec<u8> {
+    // oris-lint: allow(io-seam) — debug dump helper
+    io.read(path).unwrap()
+}

@@ -1,0 +1,13 @@
+// Fixture: a guarded hot-path cast carries an allow naming the guard;
+// the cold path uses try_from and needs nothing.
+fn push_positions(data: &[u8], out: &mut Vec<u32>) {
+    assert!(data.len() < u32::MAX as usize, "bank exceeds u32 positions");
+    for (pos, _) in data.iter().enumerate() {
+        // oris-lint: allow(narrow-cast) — guarded by the data.len() < u32::MAX assert above
+        out.push(pos as u32);
+    }
+}
+
+fn header_field(w: usize) -> u32 {
+    u32::try_from(w).expect("w bounded by IndexConfig validation")
+}

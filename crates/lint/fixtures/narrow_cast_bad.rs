@@ -1,0 +1,10 @@
+// Fixture: PR 5's bug shape — a residue total pushed through a
+// narrowing cast truncates above 4 Gbp. Checked as if in oris-index.
+fn total_residues(volumes: &[Vec<u8>]) -> u32 {
+    let total: usize = volumes.iter().map(|v| v.len()).sum();
+    total as u32
+}
+
+fn row_len(offsets: &[u32], code: usize) -> u32 {
+    (offsets[code + 1] - offsets[code]) as u32
+}

@@ -1,0 +1,8 @@
+// Fixture: the cast was converted to try_from; the allow must be
+// flagged as unused.
+fn push_positions(data: &[u8], out: &mut Vec<u32>) {
+    for (pos, _) in data.iter().enumerate() {
+        // oris-lint: allow(narrow-cast) — guarded by the caller
+        out.push(u32::try_from(pos).expect("bounded by the bank-size check"));
+    }
+}

@@ -1,0 +1,17 @@
+// Fixture: SAFETY comments satisfy the rule without any allow; the
+// escape hatch also works for a site whose justification lives
+// elsewhere.
+struct Mapping {
+    ptr: *mut u8,
+    len: usize,
+}
+
+// SAFETY: read-only mapping, never handed out mutably.
+unsafe impl Send for Mapping {}
+// SAFETY: same rationale as Send — no interior mutability anywhere.
+unsafe impl Sync for Mapping {}
+
+fn view(m: &Mapping) -> &[u8] {
+    // oris-lint: allow(unsafe-safety) — invariants documented on Mapping's constructor
+    unsafe { std::slice::from_raw_parts(m.ptr, m.len) }
+}

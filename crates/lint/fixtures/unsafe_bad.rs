@@ -1,0 +1,14 @@
+// Fixture: unsafe without a SAFETY comment — both the bare block and
+// the impl two lines below a comment that only covers its sibling.
+struct Mapping {
+    ptr: *mut u8,
+    len: usize,
+}
+
+// SAFETY: read-only mapping, never handed out mutably.
+unsafe impl Send for Mapping {}
+unsafe impl Sync for Mapping {}
+
+fn view(m: &Mapping) -> &[u8] {
+    unsafe { std::slice::from_raw_parts(m.ptr, m.len) }
+}

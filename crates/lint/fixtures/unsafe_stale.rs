@@ -1,0 +1,6 @@
+// Fixture: the unsafe block became safe code; the allow must be
+// flagged as unused.
+fn view(bytes: &[u8]) -> &[u8] {
+    // oris-lint: allow(unsafe-safety) — invariants documented on the constructor
+    bytes
+}

@@ -1,0 +1,494 @@
+//! A minimal, comment/string-aware Rust token scanner.
+//!
+//! This is deliberately **not** a parser: the invariant rules in
+//! [`crate::rules`] only need a token stream that (a) never mistakes a
+//! comment or string literal for code, (b) keeps line numbers, and
+//! (c) knows which lines carry comments (for `// SAFETY:` and
+//! `// oris-lint: allow(...)` detection). Hand-rolling this keeps the
+//! crate dependency-free — the build environment has no crates.io
+//! access, so `syn` is not an option — and the subset of Rust lexing
+//! needed here is small: line/block comments (nested), string literals
+//! (plain, raw, byte, C), char literals vs. lifetimes, identifiers,
+//! and punctuation (`::` merged into one token, everything else
+//! single-char).
+
+/// One code token: its 1-based line and its text. Literals are *not*
+/// emitted as tokens — rules must never match inside strings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// 1-based source line.
+    pub line: usize,
+    /// Token text (identifier, number, `::`, or a single punctuation
+    /// character).
+    pub text: String,
+}
+
+/// Per-line facts the rules need besides tokens.
+#[derive(Debug, Clone, Default)]
+pub struct LineInfo {
+    /// Whether any code token or literal starts on this line.
+    pub has_code: bool,
+    /// Concatenated comment text on this line (empty when none).
+    pub comment: String,
+    /// Like `comment`, but only plain (non-doc) chunks. Doc comments
+    /// (`///`, `//!`, `/**`, `/*!`) quote directive syntax when
+    /// documenting it, so `oris-lint:` directives are only honoured
+    /// here.
+    pub plain_comment: String,
+}
+
+/// A lexed file: tokens plus per-line comment/code facts.
+#[derive(Debug)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub toks: Vec<Tok>,
+    /// Indexed by 1-based line number (index 0 is a dummy).
+    pub lines: Vec<LineInfo>,
+    /// Raw source lines (0-based), for cheap line-shape checks.
+    pub raw: Vec<String>,
+}
+
+impl Lexed {
+    /// The comment text on `line` (1-based), or `""`.
+    pub fn comment(&self, line: usize) -> &str {
+        self.lines
+            .get(line)
+            .map(|l| l.comment.as_str())
+            .unwrap_or("")
+    }
+
+    /// The plain (non-doc) comment text on `line` (1-based), or `""`.
+    pub fn plain_comment(&self, line: usize) -> &str {
+        self.lines
+            .get(line)
+            .map(|l| l.plain_comment.as_str())
+            .unwrap_or("")
+    }
+
+    /// Whether `line` (1-based) carries any code.
+    pub fn has_code(&self, line: usize) -> bool {
+        self.lines.get(line).is_some_and(|l| l.has_code)
+    }
+}
+
+/// Lexes `src`. Never fails: unterminated constructs simply end the
+/// token stream (the real compiler rejects those files long before the
+/// linter matters).
+pub fn lex(src: &str) -> Lexed {
+    let c: Vec<char> = src.chars().collect();
+    let nlines = src.lines().count() + 2;
+    let mut lines = vec![LineInfo::default(); nlines + 1];
+    let raw: Vec<String> = src.lines().map(|l| l.to_string()).collect();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1usize;
+
+    let push_comment = |lines: &mut Vec<LineInfo>, line: usize, text: &str, doc: bool| {
+        let slot = &mut lines[line];
+        if !slot.comment.is_empty() {
+            slot.comment.push(' ');
+        }
+        slot.comment.push_str(text);
+        if !doc {
+            if !slot.plain_comment.is_empty() {
+                slot.plain_comment.push(' ');
+            }
+            slot.plain_comment.push_str(text);
+        }
+    };
+
+    while i < c.len() {
+        let ch = c[i];
+        if ch == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if ch.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comment (also covers `///` and `//!`).
+        if ch == '/' && c.get(i + 1) == Some(&'/') {
+            // `///` and `//!` are doc comments; `////...` is a
+            // decorative rule, plain per the Rust grammar.
+            let doc = matches!(c.get(i + 2), Some('/' | '!')) && c.get(i + 3) != Some(&'/');
+            let start = i;
+            while i < c.len() && c[i] != '\n' {
+                i += 1;
+            }
+            let text: String = c[start..i].iter().collect();
+            push_comment(&mut lines, line, &text, doc);
+            continue;
+        }
+        // Block comment, nesting per the Rust grammar.
+        if ch == '/' && c.get(i + 1) == Some(&'*') {
+            // `/**` and `/*!` are doc; the empty `/**/` is plain.
+            let doc = matches!(c.get(i + 2), Some('*' | '!')) && c.get(i + 3) != Some(&'/');
+            let mut depth = 1usize;
+            i += 2;
+            let mut text = String::from("/*");
+            while i < c.len() && depth > 0 {
+                if c[i] == '/' && c.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    text.push_str("/*");
+                    i += 2;
+                } else if c[i] == '*' && c.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    text.push_str("*/");
+                    i += 2;
+                } else if c[i] == '\n' {
+                    push_comment(&mut lines, line, &text, doc);
+                    text.clear();
+                    line += 1;
+                    i += 1;
+                } else {
+                    text.push(c[i]);
+                    i += 1;
+                }
+            }
+            push_comment(&mut lines, line, &text, doc);
+            continue;
+        }
+        // String literals: plain "...", raw r"..." / r#"..."#, with
+        // optional b/c prefixes. Consumed without emitting tokens.
+        if ch == '"' || ((ch == 'r' || ch == 'b' || ch == 'c') && string_follows(&c, i)) {
+            lines[line].has_code = true;
+            let mut j = i;
+            if c[j] == 'b' || c[j] == 'c' {
+                j += 1;
+            }
+            let raw_str = j < c.len() && c[j] == 'r';
+            if raw_str {
+                j += 1;
+            }
+            let mut hashes = 0usize;
+            while raw_str && j < c.len() && c[j] == '#' {
+                hashes += 1;
+                j += 1;
+            }
+            debug_assert_eq!(c.get(j), Some(&'"'));
+            j += 1; // past the opening quote
+            loop {
+                match c.get(j) {
+                    None => break,
+                    Some('\n') => {
+                        line += 1;
+                        j += 1;
+                    }
+                    Some('\\') if !raw_str => {
+                        // `\` + newline is a line continuation: the
+                        // escape is consumed, but the newline is still a
+                        // real source line.
+                        if c.get(j + 1) == Some(&'\n') {
+                            line += 1;
+                        }
+                        j += 2;
+                    }
+                    Some('"') => {
+                        j += 1;
+                        if !raw_str {
+                            break;
+                        }
+                        let closing = (0..hashes).all(|k| c.get(j + k) == Some(&'#'));
+                        if closing {
+                            j += hashes;
+                            break;
+                        }
+                    }
+                    Some(_) => j += 1,
+                }
+            }
+            i = j;
+            continue;
+        }
+        // Char literal vs. lifetime.
+        if ch == '\'' {
+            lines[line].has_code = true;
+            if c.get(i + 1) == Some(&'\\') {
+                // Escaped char literal: scan to the closing quote.
+                let mut j = i + 1;
+                while j < c.len() {
+                    if c[j] == '\\' {
+                        j += 2;
+                    } else if c[j] == '\'' {
+                        j += 1;
+                        break;
+                    } else {
+                        j += 1;
+                    }
+                }
+                i = j;
+            } else if c.get(i + 2) == Some(&'\'') {
+                i += 3; // 'x'
+            } else {
+                // Lifetime: consume the quote + identifier, emit nothing.
+                i += 1;
+                while i < c.len() && (c[i].is_alphanumeric() || c[i] == '_') {
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Identifier / number.
+        if ch.is_alphanumeric() || ch == '_' {
+            let start = i;
+            while i < c.len() && (c[i].is_alphanumeric() || c[i] == '_') {
+                i += 1;
+            }
+            lines[line].has_code = true;
+            toks.push(Tok {
+                line,
+                text: c[start..i].iter().collect(),
+            });
+            continue;
+        }
+        // `::` as one token (path matching reads much better).
+        if ch == ':' && c.get(i + 1) == Some(&':') {
+            lines[line].has_code = true;
+            toks.push(Tok {
+                line,
+                text: "::".to_string(),
+            });
+            i += 2;
+            continue;
+        }
+        lines[line].has_code = true;
+        toks.push(Tok {
+            line,
+            text: ch.to_string(),
+        });
+        i += 1;
+    }
+
+    Lexed { toks, lines, raw }
+}
+
+/// Whether the characters at `i` (which start with `r`, `b`, or `c`)
+/// open a string literal rather than an identifier: `r"`, `r#"`,
+/// `b"`, `br"`, `br#"`, `c"`, `cr"`, ...
+fn string_follows(c: &[char], i: usize) -> bool {
+    let mut j = i;
+    if c[j] == 'b' || c[j] == 'c' {
+        j += 1;
+        if c.get(j) == Some(&'"') {
+            return true;
+        }
+    }
+    if c.get(j) != Some(&'r') {
+        return false;
+    }
+    j += 1;
+    while c.get(j) == Some(&'#') {
+        j += 1;
+    }
+    c.get(j) == Some(&'"')
+}
+
+/// Marks every token inside a `#[cfg(test)]`- or `#[test]`-gated item.
+///
+/// The production invariants do not apply to test code (tests use
+/// `HashSet` for order-free comparisons, raw `std::fs` for scratch
+/// files, and so on), so the rules skip masked tokens. Detection is
+/// token-shaped, not tree-shaped: a test attribute is followed by any
+/// further attributes, then an item whose extent is the matching
+/// `{...}` block (or the first top-level `;` for block-less items).
+///
+/// Coarseness note: a `cfg` attribute is treated as test-gating when
+/// its argument tokens contain `test` and do not contain `not` — so
+/// `#[cfg(all(test, unix))]` masks, and `#[cfg(not(test))]` correctly
+/// does not.
+pub fn test_mask(toks: &[Tok]) -> Vec<bool> {
+    let t = |k: usize| toks.get(k).map(|x| x.text.as_str()).unwrap_or("");
+    let mut mask = vec![false; toks.len()];
+    let mut i = 0usize;
+    while i < toks.len() {
+        if t(i) != "#" || t(i + 1) != "[" {
+            i += 1;
+            continue;
+        }
+        let Some(attr_end) = match_bracket(toks, i + 1, "[", "]") else {
+            break;
+        };
+        let inner: Vec<&str> = (i + 2..attr_end).map(t).collect();
+        let is_test = inner.first() == Some(&"test")
+            || (inner.first() == Some(&"cfg")
+                && inner.contains(&"test")
+                && !inner.contains(&"not"));
+        if !is_test {
+            i = attr_end + 1;
+            continue;
+        }
+        // Skip any further attributes on the same item.
+        let mut j = attr_end + 1;
+        while t(j) == "#" && t(j + 1) == "[" {
+            match match_bracket(toks, j + 1, "[", "]") {
+                Some(e) => j = e + 1,
+                None => break,
+            }
+        }
+        // The item body: first top-level `{...}` or a `;` outside
+        // parens/brackets.
+        let mut depth = 0i32;
+        let mut end = toks.len().saturating_sub(1);
+        let mut k = j;
+        while k < toks.len() {
+            match t(k) {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "{" if depth == 0 => {
+                    end = match_bracket(toks, k, "{", "}").unwrap_or(toks.len() - 1);
+                    break;
+                }
+                ";" if depth == 0 => {
+                    end = k;
+                    break;
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        for m in mask.iter_mut().take(end + 1).skip(i) {
+            *m = true;
+        }
+        i = end + 1;
+    }
+    mask
+}
+
+/// Index of the token closing the bracket opened at `open` (whose text
+/// must equal `open_text`).
+fn match_bracket(toks: &[Tok], open: usize, open_text: &str, close_text: &str) -> Option<usize> {
+    debug_assert_eq!(toks[open].text, open_text);
+    let mut depth = 0i32;
+    for (k, tok) in toks.iter().enumerate().skip(open) {
+        if tok.text == open_text {
+            depth += 1;
+        } else if tok.text == close_text {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).toks.into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn strings_and_comments_emit_no_tokens() {
+        let src = r##"
+            // partial_cmp in a comment
+            /* unsafe { } in a block comment */
+            let a = "partial_cmp inside a string";
+            let b = r#"Instant::now in a raw string"#;
+            let c = b"HashMap bytes";
+        "##;
+        let toks = texts(src);
+        assert!(!toks.contains(&"partial_cmp".to_string()));
+        assert!(!toks.contains(&"unsafe".to_string()));
+        assert!(!toks.contains(&"Instant".to_string()));
+        assert!(!toks.contains(&"HashMap".to_string()));
+        assert!(toks.contains(&"let".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_do_not_eat_the_rest_of_the_file() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x } struct S;";
+        let toks = texts(src);
+        assert!(toks.contains(&"struct".to_string()));
+        assert!(toks.contains(&"S".to_string()));
+    }
+
+    #[test]
+    fn char_literals_including_escapes() {
+        let src = "let q = '\\''; let n = '\\n'; let x = 'z'; let u = '\\u{1F600}'; done";
+        let toks = texts(src);
+        assert!(toks.contains(&"done".to_string()));
+        // Char contents never become tokens.
+        assert!(!toks.contains(&"z".to_string()));
+    }
+
+    #[test]
+    fn double_colon_is_one_token() {
+        let toks = texts("std::fs::read(path)");
+        assert_eq!(
+            toks[..5],
+            ["std", "::", "fs", "::", "read"].map(String::from)
+        );
+    }
+
+    #[test]
+    fn string_line_continuations_keep_line_numbers() {
+        // `\` + newline inside a string is a continuation, but the
+        // newline is still a source line — later tokens must not drift
+        // (CLI usage strings use this heavily).
+        let src = "let u = \"a\\\n b\\\n c\";\nafter";
+        let lx = lex(src);
+        let after = lx.toks.iter().find(|t| t.text == "after").unwrap();
+        assert_eq!(after.line, 4);
+    }
+
+    #[test]
+    fn comments_recorded_per_line_with_code_flag() {
+        let src = "// SAFETY: fine\nunsafe impl Send for X {}\n";
+        let lx = lex(src);
+        assert!(lx.comment(1).contains("SAFETY:"));
+        assert!(!lx.has_code(1));
+        assert!(lx.has_code(2));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = texts("/* outer /* inner */ still comment */ code");
+        assert_eq!(toks, ["code"].map(String::from));
+    }
+
+    #[test]
+    fn cfg_test_mod_is_masked() {
+        let src = "fn prod() {}\n#[cfg(test)]\nmod tests {\n  fn t() { let h = HashMap::new(); }\n}\nfn prod2() {}";
+        let lx = lex(src);
+        let mask = test_mask(&lx.toks);
+        let masked: Vec<&str> = lx
+            .toks
+            .iter()
+            .zip(&mask)
+            .filter(|(_, &m)| m)
+            .map(|(t, _)| t.text.as_str())
+            .collect();
+        assert!(masked.contains(&"HashMap"));
+        assert!(!masked.contains(&"prod"));
+        assert!(!masked.contains(&"prod2"));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_masked() {
+        let src = "#[cfg(not(test))]\nfn prod() { let h = HashMap::new(); }";
+        let lx = lex(src);
+        let mask = test_mask(&lx.toks);
+        assert!(mask.iter().all(|&m| !m));
+    }
+
+    #[test]
+    fn test_attribute_masks_one_fn_only() {
+        let src = "#[test]\nfn t() { unsafe { danger() } }\nfn prod() { fine() }";
+        let lx = lex(src);
+        let mask = test_mask(&lx.toks);
+        let unmasked: Vec<&str> = lx
+            .toks
+            .iter()
+            .zip(&mask)
+            .filter(|(_, &m)| !m)
+            .map(|(t, _)| t.text.as_str())
+            .collect();
+        assert!(!unmasked.contains(&"unsafe"));
+        assert!(unmasked.contains(&"prod"));
+    }
+}

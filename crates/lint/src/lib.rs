@@ -1,0 +1,348 @@
+//! `oris-lint` — the workspace invariant checker.
+//!
+//! The ORIS pipeline is only correct under invariants the compiler
+//! cannot see. Each one was learned the hard way by an earlier PR, and
+//! each is now a machine-enforced rule (findings print as
+//! `file:line: rule: message`; any finding is a non-zero exit):
+//!
+//! | rule | invariant | origin |
+//! |------|-----------|--------|
+//! | `float-ord` | float orderings use `total_cmp`/`total_order`, never `.partial_cmp().unwrap()` | PR 2: a NaN e-value panicked the merge sort |
+//! | `io-seam` | every `oris-db` read flows through the `VolumeIo` seam (`io.rs`; `makedb` writes allowlisted) | PR 6: reads outside the seam silently escape fault injection |
+//! | `unsafe-safety` | every `unsafe` block/impl carries a `// SAFETY:` comment | PR 5's mmap layer set the convention |
+//! | `unsafe-budget` | per-crate `unsafe` counts match `crates/lint/unsafe_budget.txt` exactly | unsafe must not grow (or shrink) without an explicit, reviewed budget edit |
+//! | `det-hash` | no `HashMap`/`HashSet` in result-path crates without a sorting justification | PR 4: output is byte-identical for any thread count |
+//! | `det-time` | no `Instant::now`/`SystemTime::now` outside `deadline.rs`/`timing.rs` without a stats-only justification | PR 4/PR 6: results must not depend on wall clock |
+//! | `narrow-cast` | no narrowing `as` on length/offset/residue arithmetic in `oris-index`/`oris-db`; use `try_from` or justify the guard | PR 5: a database residue total truncated at 32 bits |
+//!
+//! Scoped escapes: `// oris-lint: allow(<rule>) — <reason>` (covers its
+//! line and the next) and `// oris-lint: allow-file(<rule>) — <reason>`.
+//! The reason is mandatory, unknown rules are `bad-allow` errors, and an
+//! allow that suppresses nothing is an `unused-allow` error — escapes
+//! cannot rot. See [`rules`] for the scoping tables and their rationale.
+//!
+//! The scanner is a hand-rolled token lexer ([`lexer`]) — no `syn`, no
+//! dependencies — that never matches inside comments or string literals
+//! and skips `#[cfg(test)]`/`#[test]` items entirely. It walks every
+//! `crates/*/src` tree plus the root facade `src/`; `vendor/*` (stand-in
+//! shims for crates.io dependencies) and non-`src` trees (`tests/`,
+//! `examples/`, `benches/`, fixtures) are out of scope.
+//!
+//! Run it with `cargo run -p oris-lint --release` from anywhere in the
+//! workspace; CI runs it as the "Invariant lints" step. The crate's own
+//! test suite contains a fixture corpus per rule (detection, allow
+//! suppression, stale-allow flagging) and a self-test that the real
+//! workspace is clean.
+
+pub mod lexer;
+pub mod rules;
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use rules::{check_file, FileCtx};
+
+/// Workspace-relative location of the unsafe budget file.
+pub const BUDGET_PATH: &str = "crates/lint/unsafe_budget.txt";
+
+/// One lint finding. Sorts by (file, line, rule).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line (0 for whole-crate findings like the budget).
+    pub line: usize,
+    /// Rule name.
+    pub rule: &'static str,
+    /// Human-oriented message, including the rule's origin.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// What `scan_workspace` covered, for reporting.
+#[derive(Debug, Default)]
+pub struct ScanStats {
+    /// Rust files checked.
+    pub files: usize,
+    /// Crates walked.
+    pub crates: usize,
+}
+
+/// Scans the workspace rooted at `root`: every `crates/*/src` tree plus
+/// the root facade `src/`, then the unsafe budget. Findings come back
+/// sorted by file/line.
+pub fn scan_workspace(root: &Path) -> std::io::Result<(Vec<Finding>, ScanStats)> {
+    let mut findings = Vec::new();
+    let mut stats = ScanStats::default();
+    // Per-crate non-test `unsafe` counts; every scanned crate gets an
+    // entry (0 included) so stale budget rows are detectable.
+    let mut unsafe_counts: BTreeMap<String, usize> = BTreeMap::new();
+
+    let mut targets: Vec<(String, PathBuf)> = Vec::new(); // (crate name, src dir)
+    if root.join("src").is_dir() {
+        targets.push((package_name(&root.join("Cargo.toml")), root.join("src")));
+    }
+    let crates_dir = root.join("crates");
+    let mut crate_entries: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.is_dir() && p.join("Cargo.toml").is_file() && p.join("src").is_dir())
+        .collect();
+    crate_entries.sort();
+    for dir in crate_entries {
+        targets.push((package_name(&dir.join("Cargo.toml")), dir.join("src")));
+    }
+
+    for (crate_name, src_dir) in targets {
+        stats.crates += 1;
+        let count = unsafe_counts.entry(crate_name.clone()).or_insert(0);
+        let mut files = Vec::new();
+        collect_rs(&src_dir, &mut files)?;
+        files.sort();
+        for path in files {
+            stats.files += 1;
+            let src = std::fs::read_to_string(&path)?;
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let file_name = path
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            let report = check_file(
+                &FileCtx {
+                    crate_name: &crate_name,
+                    file_name: &file_name,
+                    rel_path: &rel,
+                },
+                &src,
+            );
+            *count += report.unsafe_sites;
+            findings.extend(report.findings);
+        }
+    }
+
+    let budget_path = root.join(BUDGET_PATH);
+    match std::fs::read_to_string(&budget_path) {
+        Ok(src) => findings.extend(check_budget(&src, BUDGET_PATH, &unsafe_counts)),
+        Err(_) => findings.push(Finding {
+            file: BUDGET_PATH.to_string(),
+            line: 0,
+            rule: "unsafe-budget",
+            message: "budget file missing — every crate's unsafe count must be declared"
+                .to_string(),
+        }),
+    }
+
+    findings.sort();
+    Ok((findings, stats))
+}
+
+/// Compares declared per-crate unsafe budgets against actual counts.
+///
+/// The budget is exact in both directions: more unsafe than budgeted
+/// means new unsafe landed without review; less means the budget is
+/// stale and must be lowered so the headroom cannot be spent silently.
+pub fn check_budget(
+    budget_src: &str,
+    budget_file: &str,
+    actual: &BTreeMap<String, usize>,
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut budgeted: BTreeMap<String, (usize, usize)> = BTreeMap::new(); // name -> (line, count)
+    for (idx, raw_line) in budget_src.lines().enumerate() {
+        let line = idx + 1;
+        let text = raw_line.split('#').next().unwrap_or("").trim();
+        if text.is_empty() {
+            continue;
+        }
+        let mut parts = text.splitn(2, '=');
+        let name = parts.next().unwrap_or("").trim();
+        let count = parts
+            .next()
+            .map(str::trim)
+            .and_then(|v| v.parse::<usize>().ok());
+        match count {
+            Some(n) if !name.is_empty() => {
+                budgeted.insert(name.to_string(), (line, n));
+            }
+            _ => findings.push(Finding {
+                file: budget_file.to_string(),
+                line,
+                rule: "unsafe-budget",
+                message: format!("malformed budget line `{raw_line}` (expected `crate = N`)"),
+            }),
+        }
+    }
+    for (name, &count) in actual {
+        let declared = budgeted.remove(name);
+        match declared {
+            None if count > 0 => findings.push(Finding {
+                file: budget_file.to_string(),
+                line: 0,
+                rule: "unsafe-budget",
+                message: format!(
+                    "crate `{name}` has {count} unsafe site(s) but no budget entry — \
+                     declare `{name} = {count}` after review"
+                ),
+            }),
+            Some((line, budget)) if count > budget => findings.push(Finding {
+                file: budget_file.to_string(),
+                line,
+                rule: "unsafe-budget",
+                message: format!(
+                    "unsafe grew in `{name}`: {count} site(s), budget {budget} — review the \
+                     new site(s) and bump the budget explicitly"
+                ),
+            }),
+            Some((line, budget)) if count < budget => findings.push(Finding {
+                file: budget_file.to_string(),
+                line,
+                rule: "unsafe-budget",
+                message: format!(
+                    "stale budget for `{name}`: {count} site(s), budget {budget} — lower the \
+                     budget so the headroom cannot be spent silently"
+                ),
+            }),
+            _ => {}
+        }
+    }
+    for (name, (line, _)) in budgeted {
+        findings.push(Finding {
+            file: budget_file.to_string(),
+            line,
+            rule: "unsafe-budget",
+            message: format!("budget entry for unknown crate `{name}` — remove it"),
+        });
+    }
+    findings
+}
+
+/// First `name = "..."` in a Cargo.toml; falls back to the directory
+/// name when unparsable.
+fn package_name(manifest: &Path) -> String {
+    if let Ok(text) = std::fs::read_to_string(manifest) {
+        for line in text.lines() {
+            let line = line.trim();
+            if let Some(rest) = line.strip_prefix("name") {
+                let rest = rest.trim_start();
+                if let Some(rest) = rest.strip_prefix('=') {
+                    let rest = rest.trim();
+                    if let Some(stripped) = rest.strip_prefix('"') {
+                        if let Some(end) = stripped.find('"') {
+                            return stripped[..end].to_string();
+                        }
+                    }
+                }
+            }
+        }
+    }
+    manifest
+        .parent()
+        .and_then(|p| p.file_name())
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_default()
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Locates the workspace root: walks up from `start` to the first
+/// directory whose `Cargo.toml` declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(d);
+                }
+            }
+        }
+        dir = d.parent().map(|p| p.to_path_buf());
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts(pairs: &[(&str, usize)]) -> BTreeMap<String, usize> {
+        pairs.iter().map(|(n, c)| (n.to_string(), *c)).collect()
+    }
+
+    #[test]
+    fn budget_exact_match_is_clean() {
+        let f = check_budget(
+            "# comment\noris-index = 8\noris-bench = 5\n",
+            "b.txt",
+            &counts(&[("oris-index", 8), ("oris-bench", 5), ("oris-core", 0)]),
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn budget_flags_growth_staleness_missing_and_unknown() {
+        let f = check_budget(
+            "oris-index = 8\noris-bench = 9\nghost-crate = 1\n",
+            "b.txt",
+            &counts(&[("oris-index", 9), ("oris-bench", 5), ("oris-db", 2)]),
+        );
+        let msgs: Vec<&str> = f.iter().map(|x| x.message.as_str()).collect();
+        assert_eq!(f.len(), 4, "{msgs:?}");
+        assert!(msgs
+            .iter()
+            .any(|m| m.contains("unsafe grew in `oris-index`")));
+        assert!(msgs
+            .iter()
+            .any(|m| m.contains("stale budget for `oris-bench`")));
+        assert!(msgs
+            .iter()
+            .any(|m| m.contains("`oris-db` has 2 unsafe site(s) but no budget")));
+        assert!(msgs
+            .iter()
+            .any(|m| m.contains("unknown crate `ghost-crate`")));
+    }
+
+    #[test]
+    fn budget_flags_malformed_lines() {
+        let f = check_budget("oris-index eight\n", "b.txt", &counts(&[]));
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("malformed"));
+        assert_eq!(f[0].line, 1);
+    }
+
+    #[test]
+    fn finding_display_format() {
+        let f = Finding {
+            file: "crates/db/src/session.rs".into(),
+            line: 42,
+            rule: "io-seam",
+            message: "msg".into(),
+        };
+        assert_eq!(f.to_string(), "crates/db/src/session.rs:42: io-seam: msg");
+    }
+}

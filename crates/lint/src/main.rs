@@ -1,0 +1,51 @@
+//! CLI entry point: `cargo run -p oris-lint --release [workspace-root]`.
+//!
+//! Prints findings as `file:line: rule: message` (one per line, sorted)
+//! and exits non-zero when there are any — the shape CI and editors
+//! expect. With no argument the workspace root is found by walking up
+//! from the current directory.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = match std::env::args().nth(1) {
+        Some(p) => PathBuf::from(p),
+        None => {
+            let cwd = std::env::current_dir().expect("current dir");
+            match oris_lint::find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!("oris-lint: no workspace root above {}", cwd.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+    match oris_lint::scan_workspace(&root) {
+        Ok((findings, stats)) => {
+            for f in &findings {
+                println!("{f}");
+            }
+            if findings.is_empty() {
+                eprintln!(
+                    "oris-lint: clean ({} files across {} crates)",
+                    stats.files, stats.crates
+                );
+                ExitCode::SUCCESS
+            } else {
+                eprintln!(
+                    "oris-lint: {} finding(s) in {} files across {} crates",
+                    findings.len(),
+                    stats.files,
+                    stats.crates
+                );
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("oris-lint: scan failed: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

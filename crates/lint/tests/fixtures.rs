@@ -1,0 +1,124 @@
+//! The fixture corpus: every rule has a detection fixture (bad snippet
+//! caught), an allow fixture (escape hatch suppresses, with its reason),
+//! and a stale fixture (an allow that no longer suppresses anything is
+//! itself an error). Fixtures live in `fixtures/` and are checked as if
+//! they belonged to the crate named per rule scope — `io-seam` fixtures
+//! as `oris-db`, `narrow-cast` fixtures as `oris-index`, the rest as
+//! `oris-core`.
+
+use oris_lint::rules::{check_file, FileCtx, FileReport};
+
+fn fixture(name: &str) -> String {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+fn check(name: &str, crate_name: &str, file_name: &str) -> FileReport {
+    check_file(
+        &FileCtx {
+            crate_name,
+            file_name,
+            rel_path: name,
+        },
+        &fixture(name),
+    )
+}
+
+fn rules_of(r: &FileReport) -> Vec<&'static str> {
+    r.findings.iter().map(|f| f.rule).collect()
+}
+
+/// (fixture stem, crate the rule targets, pretend file name, rule)
+const CASES: &[(&str, &str, &str, &str)] = &[
+    ("float_ord", "oris-core", "pipeline.rs", "float-ord"),
+    ("io_seam", "oris-db", "session.rs", "io-seam"),
+    ("unsafe", "oris-index", "mmap.rs", "unsafe-safety"),
+    ("det_hash", "oris-core", "sink.rs", "det-hash"),
+    ("det_time", "oris-core", "engine.rs", "det-time"),
+    ("narrow_cast", "oris-index", "structure.rs", "narrow-cast"),
+];
+
+#[test]
+fn every_rule_detects_its_bad_fixture() {
+    for (stem, krate, file, rule) in CASES {
+        let r = check(&format!("{stem}_bad.rs"), krate, file);
+        assert!(
+            r.findings.iter().any(|f| f.rule == *rule),
+            "{stem}_bad.rs should trip {rule}, got {:?}",
+            r.findings
+        );
+        // Bad fixtures carry no allows, so nothing else fires either.
+        assert!(
+            r.findings.iter().all(|f| f.rule == *rule),
+            "{stem}_bad.rs tripped extra rules: {:?}",
+            r.findings
+        );
+    }
+}
+
+#[test]
+fn every_rule_is_suppressed_by_its_allow_fixture() {
+    for (stem, krate, file, _) in CASES {
+        let r = check(&format!("{stem}_allow.rs"), krate, file);
+        assert!(
+            r.findings.is_empty(),
+            "{stem}_allow.rs should be clean (allows used), got {:?}",
+            r.findings
+        );
+    }
+}
+
+#[test]
+fn every_rule_flags_its_stale_allow_fixture() {
+    for (stem, _, file, _) in CASES {
+        // Stale fixtures are checked in the same crate scope as bad ones.
+        let krate = CASES.iter().find(|c| c.0 == *stem).unwrap().1;
+        let r = check(&format!("{stem}_stale.rs"), krate, file);
+        assert_eq!(
+            rules_of(&r),
+            vec!["unused-allow"],
+            "{stem}_stale.rs should be exactly one unused-allow, got {:?}",
+            r.findings
+        );
+    }
+}
+
+#[test]
+fn bad_fixture_findings_name_file_line_rule() {
+    let r = check("float_ord_bad.rs", "oris-core", "pipeline.rs");
+    assert_eq!(r.findings.len(), 1);
+    let f = &r.findings[0];
+    assert_eq!(f.rule, "float-ord");
+    assert_eq!(f.line, 4);
+    let line = f.to_string();
+    assert!(
+        line.starts_with("float_ord_bad.rs:4: float-ord: "),
+        "finding format drifted: {line}"
+    );
+}
+
+#[test]
+fn unsafe_bad_fixture_flags_exactly_the_uncommented_sites() {
+    let r = check("unsafe_bad.rs", "oris-index", "mmap.rs");
+    let lines: Vec<usize> = r.findings.iter().map(|f| f.line).collect();
+    // The Sync impl below a comment covering only Send, and the bare
+    // block — but not the commented Send impl.
+    assert_eq!(lines, vec![10, 13], "{:?}", r.findings);
+    assert_eq!(r.unsafe_sites, 3);
+}
+
+#[test]
+fn io_seam_bad_fixture_catches_read_and_existence_probe() {
+    let r = check("io_seam_bad.rs", "oris-db", "session.rs");
+    assert_eq!(r.findings.len(), 2, "{:?}", r.findings);
+}
+
+#[test]
+fn narrow_cast_bad_fixture_catches_both_shapes() {
+    // A suspect identifier (`total as u32`) and a computed expression
+    // (`(... - ...) as u32`).
+    let r = check("narrow_cast_bad.rs", "oris-index", "structure.rs");
+    assert_eq!(r.findings.len(), 2, "{:?}", r.findings);
+}

@@ -1,0 +1,28 @@
+//! The self-test the tentpole demands: the real workspace passes its
+//! own invariant checker. This runs in plain `cargo test`, so the tree
+//! cannot drift out of compliance between CI's dedicated lint step and
+//! the test suite.
+
+#[test]
+fn the_real_workspace_is_clean() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("crates/lint has a workspace two levels up")
+        .to_path_buf();
+    let (findings, stats) = oris_lint::scan_workspace(&root).expect("scan");
+    assert!(
+        findings.is_empty(),
+        "oris-lint found {} violation(s):\n{}",
+        findings.len(),
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    // Sanity: the scan actually covered the tree (all 13 crates + the
+    // root facade), not an empty directory.
+    assert!(stats.crates >= 14, "only {} crates scanned", stats.crates);
+    assert!(stats.files > 60, "only {} files scanned", stats.files);
+}
