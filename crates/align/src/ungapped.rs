@@ -1183,7 +1183,7 @@ mod tests {
             bb.push_str("b", &s2).unwrap();
             let b2 = bb.finish();
             let i1 = BankIndex::build_filtered(&b1, IndexConfig::full(w), |p| p % mask_mod == 0);
-            let i2 = BankIndex::build(&b2, IndexConfig { w, stride });
+            let i2 = BankIndex::build(&b2, IndexConfig { stride, ..IndexConfig::full(w) });
             let coder = i1.coder();
             let pars = UngappedParams {
                 w,

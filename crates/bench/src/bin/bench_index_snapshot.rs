@@ -42,7 +42,7 @@ use oris_core::step2::{
 };
 use oris_core::{compare_banks, OrisConfig, OrisResult, Session, StreamWriter};
 use oris_eval::M8Writer;
-use oris_index::{BankIndex, BuildStrategy, IndexConfig, LinkedBankIndex};
+use oris_index::{BankIndex, BuildStrategy, IndexBackend, IndexConfig, LinkedBankIndex};
 
 /// Every allocation in this binary flows through the counting allocator,
 /// so the `streaming_batch` section can report peak *live* bytes per
@@ -130,6 +130,98 @@ fn main() {
         || build_with(&small, BuildStrategy::RadixPartitioned),
     );
 
+    // Single-worker pool shared by every serial-timed section.
+    let serial = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .unwrap();
+
+    // ---- index backend: dense offsets vs the sparse codes table ---------
+    // A dense offsets array costs 4·(4^W + 1) bytes no matter how small
+    // the bank — 16.8 MB at W = 11 — while the sparse populated-codes
+    // table scales with distinct seeds. Small bank: the regime the
+    // sparse backend exists for (and the memory-ratio contract below).
+    // Planted bank: large enough that dense stays competitive. Outputs
+    // are asserted identical per combination; build time, index bytes
+    // and serial step-2 time go into the snapshot.
+    let planted = if test_mode {
+        oris_bench::planted_bank(707, 24, 80)
+    } else {
+        oris_bench::planted_bank(707, 256, 400)
+    };
+    let mut backend_rows = String::new();
+    let backend_cases: [(&str, &oris_seqio::Bank); 2] = [("small", &small), ("planted", &planted)];
+    for (wi, bw) in [9usize, 11].into_iter().enumerate() {
+        for (bi, (bank_name, bank)) in backend_cases.iter().enumerate() {
+            let dense_cfg = IndexConfig::full(bw).with_backend(IndexBackend::Dense);
+            let sparse_cfg = IndexConfig::full(bw).with_backend(IndexBackend::Sparse);
+            let (t_bdense, t_bsparse) = time2(
+                reps,
+                || BankIndex::build(bank, dense_cfg),
+                || BankIndex::build(bank, sparse_cfg),
+            );
+            let idense = BankIndex::build(bank, dense_cfg);
+            let isparse = BankIndex::build(bank, sparse_cfg);
+            let auto = BankIndex::build(bank, IndexConfig::full(bw));
+            let (bytes_dense, bytes_sparse) =
+                (idense.stats().index_bytes, isparse.stats().index_bytes);
+            let bcfg = OrisConfig {
+                w: bw,
+                ..OrisConfig::default()
+            };
+            let (t_s2_dense, t_s2_sparse) = time2(
+                reps,
+                || serial.install(|| find_hsps(bank, &idense, bank, &idense, &bcfg)),
+                || serial.install(|| find_hsps(bank, &isparse, bank, &isparse, &bcfg)),
+            );
+            let out_dense = find_hsps(bank, &idense, bank, &idense, &bcfg);
+            let out_sparse = find_hsps(bank, &isparse, bank, &isparse, &bcfg);
+            let out_auto = find_hsps(bank, &auto, bank, &auto, &bcfg);
+            assert_eq!(
+                out_dense, out_sparse,
+                "step-2 output must be backend-invariant ({bank_name}, w={bw})"
+            );
+            assert_eq!(out_dense, out_auto);
+            if *bank_name == "small" && bw == 11 {
+                // The PR contract: at W = 11 a small bank's sparse index
+                // is at most a tenth of the dense footprint, and Auto
+                // picks sparse there.
+                assert!(
+                    bytes_sparse * 10 <= bytes_dense,
+                    "sparse index must be ≤ 1/10 of dense at w=11 on a small bank \
+                     ({bytes_sparse} vs {bytes_dense} bytes)"
+                );
+                assert_eq!(auto.backend(), IndexBackend::Sparse);
+                if !test_mode {
+                    assert!(
+                        t_s2_sparse <= t_s2_dense * 1.1,
+                        "sparse step-2 must stay within 1.1x of dense \
+                         ({t_s2_sparse:.6}s vs {t_s2_dense:.6}s)"
+                    );
+                }
+            }
+            let comma = if wi == 1 && bi + 1 == backend_cases.len() {
+                ""
+            } else {
+                ","
+            };
+            writeln!(
+                backend_rows,
+                "    {{\"w\": {bw}, \"bank\": \"{bank_name}\", \"residues\": {}, \
+                 \"dense_build_secs\": {t_bdense:.6}, \"sparse_build_secs\": {t_bsparse:.6}, \
+                 \"dense_index_bytes\": {bytes_dense}, \"sparse_index_bytes\": {bytes_sparse}, \
+                 \"bytes_ratio\": {:.3}, \"dense_step2_secs\": {t_s2_dense:.6}, \
+                 \"sparse_step2_secs\": {t_s2_sparse:.6}, \"step2_ratio\": {:.3}, \
+                 \"auto_backend\": \"{:?}\", \"outputs_identical\": true}}{comma}",
+                bank.num_residues(),
+                bytes_dense as f64 / (bytes_sparse.max(1)) as f64,
+                t_s2_sparse / t_s2_dense.max(1e-9),
+                auto.backend(),
+            )
+            .unwrap();
+        }
+    }
+
     // ---- step 2 on the skewed-seed benchmark ----------------------------
     let (b1, b2) = skewed_pair(skew_q, skew_s, skew_len);
     let cfg = OrisConfig::default();
@@ -138,10 +230,6 @@ fn main() {
     let l2 = LinkedBankIndex::build(&b2, icfg);
     let i1 = BankIndex::build(&b1, icfg);
     let i2 = BankIndex::build(&b2, icfg);
-    let serial = rayon::ThreadPoolBuilder::new()
-        .num_threads(1)
-        .build()
-        .unwrap();
     // Both sides run the rolled OrderedIndexed guard (not find_hsps'
     // auto-selection, which would pick the probe-free fast path here), so
     // this comparison isolates the *layout* difference; the guard
@@ -301,15 +389,12 @@ fn main() {
     // largest single query, not the run. Outputs are asserted
     // byte-identical; peaks come from the counting global allocator.
     //
-    // W = 9 here: the per-query transient both paths share is dominated by
-    // the query index's 4^W offset array (16.8 MB at W = 11, 1.05 MB at
-    // W = 9), and this section measures the *result path*, not seed
-    // length — W = 9 keeps the shared transient from drowning the record
-    // volume the two architectures actually differ on.
-    let batch_cfg = OrisConfig {
-        w: 9,
-        ..OrisConfig::default()
-    };
+    // W = 11 (the paper's seed length) under the default Auto backend:
+    // small query banks get the sparse populated-codes index, so the
+    // per-query transient is ∝ distinct seeds instead of the 16.8 MB
+    // dense 4^W offsets array that used to force this section down to
+    // W = 9.
+    let batch_cfg = OrisConfig::default();
     let (batch_subject, batch_queries) = if test_mode {
         oris_bench::screening_batch(4, 8, 24, 80)
     } else {
@@ -368,13 +453,11 @@ fn main() {
     // bounded-window database search must peak strictly below the
     // resident single-bank index), and cold-vs-warm query wall-clock
     // (first query pays the attaches; a warm window does not).
-    // W = 9 for the same reason as streaming_batch: the query-side 4^W
-    // offsets transient is shared by both architectures and would drown
-    // the subject-side difference this section measures.
-    let db_cfg = OrisConfig {
-        w: 9,
-        ..OrisConfig::default()
-    };
+    // W = 11 under Auto, like streaming_batch: the sparse backend keeps
+    // the query-side index transient proportional to the query, so the
+    // paper's seed length no longer drowns the subject-side difference
+    // this section measures.
+    let db_cfg = OrisConfig::default();
     let (db_subject, db_queries) = if test_mode {
         (oris_bench::planted_bank(505, 24, 80), {
             let (_, q) = oris_bench::screening_batch(2, 4, 1, 80);
@@ -536,6 +619,7 @@ fn main() {
          \"small_bank\": {{\n      \"residues\": {},\n      \
          \"full_sweep_secs\": {t_sweep_small:.6},\n      \
          \"radix_secs\": {t_radix_small:.6},\n      \"radix_speedup\": {:.3}\n    }}\n  }},\n  \
+         \"index_backend\": [\n{backend_rows}  ],\n  \
          \"prepared_reuse\": {{\n    \"queries\": {num_queries},\n    \
          \"subject_residues\": {},\n    \
          \"rebuild_per_query_secs\": {t_reuse_naive:.6},\n    \

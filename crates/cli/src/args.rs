@@ -102,6 +102,27 @@ impl Args {
     pub fn has_flag(&self, key: &str) -> bool {
         self.flags.iter().any(|f| f == key)
     }
+
+    /// The `--index-backend` option (`dense` | `sparse` | `auto`),
+    /// shared by `scoris-n`, `mkindex` and `makedb`. Absent means
+    /// [`oris_index::IndexBackend::Auto`] — per-build selection by
+    /// code-space density.
+    pub fn index_backend(&self) -> Result<oris_index::IndexBackend, ArgError> {
+        use oris_index::IndexBackend;
+        match self
+            .options
+            .get("index-backend")
+            .map(String::as_str)
+            .unwrap_or("auto")
+        {
+            "dense" => Ok(IndexBackend::Dense),
+            "sparse" => Ok(IndexBackend::Sparse),
+            "auto" => Ok(IndexBackend::Auto),
+            other => Err(ArgError(format!(
+                "invalid value {other:?} for --index-backend (dense | sparse | auto)"
+            ))),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -190,5 +211,23 @@ mod tests {
     fn bad_value_type_is_error() {
         let a = Args::parse(&argv(&["--word", "xyz"]), &["word"], &[], &[]).unwrap();
         assert!(a.get_or("word", 0usize).is_err());
+    }
+
+    #[test]
+    fn index_backend_parses_and_defaults_to_auto() {
+        use oris_index::IndexBackend;
+        let keys: &[&str] = &["index-backend"];
+        let a = Args::parse(&argv(&[]), keys, &[], &[]).unwrap();
+        assert_eq!(a.index_backend().unwrap(), IndexBackend::Auto);
+        for (spelling, want) in [
+            ("dense", IndexBackend::Dense),
+            ("sparse", IndexBackend::Sparse),
+            ("auto", IndexBackend::Auto),
+        ] {
+            let a = Args::parse(&argv(&["--index-backend", spelling]), keys, &[], &[]).unwrap();
+            assert_eq!(a.index_backend().unwrap(), want);
+        }
+        let a = Args::parse(&argv(&["--index-backend", "csr"]), keys, &[], &[]).unwrap();
+        assert!(a.index_backend().is_err());
     }
 }

@@ -14,6 +14,10 @@
 //!   -s, --minscore N    minimum HSP score S1 (default 18)
 //!   -f, --filter KIND   none | entropy | dust (default entropy)
 //!   -t, --threads N     worker threads (default: all cores)
+//!       --index-backend dense | sparse | auto (default auto): occurrence
+//!                       index row-lookup layout — dense 4^W offsets vs
+//!                       the sparse populated-codes table; purely a
+//!                       space/time trade, output is identical
 //!       --engine NAME   oris | blast (default oris)
 //!       --asymmetric    asymmetric (W−1)-mer indexing (section 3.4)
 //!       --both-strands  also search the complementary strand (sstart > send)
@@ -62,7 +66,8 @@ use oris_seqio::Bank;
 
 fn usage() -> &'static str {
     "usage: scoris-n <bank1.fa> <bank2.fa> [-W n] [-e x] [-x n] [-X n] [-s n]\n\
-     \t[-f none|entropy|dust] [-t n] [--engine oris|blast] [--asymmetric]\n\
+     \t[-f none|entropy|dust] [-t n] [--index-backend dense|sparse|auto]\n\
+     \t[--engine oris|blast] [--asymmetric]\n\
      \t[--both-strands] [--index bank2.oidx] [--batch dir-or-multi.fa]\n\
      \t[--db dir] [--attach mmap|copy] [--window n] [--dbsize n]\n\
      \t[--deadline ms] [--skip-bad-volumes] [--stats] [-o out.m8]"
@@ -312,6 +317,7 @@ fn run() -> Result<(), CliError> {
             "minscore",
             "filter",
             "threads",
+            "index-backend",
             "engine",
             "index",
             "batch",
@@ -421,6 +427,7 @@ fn run() -> Result<(), CliError> {
         both_strands: args.has_flag("both-strands"),
         threads: (threads > 0).then_some(threads),
         subject_space,
+        index_backend: args.index_backend().map_err(|e| e.to_string())?,
         ..OrisConfig::default()
     };
     cfg.validate()?;

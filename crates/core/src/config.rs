@@ -2,6 +2,7 @@
 
 use oris_align::ScoringScheme;
 use oris_eval::SubjectSpace;
+use oris_index::IndexBackend;
 
 /// Which low-complexity filter to apply before indexing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -76,6 +77,12 @@ pub struct OrisConfig {
     /// searches, where `total` comes from the database manifest so every
     /// volume prices alignments over the same database-wide space.
     pub subject_space: SubjectSpace,
+    /// Occurrence-index row-lookup backend ([`oris_index::IndexBackend`]):
+    /// dense `4^W + 1` offsets, the sparse populated-codes table, or
+    /// (default) automatic per-build selection by code-space density.
+    /// Purely a space/time trade — results are byte-identical either way —
+    /// so sessions and persisted indexes accept any backend.
+    pub index_backend: IndexBackend,
 }
 
 impl Default for OrisConfig {
@@ -93,6 +100,7 @@ impl Default for OrisConfig {
             threads: None,
             max_gapped_span: 1 << 20,
             subject_space: SubjectSpace::PerSequence,
+            index_backend: IndexBackend::Auto,
         }
     }
 }
@@ -121,21 +129,25 @@ impl OrisConfig {
     }
 
     /// Index configuration for the query side (bank 1): always full
-    /// stride at the effective word length.
+    /// stride at the effective word length, under the configured
+    /// row-lookup backend.
     pub fn query_index_config(&self) -> oris_index::IndexConfig {
-        oris_index::IndexConfig::full(self.indexed_w())
+        oris_index::IndexConfig::full(self.indexed_w()).with_backend(self.index_backend)
     }
 
     /// Index configuration for the subject side (bank 2): stride 2 in
-    /// asymmetric mode (section 3.4), full otherwise. This is the
-    /// configuration `mkindex` must use for an index that `scoris-n
-    /// --index` will accept.
+    /// asymmetric mode (section 3.4), full otherwise, under the
+    /// configured row-lookup backend. This is the configuration `mkindex`
+    /// must use for an index that `scoris-n --index` will accept (the
+    /// backend is a free choice — sessions never reject an index over
+    /// it).
     pub fn subject_index_config(&self) -> oris_index::IndexConfig {
-        if self.asymmetric {
+        let base = if self.asymmetric {
             oris_index::IndexConfig::asymmetric(self.indexed_w())
         } else {
             oris_index::IndexConfig::full(self.indexed_w())
-        }
+        };
+        base.with_backend(self.index_backend)
     }
 
     /// Validates invariants; returns a human-readable complaint if any.
@@ -209,5 +221,18 @@ mod tests {
     #[test]
     fn small_config_is_valid() {
         assert_eq!(OrisConfig::small(6).validate(), Ok(()));
+    }
+
+    #[test]
+    fn index_backend_threads_into_both_index_configs() {
+        assert_eq!(OrisConfig::default().index_backend, IndexBackend::Auto);
+        let c = OrisConfig {
+            index_backend: IndexBackend::Sparse,
+            asymmetric: true,
+            ..Default::default()
+        };
+        assert_eq!(c.query_index_config().backend, IndexBackend::Sparse);
+        assert_eq!(c.subject_index_config().backend, IndexBackend::Sparse);
+        assert_eq!(c.subject_index_config().stride, 2);
     }
 }

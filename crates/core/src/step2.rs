@@ -35,11 +35,18 @@
 //! carry wildly unequal work: one range may own the `AAAA…A` code whose
 //! `|X1|·|X2|` pair product dwarfs everything else. The default
 //! [`PartitionStrategy::WorkBalanced`] instead sizes ranges by the
-//! per-code pair product read straight from the two CSR offset arrays
-//! (`offsets[c+1] − offsets[c]` per bank, multiplied), cutting a range
-//! whenever its accumulated work reaches `total/chunks`. Ranges remain
-//! contiguous and in code order, so results concatenate in range order and
-//! the output stays thread-count-independent.
+//! per-code pair product, cutting a range whenever its accumulated work
+//! reaches `total/chunks`. Ranges remain contiguous and in code order, so
+//! results concatenate in range order and the output stays
+//! thread-count-independent.
+//!
+//! Both the work scan and the enumeration itself drive from the
+//! *populated* rows of whichever index holds fewer distinct codes
+//! ([`oris_index::BankIndex::populated_in`]) rather than sweeping
+//! `0..4^W`: a code absent from either index contributes no pairs and no
+//! work, so skipping it changes neither the output nor the cut points —
+//! and at W = 11 the sweep would visit 4 M codes to find a few thousand
+//! populated ones.
 
 use oris_align::{
     extend_hit_prepared, ExtensionOutcome, OrderGuard, PreparedGuard, UngappedParams,
@@ -124,15 +131,23 @@ pub fn partition_codes(
             if chunks == 1 {
                 return vec![0..num_codes];
             }
-            let (o1, o2) = (idx1.offsets(), idx2.offsets());
-            // Per-code pair product from adjacent offset differences; the
-            // windowed zip keeps both passes branch-free and streaming.
-            let work_iter = || {
-                o1.windows(2)
-                    .zip(o2.windows(2))
-                    .map(|(w1, w2)| ((w1[1] - w1[0]) as u64) * ((w2[1] - w2[0]) as u64))
+            // Drive from whichever index holds fewer populated rows and
+            // look the partner's count up per code. A code missing from
+            // either index carries zero work and zero work can never
+            // reach `target`, so skipping unpopulated codes leaves the
+            // cut points identical to a dense 0..4^W sweep — while the
+            // scan cost drops from 4^W to the populated-row count.
+            let (drive, other) = if idx1.distinct_codes() <= idx2.distinct_codes() {
+                (idx1, idx2)
+            } else {
+                (idx2, idx1)
             };
-            let total: u64 = work_iter().sum();
+            let work_iter = || {
+                drive
+                    .populated()
+                    .map(|(code, row)| (code, row.len() as u64 * other.count(code) as u64))
+            };
+            let total: u64 = work_iter().map(|(_, w)| w).sum();
             if total == 0 {
                 return vec![0..num_codes];
             }
@@ -140,11 +155,11 @@ pub fn partition_codes(
             let mut ranges = Vec::with_capacity(chunks as usize + 1);
             let mut lo = 0u32;
             let mut acc = 0u64;
-            for (c, w) in work_iter().enumerate() {
+            for (c, w) in work_iter() {
                 acc += w;
                 if acc >= target {
-                    ranges.push(lo..c as u32 + 1);
-                    lo = c as u32 + 1;
+                    ranges.push(lo..c + 1);
+                    lo = c + 1;
                     acc = 0;
                 }
             }
@@ -186,17 +201,28 @@ fn process_code_range(
     }
     let mut next_check = DEADLINE_CHECK_PAIRS;
 
-    for code in codes {
+    // Walk only the populated rows of the smaller-vocabulary index and
+    // probe the partner per code. The visited (code, X1, X2) triples —
+    // ascending codes, both rows non-empty — are exactly those of a
+    // `for code in codes` sweep, so the output is byte-identical; the
+    // iteration cost no longer scales with the range width (4^W/chunks).
+    let (drive_is_1, drive, other) = if idx1.distinct_codes() <= idx2.distinct_codes() {
+        (true, idx1, idx2)
+    } else {
+        (false, idx2, idx1)
+    };
+    for (code, drow) in drive.populated_in(codes) {
+        let orow = other.occurrences(code);
+        if orow.is_empty() {
+            continue;
+        }
         // X1 × X2 hit extensions for this seed (paper notation): both
         // occurrence lists are contiguous sorted slices in the CSR index.
-        let x1 = idx1.occurrences(code);
-        if x1.is_empty() {
-            continue;
-        }
-        let x2 = idx2.occurrences(code);
-        if x2.is_empty() {
-            continue;
-        }
+        let (x1, x2) = if drive_is_1 {
+            (drow, orow)
+        } else {
+            (orow, drow)
+        };
         for &a in x1 {
             if armed && stats.pairs_examined >= next_check {
                 deadline.check()?;
@@ -618,13 +644,9 @@ mod tests {
 
         let chunks = 16u32;
         let balanced = partition_codes(&i1, &i2, PartitionStrategy::WorkBalanced, chunks);
-        let (o1, o2) = (i1.offsets(), i2.offsets());
         let work_of = |r: &std::ops::Range<u32>| -> u64 {
             (r.start..r.end)
-                .map(|c| {
-                    let c = c as usize;
-                    ((o1[c + 1] - o1[c]) as u64) * ((o2[c + 1] - o2[c]) as u64)
-                })
+                .map(|c| i1.count(c) as u64 * i2.count(c) as u64)
                 .sum()
         };
         let total: u64 = work_of(&(0..i1.coder().num_seeds() as u32));
@@ -639,6 +661,63 @@ mod tests {
             "heavy code 0 should be cut immediately: {balanced:?}"
         );
         assert!(work_of(first) >= target);
+    }
+
+    #[test]
+    fn partition_is_identical_across_index_backends() {
+        // The work-balanced scan drives from populated rows only; since
+        // unpopulated codes carry zero work, the cut points must be the
+        // same whether the indexes are dense or sparse — in any backend
+        // pairing.
+        use oris_index::IndexBackend;
+        let polya = "A".repeat(300);
+        let b1 = bank(&[&format!("{polya}ATGGCGTACGTTAGCCTAGGCTTA")]);
+        let b2 = bank(&[&format!("{polya}GGCCATTAGGCCATTA")]);
+        let dense = IndexConfig::full(4).with_backend(IndexBackend::Dense);
+        let sparse = IndexConfig::full(4).with_backend(IndexBackend::Sparse);
+        let (d1, d2) = (BankIndex::build(&b1, dense), BankIndex::build(&b2, dense));
+        let (s1, s2) = (BankIndex::build(&b1, sparse), BankIndex::build(&b2, sparse));
+        for chunks in [1u32, 3, 16, 64] {
+            for strategy in [
+                PartitionStrategy::EqualWidth,
+                PartitionStrategy::WorkBalanced,
+            ] {
+                let reference = partition_codes(&d1, &d2, strategy, chunks);
+                assert_eq!(reference, partition_codes(&s1, &s2, strategy, chunks));
+                assert_eq!(reference, partition_codes(&d1, &s2, strategy, chunks));
+                assert_eq!(reference, partition_codes(&s1, &d2, strategy, chunks));
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_partition_handles_w11_code_space() {
+        // At W = 11 the code space holds 4^11 ≈ 4.2 M codes; the sparse
+        // work scan must touch only the populated handful. (Correctness,
+        // not speed, is asserted — the old dense sweep would still pass,
+        // but only the populated-row walk makes W = 11 partitioning
+        // proportionate to bank size.)
+        use oris_index::IndexBackend;
+        let shared = "ATGGCGTACGTTAGCCTAGGCTTAACGGATCGATCCGGTTAACC";
+        let b1 = bank(&[&format!("TTTT{shared}GGGG")]);
+        let b2 = bank(&[&format!("CCCC{shared}AAAA")]);
+        let icfg = IndexConfig::full(11).with_backend(IndexBackend::Sparse);
+        let i1 = BankIndex::build(&b1, icfg);
+        let i2 = BankIndex::build(&b2, icfg);
+        let num_codes = i1.coder().num_seeds() as u32;
+        let ranges = partition_codes(&i1, &i2, PartitionStrategy::WorkBalanced, 16);
+        assert_eq!(ranges.first().unwrap().start, 0);
+        assert_eq!(ranges.last().unwrap().end, num_codes);
+        for w in ranges.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+        // And the full pipeline finds the shared region at W = 11.
+        let c = cfg(11);
+        let (hsps, _) = find_hsps(&b1, &i1, &b2, &i2, &c);
+        assert!(
+            hsps.iter().any(|h| h.len as usize >= shared.len()),
+            "{hsps:?}"
+        );
     }
 
     #[test]
@@ -786,7 +865,7 @@ mod tests {
             let i1 = BankIndex::build_filtered(
                 &b1, IndexConfig::full(w), |p| p % mask_mod == 0,
             );
-            let i2 = BankIndex::build(&b2, IndexConfig { w, stride });
+            let i2 = BankIndex::build(&b2, IndexConfig { stride, ..IndexConfig::full(w) });
             // The mask predicate fires on any non-trivial bank, so the
             // indexed guard must be selected whenever something was
             // actually excluded.
@@ -802,6 +881,38 @@ mod tests {
                 OrderGuard::OrderedIndexedProbe { idx1: &i1, idx2: &i2 },
             );
             prop_assert_eq!(&auto, &seed_behavior);
+        }
+
+        /// Dense and sparse index backends are interchangeable in step 2:
+        /// same HSP vector (order included) and same `Step2Stats`, for
+        /// random banks, word lengths, masking and stride — including the
+        /// mixed pairing one mmap-attached dense volume against a fresh
+        /// sparse query index produces.
+        #[test]
+        fn step2_output_is_backend_invariant(
+            seqs1 in proptest::collection::vec("[ACGTN]{5,60}", 1..4),
+            seqs2 in proptest::collection::vec("[ACGTN]{5,60}", 1..4),
+            w in 3usize..6,
+            mask_mod in 2usize..7,
+            stride in 1usize..3,
+        ) {
+            use oris_index::IndexBackend;
+            let b1 = banks_from(&seqs1);
+            let b2 = banks_from(&seqs2);
+            let c = cfg(w);
+            let dense = IndexConfig::full(w).with_backend(IndexBackend::Dense);
+            let sparse = IndexConfig::full(w).with_backend(IndexBackend::Sparse);
+            let d1 = BankIndex::build_filtered(&b1, dense, |p| p % mask_mod == 0);
+            let s1 = BankIndex::build_filtered(&b1, sparse, |p| p % mask_mod == 0);
+            let strided = |backend| IndexConfig { stride, ..IndexConfig::full(w) }
+                .with_backend(backend);
+            let d2 = BankIndex::build(&b2, strided(IndexBackend::Dense));
+            let s2 = BankIndex::build(&b2, strided(IndexBackend::Sparse));
+
+            let reference = find_hsps(&b1, &d1, &b2, &d2, &c);
+            prop_assert_eq!(&reference, &find_hsps(&b1, &s1, &b2, &s2, &c));
+            prop_assert_eq!(&reference, &find_hsps(&b1, &d1, &b2, &s2, &c));
+            prop_assert_eq!(&reference, &find_hsps(&b1, &s1, &b2, &d2, &c));
         }
 
         /// The work-balanced partition returns at most `chunks + 1`

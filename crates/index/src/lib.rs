@@ -11,19 +11,30 @@
 //!   code order is the total order that makes the ORIS uniqueness argument
 //!   work (a seed `SA` precedes `SB` iff `code(SA) < code(SB)`).
 //! * [`BankIndex`]: the Figure-2 occurrence index, stored as a **CSR
-//!   inverted index** — `offsets[4^W + 1]` row boundaries over a contiguous
-//!   `positions` array — so `occurrences(code)` is a sorted `&[u32]` slice,
-//!   `count` is O(1), and step 2 streams postings instead of chasing the
-//!   paper's `int *INDEX` chains (see `structure` module docs for the
-//!   memory model). Construction is a radix-partitioned counting sort by
-//!   default ([`BuildStrategy`]): codes are partitioned by high bits and
-//!   each partition prefix-sums its own offsets stretch, so a small bank
-//!   no longer pays a serial sweep over all `4^W` slots.
+//!   inverted index** — row boundaries over a contiguous `positions`
+//!   array — so `occurrences(code)` is a sorted `&[u32]` slice, `count`
+//!   is O(1), and step 2 streams postings instead of chasing the paper's
+//!   `int *INDEX` chains. Two row-lookup backends sit behind the same
+//!   API ([`IndexBackend`]): a **dense** `offsets[4^W + 1]` array
+//!   (`≈ 4·(4^W + 1)` bytes — the large-bank fast path) and a **sparse**
+//!   populated-codes table (ascending code list + open-addressed hash,
+//!   memory `∝ distinct codes` — what lets a small query bank run at
+//!   W = 11 without a 16.8 MB offsets array). `IndexBackend::Auto` (the
+//!   default) picks per build by density; results are byte-identical
+//!   either way (see `structure` module docs for the memory model).
+//!   Dense construction is a radix-partitioned counting sort by default
+//!   ([`BuildStrategy`]): codes are partitioned by high bits and each
+//!   partition prefix-sums its own offsets stretch; sparse construction
+//!   is one stable sort of the postings by code, independent of `4^W`.
 //! * [`persist`]: the on-disk index format (magic + version + config +
 //!   little-endian array sections, each starting on an 8-byte file
-//!   offset). A loaded index is behaviourally identical to a fresh
-//!   build, including the `is_fully_indexed` provenance that drives
-//!   step 2's guard auto-selection.
+//!   offset). Both backends serialize — a header flag selects the
+//!   section layout, dense files are bit-for-bit unchanged from before
+//!   the sparse backend existed, and sparse slot tables are validated
+//!   structurally on load (exact rebuild-and-compare). A loaded index is
+//!   behaviourally identical to a fresh build, including the
+//!   `is_fully_indexed` provenance that drives step 2's guard
+//!   auto-selection.
 //! * [`mmap`]: the zero-copy attach path for the sharded-database
 //!   workload — [`map_index_file`] maps an index file and hands the
 //!   [`BankIndex`] direct views of its offsets and postings sections, so
@@ -55,4 +66,6 @@ pub use mask::MaskSet;
 pub use mmap::{attach_index_file, map_index_file, AttachMode, Mapping};
 pub use persist::{read_index_file, write_index_file, IndexMeta, PersistError};
 pub use seedcode::{RollingCoder, SeedCoder, MAX_SEED_LEN};
-pub use structure::{BankIndex, BuildStrategy, IndexConfig, IndexStats};
+pub use structure::{
+    BankIndex, BuildStrategy, IndexBackend, IndexConfig, IndexStats, PopulatedRows,
+};

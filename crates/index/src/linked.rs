@@ -133,7 +133,10 @@ mod tests {
     fn linked_and_csr_agree_on_every_seed() {
         let bank = bank_of(&["ACGTACGTACGTTTGGCCAA", "TTACGTGGCCAATTACGT"]);
         for stride in [1usize, 2] {
-            let cfg = IndexConfig { w: 4, stride };
+            let cfg = IndexConfig {
+                stride,
+                ..IndexConfig::full(4)
+            };
             let linked = LinkedBankIndex::build(&bank, cfg);
             let csr = BankIndex::build(&bank, cfg);
             assert_eq!(linked.indexed_positions(), csr.indexed_positions());

@@ -241,77 +241,130 @@ mod tests {
 
     #[test]
     fn mmap_attach_equals_heap_copy() {
-        use crate::structure::{BankIndex, IndexConfig};
+        use crate::structure::{BankIndex, IndexBackend, IndexConfig};
         // The equivalence the database layer relies on: both attach modes
         // produce behaviourally identical indexes — same occurrences
         // slices, stats, provenance — differing only in where the big
-        // sections live.
+        // sections live. Covered for both row-lookup backends.
         let bank = bank_of(&["ACGTACGTTTGGCCAAACGTNACGT", "TTGGCCAAGGTTACCA"]);
-        for cfg in [IndexConfig::full(4), IndexConfig::asymmetric(5)] {
-            let idx = BankIndex::build(&bank, cfg);
-            let meta = IndexMeta {
-                masked_fraction: 0.0,
-                filter_code: 1,
-                bank_hash: crate::persist::fnv1a(bank.data()),
-            };
-            let path = {
-                let mut buf = Vec::new();
-                crate::persist::write_index(&mut buf, &idx, &meta).unwrap();
-                tmp_file(&format!("attach_w{}s{}", cfg.w, cfg.stride), &buf)
-            };
-            let (mapped, m_meta) = attach_index_file(&path, AttachMode::Mmap).unwrap();
-            let (copied, c_meta) = attach_index_file(&path, AttachMode::HeapCopy).unwrap();
-            assert_eq!(m_meta, c_meta);
-            assert_eq!(m_meta, meta);
-            assert!(mapped.is_mmap_backed(), "unix target must really map");
-            assert!(!copied.is_mmap_backed());
-            assert_eq!(mapped.offsets(), copied.offsets());
-            assert_eq!(mapped.positions(), copied.positions());
-            assert_eq!(mapped.indexed_words(), copied.indexed_words());
-            assert_eq!(mapped.is_fully_indexed(), copied.is_fully_indexed());
-            assert_eq!(mapped.bank_len(), copied.bank_len());
-            for code in 0..mapped.coder().num_seeds() as u32 {
-                assert_eq!(mapped.occurrences(code), copied.occurrences(code));
+        for base in [IndexConfig::full(4), IndexConfig::asymmetric(5)] {
+            for backend in [IndexBackend::Dense, IndexBackend::Sparse] {
+                let cfg = base.with_backend(backend);
+                let idx = BankIndex::build(&bank, cfg);
+                assert_eq!(idx.backend(), backend);
+                let meta = IndexMeta {
+                    masked_fraction: 0.0,
+                    filter_code: 1,
+                    bank_hash: crate::persist::fnv1a(bank.data()),
+                };
+                let path = {
+                    let mut buf = Vec::new();
+                    crate::persist::write_index(&mut buf, &idx, &meta).unwrap();
+                    tmp_file(
+                        &format!("attach_w{}s{}b{:?}", cfg.w, cfg.stride, backend),
+                        &buf,
+                    )
+                };
+                let (mapped, m_meta) = attach_index_file(&path, AttachMode::Mmap).unwrap();
+                let (copied, c_meta) = attach_index_file(&path, AttachMode::HeapCopy).unwrap();
+                assert_eq!(m_meta, c_meta);
+                assert_eq!(m_meta, meta);
+                assert!(mapped.is_mmap_backed(), "unix target must really map");
+                assert!(!copied.is_mmap_backed());
+                assert_eq!(mapped.backend(), backend);
+                assert_eq!(copied.backend(), backend);
+                assert_eq!(mapped.dense_offsets(), copied.dense_offsets());
+                assert_eq!(mapped.positions(), copied.positions());
+                assert_eq!(mapped.indexed_words(), copied.indexed_words());
+                assert_eq!(mapped.is_fully_indexed(), copied.is_fully_indexed());
+                assert_eq!(mapped.bank_len(), copied.bank_len());
+                assert_eq!(mapped.distinct_codes(), copied.distinct_codes());
+                for code in 0..mapped.coder().num_seeds() as u32 {
+                    assert_eq!(mapped.occurrences(code), copied.occurrences(code));
+                }
+                // The mapped index keeps the big sections off the heap.
+                assert!(mapped.heap_bytes() < copied.heap_bytes());
+                // A clone of a mapped index shares the mapping and stays
+                // valid after the original is dropped.
+                let cloned = mapped.clone();
+                drop(mapped);
+                assert_eq!(cloned.positions(), copied.positions());
+                for code in 0..cloned.coder().num_seeds() as u32 {
+                    assert_eq!(cloned.occurrences(code), copied.occurrences(code));
+                }
             }
-            // The mapped index keeps the big sections off the heap.
-            assert!(mapped.heap_bytes() < copied.heap_bytes());
-            // A clone of a mapped index shares the mapping and stays valid
-            // after the original is dropped.
-            let cloned = mapped.clone();
-            drop(mapped);
-            assert_eq!(cloned.offsets(), copied.offsets());
         }
     }
 
     #[test]
     fn both_loaders_reject_the_same_corruptions() {
-        use crate::structure::{BankIndex, IndexConfig};
+        use crate::structure::{BankIndex, IndexBackend, IndexConfig};
         let bank = bank_of(&["ACGTACGTACGTTTGGCCAA"]);
-        let idx = BankIndex::build(&bank, IndexConfig::full(4));
-        let mut clean = Vec::new();
-        crate::persist::write_index(&mut clean, &idx, &IndexMeta::default()).unwrap();
+        for backend in [IndexBackend::Dense, IndexBackend::Sparse] {
+            let idx = BankIndex::build(&bank, IndexConfig::full(4).with_backend(backend));
+            let mut clean = Vec::new();
+            crate::persist::write_index(&mut clean, &idx, &IndexMeta::default()).unwrap();
 
-        // Truncations, a payload flip, and trailing junk: the mapped
-        // loader must return an error (never panic or accept) exactly
-        // where the streaming loader does.
-        let mut variants: Vec<Vec<u8>> = vec![];
-        for cut in [0, 8, 40, clean.len() / 2, clean.len() - 1] {
-            variants.push(clean[..cut].to_vec());
+            // Truncations, a payload flip, and trailing junk: the mapped
+            // loader must return an error (never panic or accept) exactly
+            // where the streaming loader does.
+            let mut variants: Vec<Vec<u8>> = vec![];
+            for cut in [0, 8, 40, clean.len() / 2, clean.len() - 1] {
+                variants.push(clean[..cut].to_vec());
+            }
+            let mut flipped = clean.clone();
+            let mid = clean.len() / 2;
+            flipped[mid] ^= 0x04;
+            variants.push(flipped);
+            let mut trailing = clean.clone();
+            trailing.push(0);
+            variants.push(trailing);
+
+            for (i, bytes) in variants.iter().enumerate() {
+                let path = tmp_file(&format!("corrupt{backend:?}{i}"), bytes);
+                let via_map = attach_index_file(&path, AttachMode::Mmap);
+                let via_copy = attach_index_file(&path, AttachMode::HeapCopy);
+                assert!(via_map.is_err(), "variant {i} must be rejected by mmap");
+                assert!(via_copy.is_err(), "variant {i} must be rejected by copy");
+            }
         }
-        let mut flipped = clean.clone();
-        let mid = clean.len() / 2;
-        flipped[mid] ^= 0x04;
-        variants.push(flipped);
-        let mut trailing = clean.clone();
-        trailing.push(0);
-        variants.push(trailing);
+    }
 
-        for (i, bytes) in variants.iter().enumerate() {
-            let path = tmp_file(&format!("corrupt{i}"), bytes);
-            let via_map = attach_index_file(&path, AttachMode::Mmap);
-            let via_copy = attach_index_file(&path, AttachMode::HeapCopy);
-            assert!(via_map.is_err(), "variant {i} must be rejected by mmap");
-            assert!(via_copy.is_err(), "variant {i} must be rejected by copy");
+    #[test]
+    fn both_loaders_reject_a_restamped_slot_table() {
+        use crate::persist::fnv1a;
+        use crate::structure::{BankIndex, IndexBackend, IndexConfig};
+        // A corrupt sparse slot table with a *recomputed* checksum gets
+        // past the hash; the structural rebuild-and-compare must reject
+        // it in both attach modes (this is the mmap path's guarantee
+        // that hostile file bytes can't cause unterminated probes).
+        let bank = bank_of(&["ACGTACGTACGTTTGGCCAA"]);
+        let idx = BankIndex::build(
+            &bank,
+            IndexConfig::full(4).with_backend(IndexBackend::Sparse),
+        );
+        let mut bytes = Vec::new();
+        crate::persist::write_index(&mut bytes, &idx, &IndexMeta::default()).unwrap();
+        let k = idx.distinct_codes();
+        assert!(k >= 2);
+        // Sections: header 76 → pad → codes(k) → pad → row_offsets(k+1)
+        // → pad → slots. Zero the first slot word and restamp.
+        let align = |at: usize| at + (8 - at % 8) % 8;
+        let codes_at = align(76);
+        let row_at = align(codes_at + 4 * k);
+        let slots_at = align(row_at + 4 * (k + 1));
+        bytes[slots_at..slots_at + 4].copy_from_slice(&0xDEAD_u32.to_le_bytes());
+        let body = bytes.len() - 8;
+        let h = fnv1a(&bytes[..body]);
+        bytes[body..].copy_from_slice(&h.to_le_bytes());
+        let path = tmp_file("restamped_slots", &bytes);
+        for mode in [AttachMode::Mmap, AttachMode::HeapCopy] {
+            match attach_index_file(&path, mode) {
+                Err(PersistError::Corrupt(msg)) => {
+                    assert!(msg.contains("slot table"), "{mode:?}: {msg}")
+                }
+                other => panic!("{mode:?} accepted a corrupt slot table: {other:?}"),
+            }
         }
     }
 }

@@ -17,22 +17,32 @@
 //! version           u32   2
 //! w                 u32   seed length
 //! stride            u32   sampling stride (1 = full, 2 = asymmetric)
-//! flags             u32   bit 0 = fully_indexed; other bits reserved (must be 0)
+//! flags             u32   bit 0 = fully_indexed; bit 1 = sparse backend;
+//!                         other bits reserved (must be 0)
 //! bank_len          u64   global coordinate space of the bank
 //! masked_fraction   f64   fraction of bank positions the filter masked
 //! filter_code       u32   caller-defined filter tag (see [`IndexMeta`])
 //! bank_hash         u64   FNV-1a of the bank data (0 = not recorded)
-//! num_offsets       u64   must equal 4^w + 1
+//! num_offsets       u64   dense: must equal 4^w + 1;
+//!                         sparse: k = number of populated codes
 //! num_positions     u64   number of postings
 //! num_bitset_words  u64   must equal bank_len.div_ceil(64)
-//! -- zero padding to the next 8-byte file offset --
-//! offsets           num_offsets × u32
-//! -- zero padding to the next 8-byte file offset --
-//! positions         num_positions × u32
-//! -- zero padding to the next 8-byte file offset --
-//! bitset            num_bitset_words × u64
-//! checksum          u64   FNV-1a of every preceding byte of the stream
+//! -- then, dense (flags bit 1 clear):
+//!    offsets        num_offsets × u32
+//!    positions      num_positions × u32
+//! -- or, sparse (flags bit 1 set):
+//!    codes          k × u32          ascending populated codes
+//!    row_offsets    (k + 1) × u32    row boundaries over positions
+//!    slots          S × u32          open-addressed code→row table,
+//!                                    S = sparse_slot_count(k) (derived, not stored)
+//!    positions      num_positions × u32
+//! -- finally, either way:
+//!    bitset         num_bitset_words × u64
+//!    checksum       u64   FNV-1a of every preceding byte of the stream
 //! ```
+//!
+//! Every array section is preceded by zero padding to the next 8-byte
+//! file offset.
 //!
 //! Version 2 differs from version 1 only in the zero padding that starts
 //! every array section on an 8-byte file offset. That alignment is what
@@ -42,6 +52,16 @@
 //! unaligned section would force the copy the mapping exists to avoid.
 //! Version-1 files are refused with a typed error (rebuild with
 //! `mkindex`); the format carries no compatibility shims.
+//!
+//! The sparse backend (flags bit 1) reuses version 2: a dense index file
+//! is **bit-for-bit identical** to what this module wrote before the
+//! sparse backend existed, and older readers reject a sparse file with
+//! their reserved-flag-bits check rather than misparsing it. The sparse
+//! slot table is stored (so attach needs no rebuild pass over the code
+//! list) but *validated* by exact reconstruction from the codes section
+//! on every load — a corrupt or crafted table can therefore never cause
+//! an unterminated probe chain or out-of-range row id, in either attach
+//! mode.
 //!
 //! `masked_fraction` and `filter_code` describe how the index was
 //! *prepared* (the mask itself is not persisted — steps 2–4 never consult
@@ -83,7 +103,7 @@ use crate::mask::MaskSet;
 use crate::mmap::Mapping;
 use crate::section::Section;
 use crate::seedcode::MAX_SEED_LEN;
-use crate::structure::BankIndex;
+use crate::structure::{sparse_slot_count, BankIndex, RowIndex};
 
 /// File magic, first 8 bytes of every index file.
 pub const MAGIC: [u8; 8] = *b"ORISIDX\0";
@@ -94,6 +114,15 @@ pub const FORMAT_VERSION: u32 = 2;
 
 /// Bytes of the fixed header (everything before the first padding run).
 const HEADER_BYTES: u64 = 76;
+
+/// Header flag bit 0: the index is fully indexed (exclusion provenance).
+const FLAG_FULLY_INDEXED: u32 = 1;
+
+/// Header flag bit 1: the row lookup is the sparse populated-codes
+/// backend (codes/row_offsets/slots sections instead of a dense offsets
+/// array). Readers predating the sparse backend reject this bit as
+/// reserved instead of misparsing the sections.
+const FLAG_SPARSE: u32 = 2;
 
 /// File-offset alignment of every array section.
 const SECTION_ALIGN: u64 = 8;
@@ -257,18 +286,46 @@ pub fn write_index(out: &mut impl Write, idx: &BankIndex, meta: &IndexMeta) -> i
             .expect("stride fits u32")
             .to_le_bytes(),
     )?;
-    out.write_all(&u32::from(idx.is_fully_indexed()).to_le_bytes())?;
+    let rows = idx.rows();
+    let flags = u32::from(idx.is_fully_indexed())
+        | match rows {
+            RowIndex::Dense { .. } => 0,
+            RowIndex::Sparse { .. } => FLAG_SPARSE,
+        };
+    out.write_all(&flags.to_le_bytes())?;
     out.write_all(&(idx.bank_len() as u64).to_le_bytes())?;
     out.write_all(&meta.masked_fraction.to_le_bytes())?;
     out.write_all(&meta.filter_code.to_le_bytes())?;
     out.write_all(&meta.bank_hash.to_le_bytes())?;
-    out.write_all(&(idx.offsets().len() as u64).to_le_bytes())?;
+    // `num_offsets` counts the first u32 section: the dense offsets array
+    // (4^w + 1 slots) or the sparse populated-codes list (k entries).
+    let first_section = match rows {
+        RowIndex::Dense { offsets } => offsets.len(),
+        RowIndex::Sparse { codes, .. } => codes.len(),
+    };
+    out.write_all(&(first_section as u64).to_le_bytes())?;
     out.write_all(&(idx.positions().len() as u64).to_le_bytes())?;
     let words = idx.indexed_words();
     out.write_all(&(words.len() as u64).to_le_bytes())?;
     debug_assert_eq!(out.written, HEADER_BYTES);
-    write_padding(&mut out)?;
-    write_u32_section(&mut out, idx.offsets())?;
+    match rows {
+        RowIndex::Dense { offsets } => {
+            write_padding(&mut out)?;
+            write_u32_section(&mut out, offsets)?;
+        }
+        RowIndex::Sparse {
+            codes,
+            row_offsets,
+            slots,
+        } => {
+            write_padding(&mut out)?;
+            write_u32_section(&mut out, codes)?;
+            write_padding(&mut out)?;
+            write_u32_section(&mut out, row_offsets)?;
+            write_padding(&mut out)?;
+            write_u32_section(&mut out, slots)?;
+        }
+    }
     write_padding(&mut out)?;
     write_u32_section(&mut out, idx.positions())?;
     write_padding(&mut out)?;
@@ -361,6 +418,7 @@ struct Header {
     w: usize,
     stride: usize,
     fully_indexed: bool,
+    sparse: bool,
     bank_len: usize,
     meta: IndexMeta,
     num_offsets: u64,
@@ -369,20 +427,41 @@ struct Header {
 }
 
 impl Header {
-    /// File offset of the offsets section.
-    fn offsets_at(&self) -> u64 {
-        HEADER_BYTES + padding_for(HEADER_BYTES)
+    /// Element counts of the consecutive u32 sections, in file order:
+    /// dense `[offsets, positions]`, sparse
+    /// `[codes, row_offsets, slots, positions]` (the slot count is
+    /// derived from `k`, never trusted from the file).
+    fn u32_counts(&self) -> Vec<u64> {
+        if self.sparse {
+            let k = self.num_offsets;
+            vec![
+                k,
+                k + 1,
+                sparse_slot_count(k as usize) as u64,
+                self.num_positions,
+            ]
+        } else {
+            vec![self.num_offsets, self.num_positions]
+        }
     }
 
-    /// File offset of the positions section.
-    fn positions_at(&self) -> u64 {
-        let end = self.offsets_at() + 4 * self.num_offsets;
-        end + padding_for(end)
+    /// `(file offset, element count)` of every u32 section, each aligned
+    /// to [`SECTION_ALIGN`] with zero padding before it.
+    fn u32_sections(&self) -> Vec<(u64, u64)> {
+        let mut at = HEADER_BYTES;
+        let mut out = Vec::new();
+        for count in self.u32_counts() {
+            at += padding_for(at);
+            out.push((at, count));
+            at += 4 * count;
+        }
+        out
     }
 
     /// File offset of the bit-set section.
     fn bitset_at(&self) -> u64 {
-        let end = self.positions_at() + 4 * self.num_positions;
+        let (at, count) = *self.u32_sections().last().expect("at least one section");
+        let end = at + 4 * count;
         end + padding_for(end)
     }
 
@@ -414,12 +493,13 @@ fn read_header(r: &mut impl Read) -> Result<Header, PersistError> {
         return Err(PersistError::Corrupt("stride must be at least 1".into()));
     }
     let flags = read_u32(r)?;
-    if flags & !1 != 0 {
+    if flags & !(FLAG_FULLY_INDEXED | FLAG_SPARSE) != 0 {
         return Err(PersistError::Corrupt(format!(
             "reserved flag bits set ({flags:#x})"
         )));
     }
-    let fully_indexed = flags & 1 != 0;
+    let fully_indexed = flags & FLAG_FULLY_INDEXED != 0;
+    let sparse = flags & FLAG_SPARSE != 0;
     let bank_len = read_u64(r)?;
     if bank_len >= u32::MAX as u64 {
         return Err(PersistError::Corrupt(format!(
@@ -437,17 +517,34 @@ fn read_header(r: &mut impl Read) -> Result<Header, PersistError> {
     let bank_hash = read_u64(r)?;
 
     let num_offsets = read_u64(r)?;
-    let expected_offsets = (1u64 << (2 * w)) + 1;
-    if num_offsets != expected_offsets {
-        return Err(PersistError::Corrupt(format!(
-            "offsets section has {num_offsets} slots, expected 4^{w} + 1 = {expected_offsets}"
-        )));
-    }
     let num_positions = read_u64(r)?;
     if num_positions > bank_len as u64 {
         return Err(PersistError::Corrupt(format!(
             "{num_positions} postings for a bank of {bank_len} positions"
         )));
+    }
+    if sparse {
+        // `num_offsets` is k, the populated-code count: every listed code
+        // owns at least one posting, and codes are distinct. Both bounds
+        // are header-level so a lying count can never size a huge
+        // allocation (k ≤ postings ≤ bank_len < u32::MAX).
+        if num_offsets > num_positions {
+            return Err(PersistError::Corrupt(format!(
+                "{num_offsets} populated codes for {num_positions} postings"
+            )));
+        }
+        if num_offsets > 1u64 << (2 * w) {
+            return Err(PersistError::Corrupt(format!(
+                "{num_offsets} populated codes exceed the 4^{w} code space"
+            )));
+        }
+    } else {
+        let expected_offsets = (1u64 << (2 * w)) + 1;
+        if num_offsets != expected_offsets {
+            return Err(PersistError::Corrupt(format!(
+                "offsets section has {num_offsets} slots, expected 4^{w} + 1 = {expected_offsets}"
+            )));
+        }
     }
     let num_words = read_u64(r)?;
     if num_words != bank_len.div_ceil(64) as u64 {
@@ -460,6 +557,7 @@ fn read_header(r: &mut impl Read) -> Result<Header, PersistError> {
         w,
         stride,
         fully_indexed,
+        sparse,
         bank_len,
         meta: IndexMeta {
             masked_fraction,
@@ -495,10 +593,36 @@ pub fn read_index(r: &mut impl Read) -> Result<(BankIndex, IndexMeta), PersistEr
     let r = &mut hashing;
     let h = read_header(r)?;
 
-    read_padding(r)?;
-    let offsets = read_section::<4, u32>(r, h.num_offsets as usize, u32::from_le_bytes)?;
-    read_padding(r)?;
-    let positions = read_section::<4, u32>(r, h.num_positions as usize, u32::from_le_bytes)?;
+    let (rows, positions) = if h.sparse {
+        let k = h.num_offsets as usize;
+        read_padding(r)?;
+        let codes = read_section::<4, u32>(r, k, u32::from_le_bytes)?;
+        read_padding(r)?;
+        let row_offsets = read_section::<4, u32>(r, k + 1, u32::from_le_bytes)?;
+        read_padding(r)?;
+        let slots = read_section::<4, u32>(r, sparse_slot_count(k), u32::from_le_bytes)?;
+        read_padding(r)?;
+        let positions = read_section::<4, u32>(r, h.num_positions as usize, u32::from_le_bytes)?;
+        (
+            RowIndex::Sparse {
+                codes: codes.into(),
+                row_offsets: row_offsets.into(),
+                slots: slots.into(),
+            },
+            positions,
+        )
+    } else {
+        read_padding(r)?;
+        let offsets = read_section::<4, u32>(r, h.num_offsets as usize, u32::from_le_bytes)?;
+        read_padding(r)?;
+        let positions = read_section::<4, u32>(r, h.num_positions as usize, u32::from_le_bytes)?;
+        (
+            RowIndex::Dense {
+                offsets: offsets.into(),
+            },
+            positions,
+        )
+    };
     read_padding(r)?;
     let words = read_section::<8, u64>(r, h.num_words as usize, u64::from_le_bytes)?;
     let indexed = MaskSet::from_raw_words(words, h.bank_len)
@@ -518,7 +642,7 @@ pub fn read_index(r: &mut impl Read) -> Result<(BankIndex, IndexMeta), PersistEr
     let index = BankIndex::from_raw_parts(
         h.w,
         h.stride,
-        offsets.into(),
+        rows,
         positions.into(),
         indexed,
         h.fully_indexed,
@@ -560,21 +684,43 @@ pub(crate) fn index_from_mapping(
             "checksum mismatch (stored {stored:#018x}, computed {computed:#018x})"
         )));
     }
-    for range in [
-        h.offsets_at() - padding_for(HEADER_BYTES)..h.offsets_at(),
-        h.positions_at() - padding_for(h.offsets_at() + 4 * h.num_offsets)..h.positions_at(),
-        h.bitset_at() - padding_for(h.positions_at() + 4 * h.num_positions)..h.bitset_at(),
-    ] {
-        if bytes[range.start as usize..range.end as usize]
+    // Padding runs must be zero — identical to the streaming reader's
+    // `read_padding` checks. Walk every gap between consecutive sections
+    // (and before the bit-set).
+    let sections = h.u32_sections();
+    let mut prev_end = HEADER_BYTES;
+    for &(at, count) in &sections {
+        if bytes[prev_end as usize..at as usize]
             .iter()
             .any(|&b| b != 0)
         {
             return Err(PersistError::Corrupt("non-zero section padding".into()));
         }
+        prev_end = at + 4 * count;
+    }
+    if bytes[prev_end as usize..h.bitset_at() as usize]
+        .iter()
+        .any(|&b| b != 0)
+    {
+        return Err(PersistError::Corrupt("non-zero section padding".into()));
     }
 
-    let offsets = mapped_u32_section(map, h.offsets_at() as usize, h.num_offsets as usize);
-    let positions = mapped_u32_section(map, h.positions_at() as usize, h.num_positions as usize);
+    let mapped = |i: usize| {
+        let (at, count) = sections[i];
+        mapped_u32_section(map, at as usize, count as usize)
+    };
+    let (rows, positions) = if h.sparse {
+        (
+            RowIndex::Sparse {
+                codes: mapped(0),
+                row_offsets: mapped(1),
+                slots: mapped(2),
+            },
+            mapped(3),
+        )
+    } else {
+        (RowIndex::Dense { offsets: mapped(0) }, mapped(1))
+    };
     let word_bytes = &bytes[h.bitset_at() as usize..(h.bitset_at() + 8 * h.num_words) as usize];
     let words: Vec<u64> = word_bytes
         .chunks_exact(8)
@@ -586,7 +732,7 @@ pub(crate) fn index_from_mapping(
     let index = BankIndex::from_raw_parts(
         h.w,
         h.stride,
-        offsets,
+        rows,
         positions,
         indexed,
         h.fully_indexed,
@@ -643,7 +789,7 @@ pub fn read_index_file(path: impl AsRef<Path>) -> Result<(BankIndex, IndexMeta),
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::structure::{BuildStrategy, IndexConfig};
+    use crate::structure::{BuildStrategy, IndexBackend, IndexConfig};
     use oris_seqio::{Bank, BankBuilder};
     use proptest::prelude::*;
 
@@ -672,12 +818,16 @@ mod tests {
     fn assert_same_index(a: &BankIndex, b: &BankIndex) {
         assert_eq!(a.w(), b.w());
         assert_eq!(a.stride(), b.stride());
-        assert_eq!(a.offsets(), b.offsets());
+        assert_eq!(a.backend(), b.backend());
+        assert_eq!(a.dense_offsets(), b.dense_offsets());
         assert_eq!(a.positions(), b.positions());
         assert_eq!(a.indexed_words(), b.indexed_words());
         assert_eq!(a.is_fully_indexed(), b.is_fully_indexed());
         assert_eq!(a.bank_len(), b.bank_len());
         assert_eq!(a.stats(), b.stats());
+        for code in 0..a.coder().num_seeds() as u32 {
+            assert_eq!(a.occurrences(code), b.occurrences(code));
+        }
     }
 
     #[test]
@@ -703,7 +853,10 @@ mod tests {
         for (w, seqs) in [(3usize, vec!["ACGTACG"]), (4, vec!["ACGTACGTTTGG", "CC"])] {
             let refs: Vec<&str> = seqs.to_vec();
             let bank = bank_of(&refs);
-            let idx = BankIndex::build(&bank, IndexConfig::full(w));
+            let idx = BankIndex::build(
+                &bank,
+                IndexConfig::full(w).with_backend(IndexBackend::Dense),
+            );
             let bytes = to_bytes(&idx, &IndexMeta::default());
             let num_offsets = (1u64 << (2 * w)) + 1;
             let offsets_at = 80u64; // header 76 + 4 padding
@@ -894,33 +1047,186 @@ mod tests {
         ));
     }
 
+    fn sparse_idx(bank: &Bank, w: usize) -> BankIndex {
+        BankIndex::build(
+            bank,
+            IndexConfig::full(w).with_backend(IndexBackend::Sparse),
+        )
+    }
+
+    /// Header field offsets (see the module docs): num_offsets lives at
+    /// bytes 52..60 and holds `k` for a sparse file.
+    fn stored_k(bytes: &[u8]) -> usize {
+        u64::from_le_bytes(bytes[52..60].try_into().unwrap()) as usize
+    }
+
+    /// File offsets of the sparse u32 sections
+    /// (codes, row_offsets, slots, positions).
+    fn sparse_section_offsets(k: usize) -> (usize, usize, usize, usize) {
+        let align = |at: usize| at + (8 - at % 8) % 8;
+        let codes_at = align(76);
+        let row_at = align(codes_at + 4 * k);
+        let slots_at = align(row_at + 4 * (k + 1));
+        let pos_at = align(slots_at + 4 * sparse_slot_count(k));
+        (codes_at, row_at, slots_at, pos_at)
+    }
+
+    #[test]
+    fn sparse_roundtrip_and_header_shape() {
+        let bank = bank_of(&["ACGTACGTTTGGCCAAACGTNACGT", "TTGGCCAA"]);
+        let idx = sparse_idx(&bank, 4);
+        let meta = IndexMeta {
+            masked_fraction: 0.0,
+            filter_code: 1,
+            bank_hash: fnv1a(bank.data()),
+        };
+        let bytes = to_bytes(&idx, &meta);
+        // flags carries the sparse bit, num_offsets carries k.
+        let flags = u32::from_le_bytes(bytes[20..24].try_into().unwrap());
+        assert_ne!(flags & 2, 0, "sparse flag must be set");
+        assert_eq!(stored_k(&bytes), idx.distinct_codes());
+        let (loaded, lmeta) = read_index(&mut bytes.as_slice()).unwrap();
+        assert_same_index(&idx, &loaded);
+        assert_eq!(loaded.backend(), IndexBackend::Sparse);
+        assert_eq!(meta, lmeta);
+    }
+
+    #[test]
+    fn dense_bytes_are_unchanged_by_the_backend_flag() {
+        // A dense file must be bit-for-bit what the pre-sparse format
+        // wrote: flags bit 1 clear, num_offsets = 4^w + 1, sections in
+        // the original order — old files keep loading, new dense files
+        // keep being readable by the old layout's expectations.
+        let bank = bank_of(&["ACGTACGTTTGGCCAA"]);
+        let idx = BankIndex::build(
+            &bank,
+            IndexConfig::full(3).with_backend(IndexBackend::Dense),
+        );
+        let bytes = to_bytes(&idx, &IndexMeta::default());
+        let flags = u32::from_le_bytes(bytes[20..24].try_into().unwrap());
+        assert_eq!(flags & !1, 0, "dense files use no new flag bits");
+        assert_eq!(stored_k(&bytes), (1 << 6) + 1);
+    }
+
+    #[test]
+    fn sparse_every_truncation_errors() {
+        let bank = bank_of(&["ACGTACGTACGTTTGG"]);
+        let idx = sparse_idx(&bank, 3);
+        let bytes = to_bytes(&idx, &IndexMeta::default());
+        for cut in 0..bytes.len() {
+            let err = read_index(&mut &bytes[..cut]);
+            assert!(err.is_err(), "prefix of {cut} bytes must not parse");
+        }
+    }
+
+    #[test]
+    fn sparse_payload_bit_flip_is_caught_by_checksum() {
+        let bank = bank_of(&["ACGTACGTACGTTTGGCCAA"]);
+        let idx = sparse_idx(&bank, 4);
+        let clean = to_bytes(&idx, &IndexMeta::default());
+        // Flip one bit at every offset: the checksum (or a structural /
+        // header check) must reject each mutant outright.
+        for at in 0..clean.len() - 8 {
+            let mut tainted = clean.clone();
+            tainted[at] ^= 0x10;
+            assert!(
+                read_index(&mut tainted.as_slice()).is_err(),
+                "bit flip at {at} must not parse"
+            );
+        }
+    }
+
+    #[test]
+    fn sparse_slot_table_corruption_is_structural() {
+        // Corrupt the slot table and RESTAMP the checksum: the
+        // rebuild-and-compare validation must still reject the file —
+        // this is what guarantees probe termination on hostile input.
+        let bank = bank_of(&["ACGTACGTACGTTTGGCCAA"]);
+        let idx = sparse_idx(&bank, 4);
+        let bytes = to_bytes(&idx, &IndexMeta::default());
+        let k = stored_k(&bytes);
+        assert!(k >= 2, "test bank must populate at least two codes");
+        let (_, _, slots_at, _) = sparse_section_offsets(k);
+        // Point every slot at row 0: lookups would mis-resolve (or loop,
+        // were the table not validated).
+        let mut tainted = bytes.clone();
+        for s in (slots_at..slots_at + 4 * sparse_slot_count(k)).step_by(4) {
+            tainted[s..s + 4].copy_from_slice(&0u32.to_le_bytes());
+        }
+        restamp_checksum(&mut tainted);
+        assert!(matches!(
+            read_index(&mut tainted.as_slice()),
+            Err(PersistError::Corrupt(_))
+        ));
+        // Descending codes with a restamped checksum are structural too.
+        let mut swapped = bytes.clone();
+        let (codes_at, ..) = sparse_section_offsets(k);
+        let (a, b) = (codes_at, codes_at + 4);
+        let first: [u8; 4] = swapped[a..a + 4].try_into().unwrap();
+        let second: [u8; 4] = swapped[b..b + 4].try_into().unwrap();
+        swapped[a..a + 4].copy_from_slice(&second);
+        swapped[b..b + 4].copy_from_slice(&first);
+        restamp_checksum(&mut swapped);
+        assert!(matches!(
+            read_index(&mut swapped.as_slice()),
+            Err(PersistError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn sparse_sections_are_eight_byte_aligned() {
+        let bank = bank_of(&["ACGTACGTTTGG", "CC"]);
+        let idx = sparse_idx(&bank, 4);
+        let bytes = to_bytes(&idx, &IndexMeta::default());
+        let k = stored_k(&bytes);
+        let (codes_at, row_at, slots_at, pos_at) = sparse_section_offsets(k);
+        for at in [codes_at, row_at, slots_at, pos_at] {
+            assert_eq!(at % 8, 0);
+        }
+        // row_offsets[0] is 0 (row 0 starts at postings 0).
+        assert_eq!(&bytes[row_at..row_at + 4], &[0, 0, 0, 0]);
+        // File size agrees with the layout walk.
+        let bit_at = {
+            let end = pos_at + 4 * idx.indexed_positions();
+            end + (8 - end % 8) % 8
+        };
+        let words = bank.data().len().div_ceil(64);
+        assert_eq!(bytes.len(), bit_at + 8 * words + 8);
+    }
+
     proptest! {
         /// Serialize → deserialize round-trips to an identical index for
-        /// random banks, seed lengths, strides and masks — `occurrences()`
-        /// slices, `stats()` and `is_fully_indexed` all agree — and both
-        /// build strategies persist identically.
+        /// random banks, seed lengths, strides, masks and backends —
+        /// `occurrences()` slices, `stats()` and `is_fully_indexed` all
+        /// agree — and (dense) both build strategies persist identically.
         #[test]
         fn roundtrip_preserves_everything(
             seqs in proptest::collection::vec("[ACGTN]{0,60}", 1..4),
             w in 2usize..7,
             stride in 1usize..3,
             mask_mod in 1usize..9,
+            sparse_sel in 0usize..2,
         ) {
             let refs: Vec<&str> = seqs.iter().map(|s| s.as_str()).collect();
             let bank = bank_of(&refs);
-            let cfg = IndexConfig { w, stride };
+            let sparse = sparse_sel == 1;
+            let backend = if sparse { IndexBackend::Sparse } else { IndexBackend::Dense };
+            let cfg = IndexConfig { stride, ..IndexConfig::full(w) }.with_backend(backend);
             // mask_mod == 1 masks nothing (p % 1 == 0 would mask all);
             // use it as the unmasked case.
             let masked = |p: usize| mask_mod > 1 && p.is_multiple_of(mask_mod);
             let idx = BankIndex::build_filtered(&bank, cfg, masked);
-            let sweep = BankIndex::build_filtered_with(
-                &bank, cfg, masked, BuildStrategy::FullSweep,
-            );
             let meta = IndexMeta { masked_fraction: 0.5, filter_code: 3, bank_hash: 7 };
 
             let bytes = to_bytes(&idx, &meta);
-            prop_assert_eq!(&bytes, &to_bytes(&sweep, &meta));
+            if !sparse {
+                let sweep = BankIndex::build_filtered_with(
+                    &bank, cfg, masked, BuildStrategy::FullSweep,
+                );
+                prop_assert_eq!(&bytes, &to_bytes(&sweep, &meta));
+            }
             let (loaded, lmeta) = read_index(&mut bytes.as_slice()).unwrap();
+            prop_assert_eq!(loaded.backend(), backend);
             prop_assert_eq!(lmeta, meta);
             prop_assert_eq!(loaded.is_fully_indexed(), idx.is_fully_indexed());
             prop_assert_eq!(loaded.stats(), idx.stats());

@@ -1,4 +1,5 @@
-//! The bank index — Figure 2 of the paper, flattened to a CSR layout.
+//! The bank index — Figure 2 of the paper, flattened to a CSR layout,
+//! with a sparse hashed backend for banks that populate few seed codes.
 //!
 //! The paper draws the occurrence index as a linked structure: a seed
 //! dictionary `dict[4^W]` pointing at the first occurrence of each seed,
@@ -8,34 +9,65 @@
 //! dependent, unpredictable load across a `4·len(SEQ)`-byte array.
 //!
 //! This module stores the same information as a **compressed sparse row**
-//! (CSR) inverted index instead:
+//! (CSR) inverted index. The postings array is common to both backends:
 //!
-//! * `offsets[4^W + 1]` — row boundaries: the occurrences of seed `code`
-//!   are `positions[offsets[code] .. offsets[code + 1]]`;
 //! * `positions[indexed_positions]` — every occurrence, grouped by seed
-//!   code and in **ascending position order** within each group.
+//!   code in ascending code order and in **ascending position order**
+//!   within each group.
+//!
+//! What differs is how a seed code finds its row ([`RowIndex`]):
+//!
+//! * **Dense** — `offsets[4^W + 1]` row boundaries: the occurrences of
+//!   seed `code` are `positions[offsets[code] .. offsets[code + 1]]`.
+//!   O(1) lookup, but the offsets array costs `4·(4^W + 1)` bytes no
+//!   matter how small the bank is — 16.8 MB at W = 11.
+//! * **Sparse** — only the *populated* codes are materialized: an
+//!   ascending `codes[k]` array, `row_offsets[k + 1]` row boundaries, and
+//!   an open-addressed `slots[≈2k]` hash table mapping a code to its row
+//!   by Fibonacci hashing with linear probing. Lookup is O(1) expected,
+//!   and memory is `∝ distinct codes`, independent of `4^W`.
+//!
+//! [`IndexBackend::Auto`] (the default) picks per build: dense when the
+//! code space is comparably sized to the postings (`4^W ≤ 4·postings`,
+//! i.e. at least ~¼ of the offsets slots could be populated), sparse
+//! otherwise. Both backends order the postings identically, so every
+//! downstream consumer — step 2's ordered enumeration, the guards, the
+//! sinks — sees byte-identical occurrence slices; backend choice is a
+//! memory/speed trade, never a results change (pinned by proptests here
+//! and at the engine and db layers).
 //!
 //! The build is a counting sort: one rolling scan collects the
-//! `(position, code)` pairs, a count/prefix-sum pass sizes the rows, and a
-//! forward scatter fills them. Because the scan visits positions left to
-//! right, each row comes out sorted without a comparison sort —
-//! `occurrences(code)` hands step 2 a contiguous, ascending `&[u32]` slice,
-//! so the ordered enumeration streams through memory instead of chasing
-//! pointers, `count` is O(1) arithmetic, and `stats` needs no chain walks.
+//! `(position, code)` pairs, then either a count/prefix-sum/scatter pass
+//! over the code space (dense) or a stable sort by code (sparse). Because
+//! the scan visits positions left to right, each row comes out sorted
+//! without per-row comparison sorting — `occurrences(code)` hands step 2 a
+//! contiguous, ascending `&[u32]` slice, `count` is O(1), and `stats`
+//! needs no chain walks.
 //!
 //! Memory model (heap bytes on top of the 1-byte-per-residue `SEQ` array):
 //!
 //! ```text
-//! ≈ 4·(4^W + 1)          offsets
-//! + 4·indexed_positions  postings
-//! + len(SEQ)/8           indexed-occurrence bit-set
+//! dense:   ≈ 4·(4^W + 1)          offsets
+//!          + 4·indexed_positions  postings
+//!          + len(SEQ)/8           indexed-occurrence bit-set
+//!
+//! sparse:  ≈ 4·k                  populated codes        (k = distinct codes)
+//!          + 4·(k + 1)            row offsets
+//!          + 4·2k                 open-addressed slot table
+//!          + 4·indexed_positions  postings
+//!          + len(SEQ)/8           indexed-occurrence bit-set
 //! ```
+//!
+//! Since `k ≤ indexed_positions`, the sparse backend is bounded by
+//! `≈ 16·indexed_positions` bytes however large `W` gets — this is what
+//! retires the "benches must run at W = 9" workaround: a small query bank
+//! at W = 11 no longer pays a 16.8 MB offsets array per transient index.
 //!
 //! The linked layout cost `4·len(SEQ)` for `next` no matter how many
 //! windows were actually indexed; the CSR postings cost `4·indexed_positions`,
-//! so low-complexity masking and the asymmetric stride (section 3.4) now
+//! so low-complexity masking and the asymmetric stride (section 3.4)
 //! shrink the index itself, not just the bit-set. For a fully indexed bank
-//! (`indexed_positions ≈ len(SEQ)`) both layouts match the paper's
+//! (`indexed_positions ≈ len(SEQ)`) the dense layout matches the paper's
 //! "approximately 5·N bytes" figure.
 //!
 //! The one-bit-per-position `indexed` set is retained for the ORIS order
@@ -66,12 +98,36 @@
 //! selects the probe-free `OrderedFull` guard instead — the fast path for
 //! the common unmasked full-stride case.
 
+use std::ops::Range;
+
 use oris_seqio::Bank;
 use rayon::prelude::*;
 
 use crate::mask::MaskSet;
 use crate::section::Section;
 use crate::seedcode::{RollingCoder, SeedCoder, MAX_SEED_LEN};
+
+/// Which row-lookup structure backs the index.
+///
+/// Backend choice never changes results: the postings array (and thus
+/// every `occurrences` slice, every HSP, every output byte) is identical
+/// under either backend. It only trades memory against lookup cost:
+/// dense pays `4·(4^W + 1)` bytes for O(1) array indexing; sparse pays
+/// `∝ distinct codes` for O(1)-expected hashed lookup.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum IndexBackend {
+    /// Always build the dense `offsets[4^W + 1]` CSR — the large-bank
+    /// fast path.
+    Dense,
+    /// Always build the compact populated-codes table — the small-bank /
+    /// large-W memory saver.
+    Sparse,
+    /// Decide per build from the observed density: dense when
+    /// `4^W ≤ 4·indexed_positions` (at least ~¼ of the code space could
+    /// be populated, since distinct codes ≤ postings), sparse otherwise.
+    #[default]
+    Auto,
+}
 
 /// Options controlling index construction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -84,23 +140,41 @@ pub struct IndexConfig {
     /// sampled on one bank only, all 11-nt seed matches are still anchored
     /// while the index halves in size (section 3.4).
     pub stride: usize,
+    /// Row-lookup backend policy (see [`IndexBackend`]).
+    pub backend: IndexBackend,
 }
 
 impl IndexConfig {
     /// Full indexing with seed length `w` (the common case).
     pub fn full(w: usize) -> IndexConfig {
-        IndexConfig { w, stride: 1 }
+        IndexConfig {
+            w,
+            stride: 1,
+            backend: IndexBackend::Auto,
+        }
     }
 
     /// Asymmetric (half-sampled) indexing with seed length `w`.
     pub fn asymmetric(w: usize) -> IndexConfig {
-        IndexConfig { w, stride: 2 }
+        IndexConfig {
+            w,
+            stride: 2,
+            backend: IndexBackend::Auto,
+        }
+    }
+
+    /// Same config with an explicit backend policy.
+    pub fn with_backend(mut self, backend: IndexBackend) -> IndexConfig {
+        self.backend = backend;
+        self
     }
 }
 
 /// How the CSR arrays are assembled from the rolling scan's
 /// `(position, code)` pairs. Both strategies produce byte-identical
 /// indexes (pinned by a proptest); they differ only in build cost.
+/// The strategy applies to the **dense** backend's offsets assembly; a
+/// sparse build is a single stable sort by code and ignores it.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub enum BuildStrategy {
     /// One counting sort across the entire `4^W` code space: a count
@@ -131,12 +205,98 @@ pub struct IndexStats {
     pub indexed_positions: usize,
     /// Length of the longest occurrence list.
     pub max_chain_len: usize,
-    /// Heap bytes used by `offsets` + `positions` + the indexed bit-set
-    /// (excludes the bank's own array).
+    /// Heap bytes used by the row-lookup arrays + `positions` + the
+    /// indexed bit-set (excludes the bank's own array).
     pub index_bytes: usize,
     /// Heap bytes including the underlying `SEQ` array — the paper's ≈5·N
-    /// figure when the bank is fully indexed.
+    /// figure when the bank is fully indexed (dense backend).
     pub total_bytes: usize,
+}
+
+/// Sentinel for an unoccupied slot in the sparse open-addressed table.
+/// `u32::MAX` can never be a valid row id: rows ≤ distinct codes ≤
+/// postings, and postings are bounded by the bank-length `< u32::MAX`
+/// guard.
+pub(crate) const EMPTY_SLOT: u32 = u32::MAX;
+
+/// Slot-table size for `distinct` populated codes: the next power of two
+/// at or above `2·distinct`, so the table is always at least half empty
+/// (probe chains stay short and every probe sequence terminates at an
+/// empty slot). Zero codes need zero slots.
+pub(crate) fn sparse_slot_count(distinct: usize) -> usize {
+    if distinct == 0 {
+        0
+    } else {
+        (2 * distinct).next_power_of_two()
+    }
+}
+
+/// Fibonacci-hash home slot for `code` in a power-of-two table of
+/// `slots ≥ 2` entries: multiply by 2^32/φ and keep the high bits. Pure
+/// u32 arithmetic — deterministic across platforms and runs.
+#[inline]
+fn fib_slot(code: u32, slots: usize) -> usize {
+    debug_assert!(slots.is_power_of_two() && slots >= 2);
+    // `slots ≥ 2` ⇒ `trailing_zeros ≥ 1` ⇒ the shift is ≤ 31: never UB.
+    (code.wrapping_mul(0x9E37_79B9) >> (32 - slots.trailing_zeros())) as usize
+}
+
+/// Builds the open-addressed code→row table for an ascending list of
+/// distinct codes. Insertion order is the ascending code order, so the
+/// table bytes are a pure function of `codes` — which is what lets the
+/// deserializer validate a stored table by rebuilding and comparing.
+pub(crate) fn build_slot_table(codes: &[u32]) -> Vec<u32> {
+    let s = sparse_slot_count(codes.len());
+    let mut slots = vec![EMPTY_SLOT; s];
+    for (row, &code) in codes.iter().enumerate() {
+        let mut i = fib_slot(code, s);
+        while slots[i] != EMPTY_SLOT {
+            i = (i + 1) & (s - 1);
+        }
+        slots[i] = u32::try_from(row).expect("row ids bounded by the bank-length guard");
+    }
+    slots
+}
+
+/// Looks up the row id of `code` via the slot table. Probes terminate
+/// because a validated table is at least half empty (and matches an exact
+/// rebuild from `codes`, so no corrupt table can reach this loop).
+#[inline]
+fn sparse_row_of(codes: &[u32], slots: &[u32], code: u32) -> Option<usize> {
+    if slots.is_empty() {
+        return None;
+    }
+    let mask = slots.len() - 1;
+    let mut i = fib_slot(code, slots.len());
+    loop {
+        let row = slots[i];
+        if row == EMPTY_SLOT {
+            return None;
+        }
+        if codes[row as usize] == code {
+            return Some(row as usize);
+        }
+        i = (i + 1) & mask;
+    }
+}
+
+/// The row-lookup structure: how a seed code maps to its postings row.
+/// Both variants index the same `positions` array; see the module docs
+/// for the memory model.
+#[derive(Debug, Clone)]
+pub(crate) enum RowIndex {
+    /// Dense CSR row boundaries: occurrences of `code` live at
+    /// `positions[offsets[code] .. offsets[code + 1]]`; `4^W + 1` slots.
+    Dense { offsets: Section<u32> },
+    /// Populated-codes table: `codes[k]` ascending distinct codes,
+    /// `row_offsets[k + 1]` row boundaries (row `r` of `codes[r]` is
+    /// `positions[row_offsets[r] .. row_offsets[r + 1]]`), and an
+    /// open-addressed `slots` table mapping code → row.
+    Sparse {
+        codes: Section<u32>,
+        row_offsets: Section<u32>,
+        slots: Section<u32>,
+    },
 }
 
 /// The occurrence index over one bank, in CSR layout.
@@ -144,12 +304,11 @@ pub struct IndexStats {
 pub struct BankIndex {
     coder: SeedCoder,
     stride: usize,
-    /// Row boundaries: occurrences of `code` live at
-    /// `positions[offsets[code] .. offsets[code + 1]]`. Owned for a fresh
-    /// build; a zero-copy view into the index file for an mmap attach.
-    offsets: Section<u32>,
-    /// All indexed positions, grouped by seed code, ascending within a
-    /// group. Same storage duality as `offsets`.
+    /// Code → postings-row lookup. Owned for a fresh build; zero-copy
+    /// views into the index file for an mmap attach.
+    rows: RowIndex,
+    /// All indexed positions, grouped by seed code in ascending code
+    /// order, ascending within a group. Same storage duality as `rows`.
     positions: Section<u32>,
     /// One bit per bank position: is a seed occurrence anchored here?
     ///
@@ -164,6 +323,10 @@ pub struct BankIndex {
     /// mask predicate. See [`BankIndex::is_fully_indexed`].
     fully_indexed: bool,
     bank_bytes: usize,
+    /// Number of distinct populated codes, cached at build/validation
+    /// time so `distinct_codes()` is O(1) for either backend (step 2
+    /// uses it to pick which index drives the populated-code walk).
+    distinct: usize,
 }
 
 impl BankIndex {
@@ -215,20 +378,54 @@ impl BankIndex {
             indexed.set(pos);
         }
 
-        // Pass 2: counting sort into CSR rows.
-        let (offsets, positions) = match strategy {
-            BuildStrategy::FullSweep => full_sweep_rows(coder.num_seeds(), &pairs),
-            BuildStrategy::RadixPartitioned => radix_rows(cfg.w, coder.num_seeds(), &pairs),
+        // Resolve the Auto policy from the observed density: distinct
+        // codes ≤ postings, so `4^W > 4·postings` means under ¼ of the
+        // offsets slots could possibly be populated — the dense array
+        // would be ≥ 16 bytes per posting of mostly-empty rows.
+        let dense = match cfg.backend {
+            IndexBackend::Dense => true,
+            IndexBackend::Sparse => false,
+            IndexBackend::Auto => coder.num_seeds() <= 4 * pairs.len(),
+        };
+
+        // Pass 2: assemble the rows.
+        let (rows, positions, distinct) = if dense {
+            let (offsets, positions) = match strategy {
+                BuildStrategy::FullSweep => full_sweep_rows(coder.num_seeds(), &pairs),
+                BuildStrategy::RadixPartitioned => radix_rows(cfg.w, coder.num_seeds(), &pairs),
+            };
+            let distinct = offsets.windows(2).filter(|p| p[0] < p[1]).count();
+            (
+                RowIndex::Dense {
+                    offsets: offsets.into(),
+                },
+                positions,
+                distinct,
+            )
+        } else {
+            let (codes, row_offsets, positions) = sparse_rows(pairs);
+            let slots = build_slot_table(&codes);
+            let distinct = codes.len();
+            (
+                RowIndex::Sparse {
+                    codes: codes.into(),
+                    row_offsets: row_offsets.into(),
+                    slots: slots.into(),
+                },
+                positions,
+                distinct,
+            )
         };
 
         BankIndex {
             coder,
             stride: cfg.stride,
-            offsets: offsets.into(),
+            rows,
             positions: positions.into(),
             indexed,
             fully_indexed: cfg.stride == 1 && policy_excluded == 0,
             bank_bytes: data.len(),
+            distinct,
         }
     }
 
@@ -245,7 +442,7 @@ impl BankIndex {
     pub(crate) fn from_raw_parts(
         w: usize,
         stride: usize,
-        offsets: Section<u32>,
+        rows: RowIndex,
         positions: Section<u32>,
         indexed: MaskSet,
         fully_indexed: bool,
@@ -268,26 +465,84 @@ impl BankIndex {
         }
         let coder = SeedCoder::new(w);
         let num_seeds = coder.num_seeds();
-        if offsets.len() != num_seeds + 1 {
-            return Err(format!(
-                "offsets array has {} slots, expected 4^{w} + 1 = {}",
-                offsets.len(),
-                num_seeds + 1
-            ));
-        }
-        if offsets[0] != 0 {
-            return Err("offsets[0] must be 0".into());
-        }
-        if offsets.windows(2).any(|p| p[0] > p[1]) {
-            return Err("offsets are not monotonically non-decreasing".into());
-        }
-        if *offsets.last().unwrap() as usize != positions.len() {
-            return Err(format!(
-                "last offset {} does not match {} positions",
-                offsets.last().unwrap(),
-                positions.len()
-            ));
-        }
+        let distinct = match &rows {
+            RowIndex::Dense { offsets } => {
+                if offsets.len() != num_seeds + 1 {
+                    return Err(format!(
+                        "offsets array has {} slots, expected 4^{w} + 1 = {}",
+                        offsets.len(),
+                        num_seeds + 1
+                    ));
+                }
+                if offsets[0] != 0 {
+                    return Err("offsets[0] must be 0".into());
+                }
+                if offsets.windows(2).any(|p| p[0] > p[1]) {
+                    return Err("offsets are not monotonically non-decreasing".into());
+                }
+                if *offsets.last().unwrap() as usize != positions.len() {
+                    return Err(format!(
+                        "last offset {} does not match {} positions",
+                        offsets.last().unwrap(),
+                        positions.len()
+                    ));
+                }
+                offsets.windows(2).filter(|p| p[0] < p[1]).count()
+            }
+            RowIndex::Sparse {
+                codes,
+                row_offsets,
+                slots,
+            } => {
+                if codes.len() > num_seeds {
+                    return Err(format!(
+                        "{} populated codes exceed the 4^{w} code space",
+                        codes.len()
+                    ));
+                }
+                if codes.windows(2).any(|p| p[0] >= p[1]) {
+                    return Err("populated codes are not strictly ascending".into());
+                }
+                if let Some(&last) = codes.last() {
+                    if last as usize >= num_seeds {
+                        return Err(format!("code {last} outside the 4^{w} code space"));
+                    }
+                }
+                if row_offsets.len() != codes.len() + 1 {
+                    return Err(format!(
+                        "row-offsets array has {} slots, expected {} populated codes + 1",
+                        row_offsets.len(),
+                        codes.len()
+                    ));
+                }
+                if row_offsets[0] != 0 {
+                    return Err("row_offsets[0] must be 0".into());
+                }
+                // Strictly increasing: a listed code owns at least one
+                // posting (the build never materializes an empty row).
+                if row_offsets.windows(2).any(|p| p[0] >= p[1]) {
+                    return Err("row offsets are not strictly increasing".into());
+                }
+                if *row_offsets.last().unwrap() as usize != positions.len() {
+                    return Err(format!(
+                        "last row offset {} does not match {} positions",
+                        row_offsets.last().unwrap(),
+                        positions.len()
+                    ));
+                }
+                // The slot table must be *exactly* the one this code list
+                // produces: rebuild and compare. This is airtight against
+                // arbitrary on-disk bytes — a table that passes cannot
+                // hold out-of-range rows, duplicates, or broken probe
+                // chains, so `sparse_row_of` always terminates and never
+                // indexes out of bounds, even on a hostile mmap'd file.
+                let expected = build_slot_table(codes);
+                if slots.len() != expected.len() || slots.iter().ne(expected.iter()) {
+                    return Err("slot table does not match its code list".into());
+                }
+                codes.len()
+            }
+        };
         if indexed.len() != bank_bytes {
             return Err(format!(
                 "indexed bit-set covers {} positions, bank has {bank_bytes}",
@@ -304,7 +559,11 @@ impl BankIndex {
         // Per-row invariants: strictly ascending positions (step 2 and the
         // uniqueness argument assume the enumeration order), every position
         // inside the bank, every position present in the bit-set.
-        for row in offsets.windows(2) {
+        let boundaries: &[u32] = match &rows {
+            RowIndex::Dense { offsets } => offsets,
+            RowIndex::Sparse { row_offsets, .. } => row_offsets,
+        };
+        for row in boundaries.windows(2) {
             let row = &positions[row[0] as usize..row[1] as usize];
             for pair in row.windows(2) {
                 if pair[0] >= pair[1] {
@@ -323,11 +582,12 @@ impl BankIndex {
         Ok(BankIndex {
             coder,
             stride,
-            offsets,
+            rows,
             positions,
             indexed,
             fully_indexed,
             bank_bytes,
+            distinct,
         })
     }
 
@@ -349,6 +609,17 @@ impl BankIndex {
         self.stride
     }
 
+    /// The resolved row-lookup backend — [`IndexBackend::Dense`] or
+    /// [`IndexBackend::Sparse`], never `Auto` (Auto is resolved at build
+    /// time from the observed density).
+    #[inline]
+    pub fn backend(&self) -> IndexBackend {
+        match self.rows {
+            RowIndex::Dense { .. } => IndexBackend::Dense,
+            RowIndex::Sparse { .. } => IndexBackend::Sparse,
+        }
+    }
+
     /// First occurrence of `code`, or `None` if the seed is absent.
     #[inline]
     pub fn first(&self, code: u32) -> Option<u32> {
@@ -359,26 +630,102 @@ impl BankIndex {
     /// position order.
     #[inline]
     pub fn occurrences(&self, code: u32) -> &[u32] {
-        let lo = self.offsets[code as usize] as usize;
-        let hi = self.offsets[code as usize + 1] as usize;
-        &self.positions[lo..hi]
+        match &self.rows {
+            RowIndex::Dense { offsets } => {
+                let lo = offsets[code as usize] as usize;
+                let hi = offsets[code as usize + 1] as usize;
+                &self.positions[lo..hi]
+            }
+            RowIndex::Sparse {
+                codes,
+                row_offsets,
+                slots,
+            } => match sparse_row_of(codes, slots, code) {
+                Some(row) => {
+                    let lo = row_offsets[row] as usize;
+                    let hi = row_offsets[row + 1] as usize;
+                    &self.positions[lo..hi]
+                }
+                None => &[],
+            },
+        }
     }
 
-    /// Number of occurrences of `code` — O(1) offset arithmetic.
+    /// Number of occurrences of `code` — O(1) offset arithmetic (dense)
+    /// or one hashed lookup (sparse).
     #[inline]
     pub fn count(&self, code: u32) -> usize {
-        (self.offsets[code as usize + 1] - self.offsets[code as usize]) as usize
+        match &self.rows {
+            RowIndex::Dense { offsets } => {
+                (offsets[code as usize + 1] - offsets[code as usize]) as usize
+            }
+            RowIndex::Sparse {
+                codes,
+                row_offsets,
+                slots,
+            } => match sparse_row_of(codes, slots, code) {
+                Some(row) => (row_offsets[row + 1] - row_offsets[row]) as usize,
+                None => 0,
+            },
+        }
     }
 
-    /// The CSR row-boundary array, `4^W + 1` entries: the occurrences of
-    /// seed `code` are `positions()[offsets()[code] .. offsets()[code+1]]`.
-    ///
-    /// Step 2's work-balanced scheduler reads per-code occurrence counts
-    /// straight from here (`offsets[c+1] − offsets[c]`) without touching
-    /// the postings.
+    /// The dense CSR row-boundary array (`4^W + 1` entries), or `None`
+    /// for a sparse-backed index. Prefer [`BankIndex::populated_in`] /
+    /// [`BankIndex::count`] — they are backend-agnostic; this accessor
+    /// exists for persistence and the dense-layout tests.
     #[inline]
-    pub fn offsets(&self) -> &[u32] {
-        &self.offsets
+    pub fn dense_offsets(&self) -> Option<&[u32]> {
+        match &self.rows {
+            RowIndex::Dense { offsets } => Some(offsets),
+            RowIndex::Sparse { .. } => None,
+        }
+    }
+
+    /// Iterates the *populated* codes in `range` in ascending code order,
+    /// yielding `(code, occurrences)` with the occurrences slice exactly
+    /// as [`BankIndex::occurrences`] would return it.
+    ///
+    /// This is the enumeration primitive step 2 schedules and drives on:
+    /// dense skips empty rows while sweeping the range; sparse binary-
+    /// searches the populated-code list for the range bounds and walks
+    /// the rows directly — never touching the `4^W` code space.
+    pub fn populated_in(&self, range: Range<u32>) -> PopulatedRows<'_> {
+        match &self.rows {
+            RowIndex::Dense { offsets } => PopulatedRows::Dense {
+                offsets,
+                positions: &self.positions,
+                next: range.start,
+                end: range
+                    .end
+                    .min(u32::try_from(self.coder.num_seeds()).unwrap_or(u32::MAX)),
+            },
+            RowIndex::Sparse {
+                codes, row_offsets, ..
+            } => {
+                let lo = codes.partition_point(|&c| c < range.start);
+                let hi = codes.partition_point(|&c| c < range.end);
+                PopulatedRows::Sparse {
+                    codes,
+                    row_offsets,
+                    positions: &self.positions,
+                    row: lo,
+                    end_row: hi,
+                }
+            }
+        }
+    }
+
+    /// Iterates every populated code of the index in ascending order.
+    pub fn populated(&self) -> PopulatedRows<'_> {
+        let num = u32::try_from(self.coder.num_seeds()).unwrap_or(u32::MAX);
+        self.populated_in(0..num)
+    }
+
+    /// Number of distinct populated codes — O(1), cached at build time.
+    #[inline]
+    pub fn distinct_codes(&self) -> usize {
+        self.distinct
     }
 
     /// Total indexed positions.
@@ -423,21 +770,20 @@ impl BankIndex {
         self.indexed.words()
     }
 
-    /// Computes occupancy/footprint statistics — pure offset arithmetic,
-    /// no postings traversal.
+    /// Computes occupancy/footprint statistics — pure boundary
+    /// arithmetic, no postings traversal.
     pub fn stats(&self) -> IndexStats {
-        let mut distinct = 0usize;
+        let boundaries: &[u32] = match &self.rows {
+            RowIndex::Dense { offsets } => offsets,
+            RowIndex::Sparse { row_offsets, .. } => row_offsets,
+        };
         let mut max_chain = 0usize;
-        for w in self.offsets.windows(2) {
-            let len = (w[1] - w[0]) as usize;
-            if len > 0 {
-                distinct += 1;
-                max_chain = max_chain.max(len);
-            }
+        for w in boundaries.windows(2) {
+            max_chain = max_chain.max((w[1] - w[0]) as usize);
         }
         let index_bytes = self.heap_bytes();
         IndexStats {
-            distinct_seeds: distinct,
+            distinct_seeds: self.distinct,
             indexed_positions: self.positions.len(),
             max_chain_len: max_chain,
             index_bytes,
@@ -445,24 +791,45 @@ impl BankIndex {
         }
     }
 
-    /// Heap bytes used by the index arrays (row offsets, postings and the
+    /// Heap bytes used by the index arrays (row lookup, postings and the
     /// indexed-position bit vector). For an mmap-backed index the mapped
     /// sections count zero — their bytes live in the shared, evictable
     /// page cache, not this process's heap; only the copied bit-set
     /// remains resident per attach.
     pub fn heap_bytes(&self) -> usize {
-        self.offsets.heap_bytes() + self.positions.heap_bytes() + self.indexed.heap_bytes()
+        let rows = match &self.rows {
+            RowIndex::Dense { offsets } => offsets.heap_bytes(),
+            RowIndex::Sparse {
+                codes,
+                row_offsets,
+                slots,
+            } => codes.heap_bytes() + row_offsets.heap_bytes() + slots.heap_bytes(),
+        };
+        rows + self.positions.heap_bytes() + self.indexed.heap_bytes()
     }
 
-    /// Whether the offsets/postings sections are zero-copy views into a
-    /// memory-mapped index file (see `oris_index::mmap`).
+    /// Whether the row-lookup/postings sections are zero-copy views into
+    /// a memory-mapped index file (see `oris_index::mmap`).
     pub fn is_mmap_backed(&self) -> bool {
-        self.offsets.is_mapped() || self.positions.is_mapped()
+        let rows = match &self.rows {
+            RowIndex::Dense { offsets } => offsets.is_mapped(),
+            RowIndex::Sparse {
+                codes,
+                row_offsets,
+                slots,
+            } => codes.is_mapped() || row_offsets.is_mapped() || slots.is_mapped(),
+        };
+        rows || self.positions.is_mapped()
+    }
+
+    /// The row-lookup structure (persistence needs the raw sections).
+    #[inline]
+    pub(crate) fn rows(&self) -> &RowIndex {
+        &self.rows
     }
 
     /// The full postings array: every indexed position, grouped by seed
-    /// code (row `code` = `positions()[offsets()[code]..offsets()[code+1]]`)
-    /// and ascending within each row.
+    /// code in ascending code order and ascending within each row.
     #[inline]
     pub fn positions(&self) -> &[u32] {
         &self.positions
@@ -474,6 +841,69 @@ impl BankIndex {
     #[inline]
     pub fn bank_len(&self) -> usize {
         self.bank_bytes
+    }
+}
+
+/// Iterator over the populated `(code, occurrences)` rows of a
+/// [`BankIndex`] — see [`BankIndex::populated_in`].
+#[derive(Debug)]
+pub enum PopulatedRows<'a> {
+    #[doc(hidden)]
+    Dense {
+        offsets: &'a [u32],
+        positions: &'a [u32],
+        next: u32,
+        end: u32,
+    },
+    #[doc(hidden)]
+    Sparse {
+        codes: &'a [u32],
+        row_offsets: &'a [u32],
+        positions: &'a [u32],
+        row: usize,
+        end_row: usize,
+    },
+}
+
+impl<'a> Iterator for PopulatedRows<'a> {
+    type Item = (u32, &'a [u32]);
+
+    fn next(&mut self) -> Option<(u32, &'a [u32])> {
+        match self {
+            PopulatedRows::Dense {
+                offsets,
+                positions,
+                next,
+                end,
+            } => {
+                while *next < *end {
+                    let code = *next;
+                    *next += 1;
+                    let lo = offsets[code as usize] as usize;
+                    let hi = offsets[code as usize + 1] as usize;
+                    if hi > lo {
+                        return Some((code, &positions[lo..hi]));
+                    }
+                }
+                None
+            }
+            PopulatedRows::Sparse {
+                codes,
+                row_offsets,
+                positions,
+                row,
+                end_row,
+            } => {
+                if *row >= *end_row {
+                    return None;
+                }
+                let r = *row;
+                *row += 1;
+                let lo = row_offsets[r] as usize;
+                let hi = row_offsets[r + 1] as usize;
+                Some((codes[r], &positions[lo..hi]))
+            }
+        }
     }
 }
 
@@ -507,6 +937,34 @@ fn full_sweep_rows(num_seeds: usize, pairs: &[(u32, u32)]) -> (Vec<u32>, Vec<u32
     offsets.copy_within(0..num_seeds, 1);
     offsets[0] = 0;
     (offsets, positions)
+}
+
+/// Sparse-backend row assembly: a stable sort of the `(position, code)`
+/// pairs by code groups the postings by ascending code while preserving
+/// the scan's ascending position order inside each group — the exact
+/// postings layout the dense scatter produces. One walk then extracts
+/// the distinct codes and their row boundaries. Cost is
+/// `O(postings · log postings)`, independent of `4^W`.
+fn sparse_rows(mut pairs: Vec<(u32, u32)>) -> (Vec<u32>, Vec<u32>, Vec<u32>) {
+    pairs.sort_by_key(|&(_, code)| code);
+    let mut codes: Vec<u32> = Vec::new();
+    let mut row_offsets: Vec<u32> = Vec::new();
+    let mut positions: Vec<u32> = Vec::with_capacity(pairs.len());
+    for &(pos, code) in &pairs {
+        if codes.last() != Some(&code) {
+            codes.push(code);
+            row_offsets.push(
+                u32::try_from(positions.len())
+                    .expect("position count is u32-bounded by the bank-length guard"),
+            );
+        }
+        positions.push(pos);
+    }
+    row_offsets.push(
+        u32::try_from(positions.len())
+            .expect("position count is u32-bounded by the bank-length guard"),
+    );
+    (codes, row_offsets, positions)
 }
 
 /// Number of *bases* of code prefix used as the partition key: up to
@@ -706,18 +1164,33 @@ mod tests {
         assert_eq!(idx.occurrences(code), &[5]);
     }
 
-    /// The CSR footprint model: 4 bytes per offsets slot (4^W + 1), 4
-    /// bytes per *indexed* position, 1 bit per bank position for the
-    /// occurrence set.
+    /// The dense CSR footprint model: 4 bytes per offsets slot (4^W + 1),
+    /// 4 bytes per *indexed* position, 1 bit per bank position for the
+    /// occurrence set. The `stats_match_footprint_model_*` tests pin this
+    /// model, so they force [`IndexBackend::Dense`] — Auto would pick
+    /// sparse for these banks at W = 8.
     fn expected_index_bytes(bank: &Bank, w: usize, indexed_positions: usize) -> usize {
         let n = bank.data().len();
         4 * ((1usize << (2 * w)) + 1) + 4 * indexed_positions + n.div_ceil(64) * 8
     }
 
+    /// The sparse footprint model: 4 bytes per populated code, 4·(k+1)
+    /// row offsets, 4 bytes per slot-table entry, postings and bit-set
+    /// as dense.
+    fn expected_sparse_bytes(bank: &Bank, distinct: usize, indexed_positions: usize) -> usize {
+        let n = bank.data().len();
+        4 * distinct
+            + 4 * (distinct + 1)
+            + 4 * sparse_slot_count(distinct)
+            + 4 * indexed_positions
+            + n.div_ceil(64) * 8
+    }
+
     #[test]
     fn stats_match_footprint_model_full() {
         let bank = bank_of(&[&"ACGTTGCA".repeat(2000)]); // 16 kb
-        let idx = BankIndex::build(&bank, IndexConfig::full(8));
+        let cfg = IndexConfig::full(8).with_backend(IndexBackend::Dense);
+        let idx = BankIndex::build(&bank, cfg);
         let stats = idx.stats();
         let n = bank.data().len();
         assert_eq!(
@@ -738,16 +1211,17 @@ mod tests {
     fn stats_match_footprint_model_masked() {
         let bank = bank_of(&[&"ACGTTGCA".repeat(2000)]);
         let n = bank.data().len();
+        let cfg = IndexConfig::full(8).with_backend(IndexBackend::Dense);
         // Mask the first half of the bank: the postings array must shrink
         // by (roughly) the masked windows, unlike the linked layout whose
         // `next` array stayed at 4·N bytes regardless.
-        let idx = BankIndex::build_filtered(&bank, IndexConfig::full(8), |p| p < n / 2);
+        let idx = BankIndex::build_filtered(&bank, cfg, |p| p < n / 2);
         let stats = idx.stats();
         assert_eq!(
             stats.index_bytes,
             expected_index_bytes(&bank, 8, stats.indexed_positions)
         );
-        let full = BankIndex::build(&bank, IndexConfig::full(8)).stats();
+        let full = BankIndex::build(&bank, cfg).stats();
         assert!(stats.indexed_positions * 2 <= full.indexed_positions + 16);
         assert!(stats.index_bytes < full.index_bytes);
     }
@@ -755,7 +1229,8 @@ mod tests {
     #[test]
     fn stats_match_footprint_model_asymmetric() {
         let bank = bank_of(&[&"ACGTTGCA".repeat(2000)]);
-        let idx = BankIndex::build(&bank, IndexConfig::asymmetric(8));
+        let cfg = IndexConfig::asymmetric(8).with_backend(IndexBackend::Dense);
+        let idx = BankIndex::build(&bank, cfg);
         let stats = idx.stats();
         assert_eq!(
             stats.index_bytes,
@@ -763,7 +1238,11 @@ mod tests {
         );
         // Half the windows → half the postings bytes (+offsets/bit-set,
         // which don't depend on the stride).
-        let full = BankIndex::build(&bank, IndexConfig::full(8)).stats();
+        let full = BankIndex::build(
+            &bank,
+            IndexConfig::full(8).with_backend(IndexBackend::Dense),
+        )
+        .stats();
         assert!(stats.indexed_positions * 2 <= full.indexed_positions + 2);
         assert_eq!(
             full.index_bytes - stats.index_bytes,
@@ -772,13 +1251,75 @@ mod tests {
     }
 
     #[test]
+    fn sparse_stats_match_sparse_footprint_model() {
+        let bank = bank_of(&[&"ACGTTGCA".repeat(2000)]);
+        let cfg = IndexConfig::full(8).with_backend(IndexBackend::Sparse);
+        let idx = BankIndex::build(&bank, cfg);
+        assert_eq!(idx.backend(), IndexBackend::Sparse);
+        let stats = idx.stats();
+        assert_eq!(
+            stats.index_bytes,
+            expected_sparse_bytes(&bank, stats.distinct_seeds, stats.indexed_positions)
+        );
+        assert_eq!(stats.distinct_seeds, idx.distinct_codes());
+    }
+
+    #[test]
+    fn sparse_footprint_wins_big_at_w11() {
+        // The acceptance criterion of the backend: at W = 11 on a small
+        // bank, sparse is ≤ 1/10 the dense footprint (dense pays the
+        // 16.8 MB offsets array regardless of bank size).
+        let bank = bank_of(&[&"ACGTTGCAAGGTTCCAATGC".repeat(500)]); // 10 kb
+        let dense = BankIndex::build(
+            &bank,
+            IndexConfig::full(11).with_backend(IndexBackend::Dense),
+        );
+        let sparse = BankIndex::build(
+            &bank,
+            IndexConfig::full(11).with_backend(IndexBackend::Sparse),
+        );
+        let db = dense.stats().index_bytes;
+        let sb = sparse.stats().index_bytes;
+        assert!(
+            sb * 10 <= db,
+            "sparse {sb} bytes not ≤ 1/10 of dense {db} bytes"
+        );
+    }
+
+    #[test]
+    fn auto_picks_sparse_for_small_bank_large_w() {
+        // 10 kb of bank cannot populate more than ~10k of the 4^11 ≈ 4.2M
+        // codes: Auto must choose sparse.
+        let bank = bank_of(&[&"ACGTTGCAAGGTTCCAATGC".repeat(500)]);
+        let idx = BankIndex::build(&bank, IndexConfig::full(11));
+        assert_eq!(idx.backend(), IndexBackend::Sparse);
+    }
+
+    #[test]
+    fn auto_picks_dense_for_dense_code_space() {
+        // 16 kb of bank at W = 4 (256 codes): essentially every code is
+        // populated — Auto must choose dense.
+        let bank = bank_of(&[&"ACGTTGCA".repeat(2000)]);
+        let idx = BankIndex::build(&bank, IndexConfig::full(4));
+        assert_eq!(idx.backend(), IndexBackend::Dense);
+    }
+
+    #[test]
     fn empty_bank_builds() {
         let bank = Bank::empty();
-        let idx = BankIndex::build(&bank, IndexConfig::full(4));
-        assert_eq!(idx.indexed_positions(), 0);
-        assert_eq!(idx.stats().distinct_seeds, 0);
-        // No window was policy-excluded (vacuously): the fast path is safe.
-        assert!(idx.is_fully_indexed());
+        for backend in [
+            IndexBackend::Dense,
+            IndexBackend::Sparse,
+            IndexBackend::Auto,
+        ] {
+            let idx = BankIndex::build(&bank, IndexConfig::full(4).with_backend(backend));
+            assert_eq!(idx.indexed_positions(), 0);
+            assert_eq!(idx.stats().distinct_seeds, 0);
+            assert_eq!(idx.populated().count(), 0);
+            // No window was policy-excluded (vacuously): the fast path is
+            // safe.
+            assert!(idx.is_fully_indexed());
+        }
     }
 
     #[test]
@@ -827,26 +1368,67 @@ mod tests {
     #[test]
     fn offsets_are_monotonic_and_cover_positions() {
         let bank = bank_of(&["ACGTACGTTTGGCCAAACGT"]);
-        let idx = BankIndex::build(&bank, IndexConfig::full(4));
-        let off = idx.offsets();
+        let idx = BankIndex::build(
+            &bank,
+            IndexConfig::full(4).with_backend(IndexBackend::Dense),
+        );
+        let off = idx.dense_offsets().expect("dense build has dense offsets");
         assert_eq!(off.len(), idx.coder().num_seeds() + 1);
         assert_eq!(off[0], 0);
         assert!(off.windows(2).all(|w| w[0] <= w[1]));
         assert_eq!(*off.last().unwrap() as usize, idx.indexed_positions());
     }
 
+    #[test]
+    fn sparse_has_no_dense_offsets() {
+        let bank = bank_of(&["ACGTACGTTTGGCCAAACGT"]);
+        let idx = BankIndex::build(
+            &bank,
+            IndexConfig::full(4).with_backend(IndexBackend::Sparse),
+        );
+        assert!(idx.dense_offsets().is_none());
+        assert_eq!(idx.backend(), IndexBackend::Sparse);
+    }
+
+    #[test]
+    fn populated_in_respects_range_bounds() {
+        let bank = bank_of(&["ACGTACGTTTGGCCAAACGT"]);
+        for backend in [IndexBackend::Dense, IndexBackend::Sparse] {
+            let idx = BankIndex::build(&bank, IndexConfig::full(4).with_backend(backend));
+            let num = idx.coder().num_seeds() as u32;
+            let all: Vec<u32> = idx.populated().map(|(c, _)| c).collect();
+            assert!(all.windows(2).all(|p| p[0] < p[1]), "ascending codes");
+            assert_eq!(all.len(), idx.distinct_codes());
+            // Split the space at an arbitrary boundary: the two halves
+            // must partition the full walk.
+            let mid = num / 3;
+            let lo: Vec<u32> = idx.populated_in(0..mid).map(|(c, _)| c).collect();
+            let hi: Vec<u32> = idx.populated_in(mid..num).map(|(c, _)| c).collect();
+            let glued: Vec<u32> = lo.iter().chain(hi.iter()).copied().collect();
+            assert_eq!(glued, all, "{backend:?}");
+            // Row contents agree with occurrences().
+            for (code, row) in idx.populated() {
+                assert_eq!(row, idx.occurrences(code));
+                assert!(!row.is_empty());
+            }
+        }
+    }
+
     proptest! {
         /// The CSR index reproduces the brute-force occurrence list for
-        /// every seed, in sorted order, for random banks and strides.
+        /// every seed, in sorted order, for random banks and strides —
+        /// under either backend.
         #[test]
         fn index_equals_bruteforce(
             seqs in proptest::collection::vec("[ACGTN]{0,40}", 1..4),
             w in 2usize..6,
             stride in 1usize..3,
+            dense in 0usize..2,
         ) {
             let refs: Vec<&str> = seqs.iter().map(|s| s.as_str()).collect();
             let bank = bank_of(&refs);
-            let cfg = IndexConfig { w, stride };
+            let backend = if dense == 1 { IndexBackend::Dense } else { IndexBackend::Sparse };
+            let cfg = IndexConfig { stride, ..IndexConfig::full(w) }.with_backend(backend);
             let idx = BankIndex::build(&bank, cfg);
             let mut expected = reference_occurrences(&bank, w, stride);
             expected.sort_by_key(|&(_, code)| code);
@@ -866,9 +1448,52 @@ mod tests {
             prop_assert_eq!(got, expected_sorted);
         }
 
+        /// The sparse backend is observationally identical to the dense
+        /// backend: same occurrences slice for every code, same postings
+        /// array, same bit-set, provenance, distinct/max-chain stats and
+        /// populated-row walk — only the footprint differs.
+        #[test]
+        fn sparse_backend_equals_dense(
+            seqs in proptest::collection::vec("[ACGTN]{0,60}", 1..4),
+            w in 2usize..8,
+            stride in 1usize..3,
+            mask_mod in 1usize..9,
+        ) {
+            let refs: Vec<&str> = seqs.iter().map(|s| s.as_str()).collect();
+            let bank = bank_of(&refs);
+            let masked = |p: usize| mask_mod > 1 && p.is_multiple_of(mask_mod);
+            let base = IndexConfig { stride, ..IndexConfig::full(w) };
+            let dense = BankIndex::build_filtered(
+                &bank, base.with_backend(IndexBackend::Dense), masked,
+            );
+            let sparse = BankIndex::build_filtered(
+                &bank, base.with_backend(IndexBackend::Sparse), masked,
+            );
+            prop_assert_eq!(dense.positions(), sparse.positions());
+            prop_assert_eq!(dense.indexed_words(), sparse.indexed_words());
+            prop_assert_eq!(dense.is_fully_indexed(), sparse.is_fully_indexed());
+            prop_assert_eq!(dense.distinct_codes(), sparse.distinct_codes());
+            for code in 0..dense.coder().num_seeds() as u32 {
+                prop_assert_eq!(dense.occurrences(code), sparse.occurrences(code));
+                prop_assert_eq!(dense.count(code), sparse.count(code));
+            }
+            let dw: Vec<(u32, Vec<u32>)> =
+                dense.populated().map(|(c, r)| (c, r.to_vec())).collect();
+            let sw: Vec<(u32, Vec<u32>)> =
+                sparse.populated().map(|(c, r)| (c, r.to_vec())).collect();
+            prop_assert_eq!(dw, sw);
+            let ds = dense.stats();
+            let ss = sparse.stats();
+            prop_assert_eq!(ds.distinct_seeds, ss.distinct_seeds);
+            prop_assert_eq!(ds.indexed_positions, ss.indexed_positions);
+            prop_assert_eq!(ds.max_chain_len, ss.max_chain_len);
+        }
+
         /// The radix-partitioned build and the full-sweep fallback produce
         /// identical indexes — same offsets, postings, bit-set and
         /// provenance — for random banks, widths, strides and masks.
+        /// (Dense-backend property: the strategy only affects the dense
+        /// offsets assembly.)
         #[test]
         fn radix_build_equals_full_sweep(
             seqs in proptest::collection::vec("[ACGTN]{0,60}", 1..4),
@@ -878,7 +1503,8 @@ mod tests {
         ) {
             let refs: Vec<&str> = seqs.iter().map(|s| s.as_str()).collect();
             let bank = bank_of(&refs);
-            let cfg = IndexConfig { w, stride };
+            let cfg = IndexConfig { stride, ..IndexConfig::full(w) }
+                .with_backend(IndexBackend::Dense);
             let masked = |p: usize| mask_mod > 1 && p.is_multiple_of(mask_mod);
             let radix = BankIndex::build_filtered_with(
                 &bank, cfg, masked, BuildStrategy::RadixPartitioned,
@@ -886,7 +1512,7 @@ mod tests {
             let sweep = BankIndex::build_filtered_with(
                 &bank, cfg, masked, BuildStrategy::FullSweep,
             );
-            prop_assert_eq!(radix.offsets(), sweep.offsets());
+            prop_assert_eq!(radix.dense_offsets().unwrap(), sweep.dense_offsets().unwrap());
             prop_assert_eq!(radix.positions(), sweep.positions());
             prop_assert_eq!(radix.indexed_words(), sweep.indexed_words());
             prop_assert_eq!(radix.is_fully_indexed(), sweep.is_fully_indexed());
@@ -900,6 +1526,28 @@ mod tests {
             let idx = BankIndex::build(&bank, IndexConfig::full(w));
             let expected = seq.len().saturating_sub(w - 1);
             prop_assert_eq!(idx.indexed_positions(), expected);
+        }
+
+        /// The slot table round-trips every inserted code and rejects
+        /// absent ones, across random distinct code sets (collision
+        /// probing included).
+        #[test]
+        fn slot_table_lookup_is_exact(
+            raw in proptest::collection::vec(0u32..4096, 0..64),
+        ) {
+            let mut raw = raw;
+            raw.sort_unstable();
+            raw.dedup();
+            let slots = build_slot_table(&raw);
+            prop_assert_eq!(slots.len(), sparse_slot_count(raw.len()));
+            for (row, &code) in raw.iter().enumerate() {
+                prop_assert_eq!(sparse_row_of(&raw, &slots, code), Some(row));
+            }
+            for probe in 0..4096u32 {
+                if raw.binary_search(&probe).is_err() {
+                    prop_assert_eq!(sparse_row_of(&raw, &slots, probe), None);
+                }
+            }
         }
     }
 }

@@ -232,6 +232,73 @@ proptest! {
         std::fs::remove_dir_all(&dir).ok();
     }
 
+    /// The occurrence-index backend is invisible in the output: sessions
+    /// and whole databases built under `Dense`, `Sparse` and `Auto`
+    /// produce byte-identical `-m 8` streams for random banks, strands,
+    /// filters and both attach modes. (The backend is a space/time trade
+    /// inside `oris-index`; nothing downstream may observe it.)
+    #[test]
+    fn index_backend_is_invisible_in_m8_output(
+        seqs in proptest::collection::vec("[ACGT]{30,80}", 2..6),
+        flank in "[ACGT]{5,20}",
+        w in 5usize..8,
+        volume_budget in 40usize..400,
+        flags in 0u8..4,
+    ) {
+        use oris_index::IndexBackend;
+        let (both_strands, masked) = (flags & 1 != 0, flags & 2 != 0);
+        let subject = bank_from(&seqs);
+        let total = subject.num_residues() as u64;
+        let q_seqs: Vec<String> = seqs
+            .iter()
+            .map(|s| format!("{flank}{s}"))
+            .chain([format!("{flank}{}", "A".repeat(30))])
+            .collect();
+        let query = bank_from(&q_seqs);
+        let cfg_with = |backend| OrisConfig {
+            both_strands,
+            filter: if masked { FilterKind::Entropy } else { FilterKind::None },
+            index_backend: backend,
+            ..OrisConfig::small(w)
+        };
+
+        // Session level: all three backends, same rendered bytes.
+        let session_bytes = |backend| {
+            let cfg = OrisConfig {
+                subject_space: SubjectSpace::Database(total),
+                ..cfg_with(backend)
+            };
+            let session = Session::new(&subject, &cfg).unwrap();
+            render(&session.run(&query).alignments)
+        };
+        let expected = session_bytes(IndexBackend::Dense);
+        prop_assert_eq!(&session_bytes(IndexBackend::Sparse), &expected);
+        prop_assert_eq!(&session_bytes(IndexBackend::Auto), &expected);
+
+        // Database level: a dense-built and a sparse-built database give
+        // the same bytes in both attach modes — and a sparse-built
+        // database accepts a dense-configured search session (the
+        // backend is never a compatibility axis).
+        for backend in [IndexBackend::Dense, IndexBackend::Sparse] {
+            let cfg = cfg_with(backend);
+            let dir = scratch();
+            make_db([subject.clone()], &dir, &MakeDbOptions::new(&cfg, volume_budget)).unwrap();
+            let db = Database::open(&dir).unwrap();
+            for attach in [AttachMode::Mmap, AttachMode::HeapCopy] {
+                let search_cfg = cfg_with(IndexBackend::Auto);
+                let mut session = DbSession::new(
+                    &db,
+                    &search_cfg,
+                    DbOptions { attach, ..DbOptions::default() },
+                ).unwrap();
+                let mut stream = StreamWriter::new(Vec::new());
+                session.run_query_into(&query, &mut stream).unwrap();
+                prop_assert_eq!(&stream.into_inner(), &expected);
+            }
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+
     /// An armed (deadline + SkipAndReport through a rule-less injector)
     /// session with no faults is byte-identical to the plain path — the
     /// failure machinery never changes what is computed.

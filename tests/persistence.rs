@@ -58,7 +58,7 @@ proptest! {
         let i1 = oris::index::BankIndex::build_filtered(
             &b1, IndexConfig::full(w), masked,
         );
-        let i2 = oris::index::BankIndex::build(&b2, IndexConfig { w, stride });
+        let i2 = oris::index::BankIndex::build(&b2, IndexConfig { stride, ..IndexConfig::full(w) });
 
         let l1 = roundtrip(&i1);
         let l2 = roundtrip(&i2);
@@ -173,7 +173,7 @@ fn file_level_roundtrip_via_tempdir() {
     oris_index::write_index_file(&path, &idx, &meta).unwrap();
     let (loaded, lmeta) = read_index_file(&path).unwrap();
     assert_eq!(lmeta, meta);
-    assert_eq!(loaded.offsets(), idx.offsets());
+    assert_eq!(loaded.dense_offsets(), idx.dense_offsets());
     assert_eq!(loaded.positions(), idx.positions());
     assert_eq!(
         FilterKind::from_code(lmeta.filter_code),
