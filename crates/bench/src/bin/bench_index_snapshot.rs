@@ -598,6 +598,93 @@ fn main() {
              ({t_deadline_on:.6}s vs {t_deadline_off:.6}s, ratio {deadline_overhead:.4})"
         );
     }
+    // ---- db_serve: concurrent serving (parallel fan-out + result cache)
+    // Volume searches fanned across a scoped worker pool vs the
+    // sequential walk, rep-paired on two fully warmed sessions (the
+    // speedup is recorded, not asserted — this may be a 1-vCPU host,
+    // where the fan-out shows ~1× by construction); then the result
+    // cache: a cold first query (attaches + searches + inserts) vs the
+    // cached repeat, which must be ≥5× faster (a hit replays staged
+    // records instead of searching any volume). Byte-identity of every
+    // variant against the sequential walk is asserted unconditionally.
+    let serve_workers = 4usize;
+    let mut seq_serve = oris_db::DbSession::new(&db, &db_cfg, oris_db::DbOptions::default())
+        .expect("valid db config");
+    let mut par_serve = oris_db::DbSession::new(
+        &db,
+        &db_cfg,
+        oris_db::DbOptions {
+            volume_workers: serve_workers,
+            ..oris_db::DbOptions::default()
+        },
+    )
+    .expect("valid db config");
+    // Warm both attach caches so the pairing measures search alone.
+    let seq_first = seq_serve.run_query(cold_query).expect("seq warm-up");
+    let par_first = par_serve.run_query(cold_query).expect("par warm-up");
+    assert_eq!(
+        seq_first.alignments, par_first.alignments,
+        "parallel fan-out must be byte-identical to the sequential walk"
+    );
+    let run_serve = |session: &mut oris_db::DbSession| {
+        let mut sink = oris_core::CollectSink::new();
+        session
+            .run_batch(&db_queries, &mut sink)
+            .expect("serve batch");
+        sink.into_records().len()
+    };
+    let (t_serve_seq, t_serve_par) = time2(
+        reps.max(3),
+        || std::hint::black_box(run_serve(&mut seq_serve)),
+        || std::hint::black_box(run_serve(&mut par_serve)),
+    );
+    let parallel_speedup = t_serve_seq / t_serve_par.max(1e-9);
+
+    // Result cache: fresh session, cold first query, cached repeats.
+    let mut cached_serve = oris_db::DbSession::new(
+        &db,
+        &db_cfg,
+        oris_db::DbOptions {
+            result_cache_bytes: 64 << 20,
+            ..oris_db::DbOptions::default()
+        },
+    )
+    .expect("valid db config");
+    let t0 = Instant::now();
+    let cache_cold = cached_serve.run_query(cold_query).expect("cold query");
+    let t_cache_cold = t0.elapsed().as_secs_f64();
+    let cache_reps = reps.max(5);
+    let t0 = Instant::now();
+    let mut cache_warm = None;
+    for _ in 0..cache_reps {
+        cache_warm = Some(cached_serve.run_query(cold_query).expect("cached repeat"));
+    }
+    let t_cache_warm = t0.elapsed().as_secs_f64() / cache_reps as f64;
+    assert_eq!(
+        cache_cold.alignments,
+        cache_warm.expect("ran at least once").alignments,
+        "a cache hit must replay byte-identical records"
+    );
+    assert_eq!(
+        cache_cold.alignments, seq_first.alignments,
+        "the cached path must match the cacheless sequential walk"
+    );
+    let serve_counters = cached_serve.result_cache_counters();
+    assert!(
+        serve_counters.hits as usize >= cache_reps * db_volumes,
+        "every repeat must hit on every volume ({serve_counters:?})"
+    );
+    let cached_speedup = t_cache_cold / t_cache_warm.max(1e-9);
+    if !test_mode {
+        assert!(
+            cached_speedup >= 5.0,
+            "cached repeat must be ≥5× over cold \
+             ({t_cache_warm:.6}s vs {t_cache_cold:.6}s, ratio {cached_speedup:.2})"
+        );
+    }
+    let serve_cache_hits = serve_counters.hits;
+    let serve_cache_misses = serve_counters.misses;
+
     let _ = std::fs::remove_dir_all(&db_dir);
     // Locals for the JSON block (all idents, so the giant format string
     // stays positional-argument-free for this section).
@@ -651,6 +738,17 @@ fn main() {
          \"deadline_off_secs\": {t_deadline_off:.6},\n    \
          \"deadline_on_secs\": {t_deadline_on:.6},\n    \
          \"deadline_overhead\": {deadline_overhead:.4},\n    \
+         \"outputs_identical\": true\n  }},\n  \
+         \"db_serve\": {{\n    \"volumes\": {db_volumes},\n    \
+         \"workers\": {serve_workers},\n    \
+         \"sequential_batch_secs\": {t_serve_seq:.6},\n    \
+         \"parallel_batch_secs\": {t_serve_par:.6},\n    \
+         \"parallel_speedup\": {parallel_speedup:.3},\n    \
+         \"cold_query_secs\": {t_cache_cold:.6},\n    \
+         \"cached_query_secs\": {t_cache_warm:.6},\n    \
+         \"cached_speedup\": {cached_speedup:.3},\n    \
+         \"cache_hits\": {serve_cache_hits},\n    \
+         \"cache_misses\": {serve_cache_misses},\n    \
          \"outputs_identical\": true\n  }},\n  \
          \"heap_bytes_est\": {{\n    \"linked_full\": {},\n    \
          \"csr_full\": {},\n    \"csr_asymmetric\": {}\n  }},\n  \

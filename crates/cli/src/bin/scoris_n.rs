@@ -31,6 +31,15 @@
 //!                       postings/offsets) | copy (heap arrays)
 //!       --window N      max volumes attached at once (default 0 = all;
 //!                       1 bounds memory to one volume's working set)
+//!       --workers N     with --db: search volumes in parallel with N
+//!                       worker threads (default 1 = sequential; output
+//!                       is byte-identical for any value; needs an
+//!                       unbounded --window)
+//!       --result-cache MB
+//!                       with --db: memoize completed per-volume results
+//!                       in an LRU bounded to MB megabytes, so repeated
+//!                       queries are served without re-searching
+//!                       (default 0 = off; hits replay identical bytes)
 //!       --dbsize N      subject-side effective search space: price every
 //!                       alignment against N residues instead of the
 //!                       subject sequence's length (BLAST's -z; what a
@@ -69,7 +78,8 @@ fn usage() -> &'static str {
      \t[-f none|entropy|dust] [-t n] [--index-backend dense|sparse|auto]\n\
      \t[--engine oris|blast] [--asymmetric]\n\
      \t[--both-strands] [--index bank2.oidx] [--batch dir-or-multi.fa]\n\
-     \t[--db dir] [--attach mmap|copy] [--window n] [--dbsize n]\n\
+     \t[--db dir] [--attach mmap|copy] [--window n] [--workers n]\n\
+     \t[--result-cache mb] [--dbsize n]\n\
      \t[--deadline ms] [--skip-bad-volumes] [--stats] [-o out.m8]"
 }
 
@@ -324,6 +334,8 @@ fn run() -> Result<(), CliError> {
             "db",
             "attach",
             "window",
+            "workers",
+            "result-cache",
             "dbsize",
             "deadline",
             "out",
@@ -376,7 +388,7 @@ fn run() -> Result<(), CliError> {
             "--db and --index are mutually exclusive (a database carries its own indexes)".into(),
         );
     }
-    for db_only in ["attach", "window", "deadline"] {
+    for db_only in ["attach", "window", "deadline", "workers", "result-cache"] {
         if !db_mode && args.options.contains_key(db_only) {
             // Silently ignoring these would let a mistyped --db flag run
             // the plain two-bank path with none of the requested
@@ -535,6 +547,10 @@ fn run_db(args: &Args, cfg: &OrisConfig, batch_mode: bool) -> Result<(), CliErro
         other => return Err(format!("unknown attach mode {other:?} (mmap | copy)").into()),
     };
     let window: usize = args.get_or("window", 0).map_err(|e| e.to_string())?;
+    // --workers 0 and 1 are both the sequential walk (0 would be a
+    // useless footgun to reject; treat it as "no parallelism").
+    let workers: usize = args.get_or("workers", 1).map_err(|e| e.to_string())?;
+    let result_cache_mb: usize = args.get_or("result-cache", 0).map_err(|e| e.to_string())?;
     // --deadline 0 is legal and expires immediately: a cheap way to
     // check the failure path end to end (and what the e2e tests pin).
     let deadline = match args.options.get("deadline") {
@@ -564,6 +580,8 @@ fn run_db(args: &Args, cfg: &OrisConfig, batch_mode: bool) -> Result<(), CliErro
         window,
         on_volume_error,
         deadline,
+        volume_workers: workers.max(1),
+        result_cache_bytes: result_cache_mb * (1 << 20),
         ..oris_db::DbOptions::default()
     };
     let mut session = oris_db::DbSession::new(&db, cfg, opts).map_err(|e| CliError {
@@ -649,13 +667,19 @@ fn run_db(args: &Args, cfg: &OrisConfig, batch_mode: bool) -> Result<(), CliErro
             oris_eval::SubjectSpace::Database(n) => n,
             oris_eval::SubjectSpace::PerSequence => 0,
         };
+        let cache = session.result_cache_counters();
         eprintln!(
             "engine=oris db={db_dir} volumes={} db_residues={total} queries={queries_run} \
              records={records} attach={attach:?} attaches={attaches} open_secs={open_secs:.3} \
              attach_secs={attach_secs:.3} strand_build_secs={strand_secs:.3} mapped_volumes={mapped} \
+             workers={workers} cache_hits={} cache_misses={} cache_entries={} cache_bytes={} \
              index={:.3}s index_builds={} step2={:.3}s step3={:.3}s step4={:.3}s hsps={} \
              alignments={} pairs={} kept={}",
             db.num_volumes(),
+            cache.hits,
+            cache.misses,
+            cache.entries,
+            cache.bytes,
             per_query.index_secs,
             per_query.index_builds,
             per_query.step2_secs,

@@ -198,6 +198,87 @@ fn db_batch_composes_and_matches_per_query_runs() {
 }
 
 #[test]
+fn workers_and_result_cache_are_invisible_in_output() {
+    // --workers N and --result-cache MB change wall-clock, never bytes:
+    // every variant's stdout equals the plain sequential run, and the
+    // stats line reports the cache doing its job on a repeated query.
+    let dir = scratch("serve");
+    let (subject, query, _) = write_fixture(&dir);
+    let db = build_db(&dir, &subject, 250);
+
+    let plain = scoris_n()
+        .arg(&query)
+        .arg("--db")
+        .arg(&db)
+        .args(["-W", "8"])
+        .output()
+        .unwrap();
+    assert!(
+        plain.status.success(),
+        "{}",
+        String::from_utf8_lossy(&plain.stderr)
+    );
+    assert!(!plain.stdout.is_empty());
+
+    for extra in [
+        &["--workers", "4"][..],
+        &["--result-cache", "8"][..],
+        &["--workers", "2", "--result-cache", "8"][..],
+    ] {
+        let out = scoris_n()
+            .arg(&query)
+            .arg("--db")
+            .arg(&db)
+            .args(["-W", "8"])
+            .args(extra)
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{extra:?}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert_eq!(out.stdout, plain.stdout, "{extra:?} changed output bytes");
+    }
+
+    // A batch repeating the same query twice: the second pass is served
+    // from the cache, visible in the stats line's hit counter.
+    let queries = dir.join("repeat_queries");
+    std::fs::create_dir_all(&queries).unwrap();
+    let q = std::fs::read_to_string(&query).unwrap();
+    std::fs::write(queries.join("a.fa"), &q).unwrap();
+    std::fs::write(queries.join("b.fa"), &q).unwrap();
+    let out = scoris_n()
+        .arg("--batch")
+        .arg(&queries)
+        .arg("--db")
+        .arg(&db)
+        .args([
+            "-W",
+            "8",
+            "--result-cache",
+            "8",
+            "--workers",
+            "2",
+            "--stats",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(!stderr.contains("cache_hits=0 "), "{stderr}");
+    assert!(stderr.contains("workers=2"), "{stderr}");
+    // And the doubled output is exactly the plain output twice.
+    let mut twice = plain.stdout.clone();
+    twice.extend_from_slice(&plain.stdout);
+    assert_eq!(out.stdout, twice);
+}
+
+#[test]
 fn db_argument_validation() {
     let dir = scratch("validation");
     let (subject, query, _) = write_fixture(&dir);
@@ -253,7 +334,12 @@ fn db_argument_validation() {
 
     // --attach / --window without --db would otherwise be silently
     // ignored on the plain two-bank path.
-    for flag in [["--window", "1"], ["--attach", "copy"]] {
+    for flag in [
+        ["--window", "1"],
+        ["--attach", "copy"],
+        ["--workers", "2"],
+        ["--result-cache", "8"],
+    ] {
         let out = scoris_n()
             .arg(&query)
             .arg(&subject)

@@ -70,6 +70,40 @@
 //!   the fsck: manifest checksum, per-volume bank and index content
 //!   hashes, and index structural integrity, reported per volume.
 //!
+//! ## Concurrency and the byte-identity contract
+//!
+//! [`DbOptions::volume_workers`] fans a query's volume searches across a
+//! scoped worker pool. Volumes are independent by construction (each is
+//! its own bank + index; an mmap-attached index is a read-only
+//! `Section<u32>` view shared for free), so the parallel path changes
+//! *when* work happens but never *what* is computed:
+//!
+//! * Each worker stages its volume's records in a private buffer; no
+//!   record reaches the caller's sink until **every** volume completed.
+//! * The staged buffers are merged **in ascending volume order** through
+//!   the single existing `end_query` boundary, whose sort under
+//!   `M8Record::total_order` is a strict total order — so `-m 8` output
+//!   bytes are identical to the sequential walk for **any** worker
+//!   count. The `db_equivalence` proptests quantify over
+//!   `volume_workers ∈ {1, 2, 4}`.
+//! * Attach (and therefore retry/quarantine accounting) stays
+//!   sequential and ahead of the fan-out, so a failing volume produces
+//!   the same [`SearchReport`] under any worker count; deadline checks
+//!   run inside each worker's step-2 loops, expiry stops dispatch of
+//!   remaining volumes, and an expired query leaves the sink untouched
+//!   exactly as in the sequential path. `volume_workers > 1` requires an
+//!   unbounded [`DbOptions::window`] (parallel search needs all volumes
+//!   resident; a bounded window's memory guarantee would be a lie).
+//!
+//! [`DbOptions::result_cache_bytes`] adds a volume-level result cache
+//! ([`ResultCache`]): completed per-volume searches are memoized under
+//! `(query content hash, volume content hash, config fingerprint)` in a
+//! bounded-memory LRU, so a repeated query costs ~0 volume searches.
+//! Hits replay byte-identical records through the same boundary sort;
+//! quarantined volumes are invalidated and never served from the cache;
+//! deadline-aborted queries insert nothing. See the [`cache`] module
+//! docs for the full contract.
+//!
 //! ```no_run
 //! use oris_core::{CollectSink, OrisConfig};
 //! use oris_db::{make_db, Database, DbOptions, DbSession, MakeDbOptions};
@@ -88,6 +122,7 @@
 //! eprintln!("{} records over {} volumes", stats.step4.emitted, db.num_volumes());
 //! ```
 
+pub mod cache;
 pub mod database;
 pub mod error;
 pub mod io;
@@ -96,6 +131,7 @@ pub mod manifest;
 pub mod session;
 pub mod verify;
 
+pub use cache::{CacheCounters, CacheKey, CachedVolume, ResultCache};
 pub use database::{Database, DbError};
 pub use error::{VolumeCause, VolumeError};
 pub use io::{Fault, FaultRule, FaultyIo, RealIo, VolumeIo};

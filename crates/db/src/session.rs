@@ -19,16 +19,26 @@
 //!   [`DbError::DeadlineExceeded`] with the caller's sink untouched and
 //!   the session ready for the next query.
 
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Duration;
 
 use oris_core::{
-    CollectSink, Deadline, OrisConfig, OrisResult, PipelineStats, PreparedBank, RecordSink, Session,
+    CollectSink, Deadline, DeadlineExceeded, OrisConfig, OrisResult, PipelineStats, PreparedBank,
+    RecordSink, Session,
 };
-use oris_eval::SubjectSpace;
+use oris_eval::{M8Record, SubjectSpace};
 use oris_index::AttachMode;
 use oris_seqio::Bank;
 
+use crate::cache::{self, CacheCounters, CacheKey, ResultCache};
 use crate::database::{Database, DbError};
+
+/// One volume's staged search output: its records (arrival order, the
+/// boundary sort happens at `end_query`) and the pipeline stats of the
+/// search that produced them. `None` = nothing staged for that volume
+/// (quarantined, cache-hit, not yet searched, or streamed directly).
+type StagedResult = Option<(Vec<M8Record>, PipelineStats)>;
 
 /// What a [`DbSession`] does when a volume fails to attach.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -70,6 +80,24 @@ pub struct DbOptions {
     /// zero overhead; `Some(budget)` arms a fresh [`Deadline`] for each
     /// query (see [`DbSession::run_query_deadline`] for the guarantees).
     pub deadline: Option<Duration>,
+    /// Worker threads fanning one query's volume searches out in
+    /// parallel. `1` (the default, and any `0`) is the sequential walk;
+    /// `N > 1` spawns `min(N, volumes)` scoped workers that pull volume
+    /// ids from a shared cursor, stage records per volume, and merge in
+    /// ascending volume order — output bytes are identical to the
+    /// sequential walk for any value (see the crate docs' concurrency
+    /// contract). Requires an unbounded [`DbOptions::window`]: parallel
+    /// search needs every volume resident at once, which is exactly what
+    /// a bounded window promises not to do ([`DbSession::new`] rejects
+    /// the combination).
+    pub volume_workers: usize,
+    /// Memory budget for the volume-level [`ResultCache`]. `0` (the
+    /// default) disables caching; `N > 0` memoizes completed per-volume
+    /// searches under `(query hash, volume hash, config fingerprint)` in
+    /// an LRU bounded to `N` bytes of record payload, so a repeated
+    /// query is served without re-searching (or re-attaching) its
+    /// cache-hit volumes.
+    pub result_cache_bytes: usize,
 }
 
 impl Default for DbOptions {
@@ -81,6 +109,8 @@ impl Default for DbOptions {
             retries: 2,
             retry_backoff: Duration::from_millis(10),
             deadline: None,
+            volume_workers: 1,
+            result_cache_bytes: 0,
         }
     }
 }
@@ -135,6 +165,9 @@ pub struct SearchReport {
     pub residues_searched: u64,
     /// Database-wide residue total (the manifest's).
     pub residues_total: u64,
+    /// Volumes served from the result cache (a subset of `searched`:
+    /// a hit covers the volume exactly as a fresh search would).
+    pub cache_hits: Vec<usize>,
 }
 
 impl SearchReport {
@@ -223,6 +256,12 @@ pub struct DbSession<'d> {
     /// Quarantined volumes (the session-lifetime skip set under
     /// [`OnVolumeError::SkipAndReport`]) and why each was quarantined.
     quarantined: Vec<Option<DbError>>,
+    /// Volume-level result cache, present iff
+    /// [`DbOptions::result_cache_bytes`] > 0.
+    results: Option<ResultCache>,
+    /// [`cache::config_fingerprint`] of the effective configuration,
+    /// computed once (the config is immutable for the session).
+    config_fp: u64,
 }
 
 /// Attached volume sessions. The unbounded form is a dense slot table
@@ -235,6 +274,25 @@ enum VolumeCache {
     /// Bounded window: eviction is Belady-optimal for the session's
     /// fixed cyclic scan, see [`DbSession::attach_if_needed`].
     Window(Vec<(usize, Session<'static>)>),
+}
+
+impl VolumeCache {
+    /// The attached session for volume `v` (must be attached). A method
+    /// on the cache, not on [`DbSession`], so the borrow stays
+    /// field-granular: the parallel path holds volume sessions across a
+    /// scope while other session fields are read.
+    fn get(&self, v: usize) -> &Session<'static> {
+        match self {
+            VolumeCache::All(slots) => slots[v].as_ref().expect("volume attached"),
+            VolumeCache::Window(entries) => {
+                &entries
+                    .iter()
+                    .find(|(id, _)| *id == v)
+                    .expect("volume attached")
+                    .1
+            }
+        }
+    }
 }
 
 impl<'d> DbSession<'d> {
@@ -274,6 +332,21 @@ impl<'d> DbSession<'d> {
         } else {
             VolumeCache::Window(Vec::with_capacity(opts.window))
         };
+        if opts.volume_workers > 1 && matches!(cache, VolumeCache::Window(_)) {
+            return Err(DbError::Config(format!(
+                "volume_workers={} needs every volume attached at once, which contradicts the \
+                 bounded window={} (use window=0, or window >= {} volumes)",
+                opts.volume_workers,
+                opts.window,
+                db.num_volumes()
+            )));
+        }
+        let results = if opts.result_cache_bytes > 0 {
+            Some(ResultCache::new(opts.result_cache_bytes))
+        } else {
+            None
+        };
+        let config_fp = cache::config_fingerprint(&cfg);
         Ok(DbSession {
             db,
             cfg,
@@ -281,6 +354,8 @@ impl<'d> DbSession<'d> {
             cache,
             costs: vec![VolumeCost::default(); db.num_volumes()],
             quarantined: (0..db.num_volumes()).map(|_| None).collect(),
+            results,
+            config_fp,
         })
     }
 
@@ -293,6 +368,16 @@ impl<'d> DbSession<'d> {
     /// Per-volume attach cost attribution so far.
     pub fn volume_costs(&self) -> &[VolumeCost] {
         &self.costs
+    }
+
+    /// Result-cache counters so far (hits, misses, insertions,
+    /// evictions, residency). All zeros when the cache is disabled
+    /// ([`DbOptions::result_cache_bytes`] = 0).
+    pub fn result_cache_counters(&self) -> CacheCounters {
+        self.results
+            .as_ref()
+            .map(ResultCache::counters)
+            .unwrap_or_default()
     }
 
     /// Volumes quarantined so far this session, with the error that
@@ -376,28 +461,19 @@ impl<'d> DbSession<'d> {
         Ok(())
     }
 
-    /// The cached session for volume `v` (must be attached).
-    fn cached_session(&self, v: usize) -> &Session<'static> {
-        match &self.cache {
-            VolumeCache::All(slots) => slots[v].as_ref().expect("volume attached"),
-            VolumeCache::Window(entries) => {
-                &entries
-                    .iter()
-                    .find(|(id, _)| *id == v)
-                    .expect("volume attached")
-                    .1
-            }
-        }
-    }
-
     /// Routes an attach failure per the policy: under
     /// [`OnVolumeError::SkipAndReport`] a volume failure quarantines the
     /// volume and the query continues; everything else (and every
-    /// failure under [`OnVolumeError::Fail`]) aborts the query.
+    /// failure under [`OnVolumeError::Fail`]) aborts the query. A
+    /// quarantined volume's result-cache entries are dropped on the
+    /// spot: a volume that failed is never served from the cache again.
     fn quarantine_or_fail(&mut self, v: usize, e: DbError) -> Result<(), DbError> {
         match (self.opts.on_volume_error, &e) {
             (OnVolumeError::SkipAndReport, DbError::Volume(_)) => {
                 self.quarantined[v] = Some(e);
+                if let Some(results) = self.results.as_mut() {
+                    results.invalidate_volume(v);
+                }
                 Ok(())
             }
             _ => Err(e),
@@ -487,13 +563,39 @@ impl<'d> DbSession<'d> {
             residues_total: self.db.total_residues(),
             ..SearchReport::default()
         };
+        // Phase 0 — cache probe. One query fingerprint, one O(1) probe
+        // per live volume; a hit withdraws the volume from attach and
+        // search entirely (its records replay in the merge phase below).
+        // Quarantined volumes are never probed: their entries were
+        // invalidated at quarantine time.
+        let query_fp = self
+            .results
+            .as_ref()
+            .map(|_| cache::bank_fingerprint(query));
+        let mut hits: Vec<Option<crate::cache::CachedVolume>> = (0..num).map(|_| None).collect();
+        if let (Some(results), Some(qfp)) = (self.results.as_mut(), query_fp) {
+            for (v, hit) in hits.iter_mut().enumerate() {
+                if self.quarantined[v].is_some() {
+                    continue;
+                }
+                let key = CacheKey {
+                    query: qfp,
+                    volume: v,
+                    volume_hash: self.db.volume(v).bank_hash,
+                    config: self.config_fp,
+                };
+                *hit = results.lookup(&key).cloned();
+            }
+        }
         if self.opts.window == 0 || self.opts.window >= num {
             // Attach-ahead: cached sessions make this a no-op after the
             // first query; any attach failure surfaces here, before the
-            // sink sees a single record.
-            for v in 0..num {
+            // sink sees a single record. Cache-hit volumes skip attach —
+            // a hit is served without touching the volume's files (the
+            // same staleness contract an already-attached volume has).
+            for (v, hit) in hits.iter().enumerate() {
                 deadline.check().map_err(DbError::from)?;
-                if self.quarantined[v].is_some() || self.is_attached(v) {
+                if self.quarantined[v].is_some() || hit.is_some() || self.is_attached(v) {
                     continue;
                 }
                 if let Err(e) = self.attach_if_needed(v, &mut report.retries) {
@@ -504,46 +606,147 @@ impl<'d> DbSession<'d> {
         // The query is prepared once for the whole database, exactly as a
         // single-bank session prepares it once for both strands.
         let prep = PreparedBank::prepare(query, self.cfg.filter, self.cfg.query_index_config());
-        // Armed queries buffer so an expiry mid-scan leaves `sink`
-        // untouched; the disarmed path streams straight through.
-        let mut buffer = if deadline.is_armed() {
-            Some(CollectSink::new())
+        let caching = query_fp.is_some();
+        let workers = self.opts.volume_workers.max(1);
+        // Per-volume fresh search results, staged out-of-sink. `None`
+        // for quarantined, cache-hit and (in direct-stream mode)
+        // already-streamed volumes is disambiguated in the merge phase.
+        let mut fresh: Vec<StagedResult> = (0..num).map(|_| None).collect();
+        // Direct-stream mode: no deadline, no cache, one worker — the
+        // original zero-buffer path, records flow straight into `sink`.
+        let direct = !deadline.is_armed() && !caching && workers == 1;
+        let mut direct_stats: Option<PipelineStats> = None;
+        if workers == 1 {
+            for v in 0..num {
+                if self.quarantined[v].is_some() || hits[v].is_some() {
+                    continue;
+                }
+                deadline.check().map_err(DbError::from)?;
+                if let Err(e) = self.attach_if_needed(v, &mut report.retries) {
+                    self.quarantine_or_fail(v, e)?;
+                    continue;
+                }
+                let session = self.cache.get(v);
+                if direct {
+                    let stats = session
+                        .run_prepared_streaming_deadline(&prep, sink, deadline)
+                        .map_err(DbError::from)?;
+                    direct_stats = Some(match direct_stats.take() {
+                        None => stats,
+                        Some(m) => m.merge(&stats),
+                    });
+                    report.searched.push(v);
+                    report.residues_searched += self.db.volume(v).residues;
+                } else {
+                    let mut buf = CollectSink::new();
+                    let stats = session
+                        .run_prepared_streaming_deadline(&prep, &mut buf, deadline)
+                        .map_err(DbError::from)?;
+                    fresh[v] = Some((buf.into_records(), stats));
+                }
+            }
         } else {
-            None
-        };
-        let mut merged: Option<PipelineStats> = None;
+            // Parallel fan-out. Attach (and with it every retry and
+            // quarantine decision) already happened above — `new()`
+            // guarantees the unbounded window — so the workers only ever
+            // touch attached, healthy volumes: the per-volume search
+            // itself cannot fail except by deadline expiry.
+            let pending: Vec<usize> = (0..num)
+                .filter(|&v| self.quarantined[v].is_none() && hits[v].is_none())
+                .collect();
+            let sessions: Vec<&Session<'static>> =
+                pending.iter().map(|&v| self.cache.get(v)).collect();
+            let slots: Vec<Mutex<StagedResult>> =
+                pending.iter().map(|_| Mutex::new(None)).collect();
+            let cursor = AtomicUsize::new(0);
+            let stop = AtomicBool::new(false);
+            let spawned = workers.min(pending.len());
+            rayon::scope(|s| {
+                for _ in 0..spawned {
+                    s.spawn(|_| {
+                        // Dispatch loop: claim the next unsearched volume,
+                        // stage its records privately, repeat. Expiry (or
+                        // a sibling's) stops *dispatching* — volumes not
+                        // yet claimed are never started.
+                        loop {
+                            if stop.load(Ordering::Relaxed) || deadline.expired() {
+                                stop.store(true, Ordering::Relaxed);
+                                break;
+                            }
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= pending.len() {
+                                break;
+                            }
+                            let mut buf = CollectSink::new();
+                            match sessions[i]
+                                .run_prepared_streaming_deadline(&prep, &mut buf, deadline)
+                            {
+                                Ok(stats) => {
+                                    *slots[i].lock().expect("slot lock") =
+                                        Some((buf.into_records(), stats));
+                                }
+                                Err(DeadlineExceeded) => {
+                                    stop.store(true, Ordering::Relaxed);
+                                    break;
+                                }
+                            }
+                        }
+                    });
+                }
+            });
+            for (i, slot) in slots.into_iter().enumerate() {
+                match slot.into_inner().expect("slot lock") {
+                    Some(done) => fresh[pending[i]] = Some(done),
+                    // The only way a slot stays empty is expiry (claimed
+                    // and aborted, or never dispatched). The sink is
+                    // untouched: every record is still staged.
+                    None => return Err(DbError::from(DeadlineExceeded)),
+                }
+            }
+        }
+        // Merge phase — strictly ascending volume order, so stats
+        // accumulate exactly as the sequential walk's and the report's
+        // lists come out sorted. Record arrival order into the sink is
+        // irrelevant: its boundary sort below is a strict total order.
+        let mut merged = direct_stats;
         for v in 0..num {
-            if self.quarantined[v].is_some() {
+            let (records, stats, hit) = if let Some(cached) = hits[v].take() {
+                (cached.records, cached.stats, true)
+            } else if let Some((records, stats)) = fresh[v].take() {
+                // A completed volume search is cacheable even though its
+                // records are about to be consumed: clone into the cache
+                // first. (Only complete searches reach here — an aborted
+                // query returned above without touching `fresh`'s
+                // staging.)
+                if let (Some(results), Some(qfp)) = (self.results.as_mut(), query_fp) {
+                    let key = CacheKey {
+                        query: qfp,
+                        volume: v,
+                        volume_hash: self.db.volume(v).bank_hash,
+                        config: self.config_fp,
+                    };
+                    results.insert(key, records.clone(), stats);
+                }
+                (records, stats, false)
+            } else if self.quarantined[v].is_some() {
                 report.skipped.push(v);
                 continue;
-            }
-            deadline.check().map_err(DbError::from)?;
-            if let Err(e) = self.attach_if_needed(v, &mut report.retries) {
-                self.quarantine_or_fail(v, e)?;
-                report.skipped.push(v);
+            } else {
+                // Direct-stream mode already pushed this volume's records
+                // and accounted it; nothing staged.
                 continue;
-            }
-            let session = self.cached_session(v);
-            let out: &mut dyn RecordSink = match &mut buffer {
-                Some(b) => b,
-                None => sink,
             };
-            let stats = session
-                .run_prepared_streaming_deadline(&prep, out, deadline)
-                .map_err(DbError::from)?;
-            merged = Some(match merged {
+            for record in records {
+                sink.accept(record);
+            }
+            merged = Some(match merged.take() {
                 None => stats,
                 Some(m) => m.merge(&stats),
             });
             report.searched.push(v);
             report.residues_searched += self.db.volume(v).residues;
-        }
-        if let Some(buffer) = buffer {
-            // Scan complete: release the staged records. Arrival order
-            // into the sink is irrelevant — its boundary sort below is a
-            // strict total order.
-            for record in buffer.into_records() {
-                sink.accept(record);
+            if hit {
+                report.cache_hits.push(v);
             }
         }
         // An end_query failure is the caller's *output* stream failing

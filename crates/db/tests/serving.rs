@@ -1,0 +1,368 @@
+//! Concurrent-serving suite: the parallel volume fan-out and the
+//! volume-level result cache, exercised together with PR 6's failure
+//! machinery. The contracts pinned here:
+//!
+//! * Parallel output is **byte-identical** to the sequential walk for
+//!   any worker count, with or without injected faults, and the
+//!   [`SearchReport`] (searched / skipped / retries / coverage) is
+//!   *equal*, not merely equivalent.
+//! * A deadline that expires mid-fan-out leaves the caller's sink
+//!   untouched, inserts nothing into the cache, and leaves the session
+//!   fully usable.
+//! * Cache hits replay byte-identical records and are labeled in the
+//!   report; a quarantined volume's entries are invalidated and never
+//!   served again.
+
+use std::io::ErrorKind;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use oris_core::{CollectSink, Deadline, OrisConfig};
+use oris_db::{
+    make_db, Database, DbError, DbOptions, DbSession, Fault, FaultRule, FaultyIo, MakeDbOptions,
+    OnVolumeError, SearchReport,
+};
+use oris_seqio::{Bank, BankBuilder};
+
+fn scratch(test: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("oris_db_serving_test")
+        .join(format!("{}_{test}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn bank(seqs: &[(&str, &str)]) -> Bank {
+    let mut b = BankBuilder::new();
+    for (name, s) in seqs {
+        b.push_str(name, s).unwrap();
+    }
+    b.finish()
+}
+
+const CORE: &str = "ATGGCGTACGTTAGCCTAGGCTTAACGGATCGATCCGGTAAGCTACCGGTATTGACCGTA";
+
+fn subject_bank() -> Bank {
+    let recs: Vec<(String, String)> = (0..8)
+        .map(|i| {
+            (
+                format!("subj{i}"),
+                format!("CCGGAATTAT{CORE}GGTTAACCGG{}", "ACGT".repeat(5 + i)),
+            )
+        })
+        .collect();
+    let refs: Vec<(&str, &str)> = recs.iter().map(|(n, s)| (n.as_str(), s.as_str())).collect();
+    bank(&refs)
+}
+
+fn cfg() -> OrisConfig {
+    OrisConfig::small(8)
+}
+
+fn query() -> Bank {
+    bank(&[("q", &format!("TT{CORE}GG"))])
+}
+
+/// Builds a database with ≥4 volumes, returning its directory.
+fn build_db(test: &str) -> PathBuf {
+    let dir = scratch(test);
+    let subject = subject_bank();
+    let per_volume = (subject.num_residues() / 4).max(1);
+    let m = make_db([subject], &dir, &MakeDbOptions::new(&cfg(), per_volume)).unwrap();
+    assert!(
+        m.volumes.len() >= 4,
+        "wanted ≥4 volumes, got {}",
+        m.volumes.len()
+    );
+    dir
+}
+
+fn render(sink: CollectSink) -> Vec<String> {
+    sink.into_records().iter().map(|r| r.to_string()).collect()
+}
+
+/// One query through a fresh session under `opts`, over an optional
+/// injector.
+fn run_once(
+    dir: &PathBuf,
+    io: Option<FaultyIo>,
+    opts: DbOptions,
+) -> Result<(Vec<String>, SearchReport), DbError> {
+    let db = match io {
+        Some(io) => Database::open_with_io(dir, Arc::new(io))?,
+        None => Database::open(dir)?,
+    };
+    let mut session = DbSession::new(&db, &cfg(), opts)?;
+    let mut sink = CollectSink::new();
+    let (_, report) = session.run_query_reported(&query(), &mut sink)?;
+    Ok((render(sink), report))
+}
+
+#[test]
+fn workers_require_unbounded_window() {
+    let dir = build_db("workers_window");
+    let db = Database::open(&dir).unwrap();
+    let err = DbSession::new(
+        &db,
+        &cfg(),
+        DbOptions {
+            volume_workers: 2,
+            window: 1,
+            ..DbOptions::default()
+        },
+    )
+    .err()
+    .expect("bounded window + workers must be rejected");
+    assert!(matches!(err, DbError::Config(_)), "{err:?}");
+    // window >= volumes is effectively unbounded and therefore fine.
+    DbSession::new(
+        &db,
+        &cfg(),
+        DbOptions {
+            volume_workers: 2,
+            window: db.num_volumes(),
+            ..DbOptions::default()
+        },
+    )
+    .unwrap();
+}
+
+#[test]
+fn parallel_output_and_report_match_sequential() {
+    let dir = build_db("parallel_eq");
+    let (seq_records, seq_report) = run_once(&dir, None, DbOptions::default()).unwrap();
+    assert!(!seq_records.is_empty(), "workload must produce records");
+    for workers in [2, 4, 16] {
+        let opts = DbOptions {
+            volume_workers: workers,
+            ..DbOptions::default()
+        };
+        let (records, report) = run_once(&dir, None, opts).unwrap();
+        assert_eq!(records, seq_records, "workers={workers} changed bytes");
+        assert_eq!(report, seq_report, "workers={workers} changed the report");
+    }
+}
+
+#[test]
+fn parallel_degraded_mode_matches_sequential_exactly() {
+    // One volume durably corrupt, one suffering a single transient
+    // fault: quarantine, retry count and surviving-volume bytes must be
+    // identical whatever the worker count — attach (where every failure
+    // happens) is sequential by design.
+    let dir = build_db("parallel_fault");
+    let rules = || {
+        FaultyIo::with_rules([
+            FaultRule::always(
+                "vol00001.oidx",
+                Fault::FlipByte {
+                    offset: 64,
+                    mask: 0xFF,
+                },
+            ),
+            FaultRule::first("vol00002.fa", 1, Fault::Error(ErrorKind::Interrupted)),
+        ])
+    };
+    let base = DbOptions {
+        on_volume_error: OnVolumeError::SkipAndReport,
+        retry_backoff: Duration::from_micros(50),
+        ..DbOptions::default()
+    };
+    let (seq_records, seq_report) = run_once(&dir, Some(rules()), base).unwrap();
+    assert_eq!(seq_report.skipped, vec![1]);
+    assert_eq!(seq_report.retries, 1);
+    assert!(!seq_report.is_complete());
+    for workers in [2, 4] {
+        let opts = DbOptions {
+            volume_workers: workers,
+            ..base
+        };
+        let (records, report) = run_once(&dir, Some(rules()), opts).unwrap();
+        assert_eq!(records, seq_records, "workers={workers} changed bytes");
+        assert_eq!(report, seq_report, "workers={workers} changed the report");
+    }
+}
+
+#[test]
+fn expired_deadline_leaves_sink_untouched_and_inserts_nothing() {
+    let dir = build_db("deadline_parallel");
+    let db = Database::open(&dir).unwrap();
+    let opts = DbOptions {
+        volume_workers: 2,
+        result_cache_bytes: 1 << 20,
+        ..DbOptions::default()
+    };
+    let mut session = DbSession::new(&db, &cfg(), opts).unwrap();
+    let mut sink = CollectSink::new();
+    let err = session
+        .run_query_deadline(&query(), &mut sink, &Deadline::after(Duration::ZERO))
+        .expect_err("zero deadline must expire");
+    assert!(matches!(err, DbError::DeadlineExceeded(_)), "{err:?}");
+    assert!(render(sink).is_empty(), "sink must be untouched on expiry");
+    let counters = session.result_cache_counters();
+    assert_eq!(
+        (counters.insertions, counters.entries),
+        (0, 0),
+        "an aborted query must not populate the cache"
+    );
+    // The session survives: the same query without a deadline completes
+    // and matches a fresh sequential run byte for byte.
+    let mut sink = CollectSink::new();
+    let (_, report) = session
+        .run_query_deadline(&query(), &mut sink, &Deadline::none())
+        .unwrap();
+    assert!(report.is_complete());
+    let (seq_records, _) = run_once(&dir, None, DbOptions::default()).unwrap();
+    assert_eq!(render(sink), seq_records);
+}
+
+#[test]
+fn repeated_query_is_served_from_cache_byte_identically() {
+    let dir = build_db("cache_repeat");
+    let db = Database::open(&dir).unwrap();
+    let num = db.num_volumes();
+    let opts = DbOptions {
+        result_cache_bytes: 1 << 20,
+        ..DbOptions::default()
+    };
+    let mut session = DbSession::new(&db, &cfg(), opts).unwrap();
+
+    let mut cold = CollectSink::new();
+    let (_, cold_report) = session.run_query_reported(&query(), &mut cold).unwrap();
+    assert!(cold_report.cache_hits.is_empty());
+    let counters = session.result_cache_counters();
+    assert_eq!(counters.misses as usize, num);
+    assert_eq!(counters.insertions as usize, num);
+
+    let mut warm = CollectSink::new();
+    let (_, warm_report) = session.run_query_reported(&query(), &mut warm).unwrap();
+    assert_eq!(
+        warm_report.cache_hits,
+        (0..num).collect::<Vec<_>>(),
+        "every volume must be a hit on the repeat"
+    );
+    assert_eq!(warm_report.searched, cold_report.searched);
+    assert_eq!(warm_report.residues_searched, cold_report.residues_searched);
+    assert_eq!(session.result_cache_counters().hits as usize, num);
+    assert_eq!(render(warm), render(cold), "a hit must replay exact bytes");
+
+    // A different query bank misses: the key is content, not identity.
+    let other = bank(&[("q2", &format!("AA{CORE}CC"))]);
+    let mut sink = CollectSink::new();
+    let (_, report) = session.run_query_reported(&other, &mut sink).unwrap();
+    assert!(report.cache_hits.is_empty());
+    assert_eq!(session.result_cache_counters().misses as usize, 2 * num);
+}
+
+#[test]
+fn quarantined_volume_is_invalidated_and_never_served_from_cache() {
+    // Populate the cache, then break volume 1 and force a re-attach via
+    // a window-bounded session scanning a *different* query: the attach
+    // failure quarantines the volume and drops its cached entries — a
+    // repeat of the original query must not resurrect volume 1's records
+    // from the cache.
+    let dir = build_db("cache_quarantine");
+    let io = Arc::new(FaultyIo::new());
+    let db = Database::open_with_io(&dir, io.clone()).unwrap();
+    let opts = DbOptions {
+        window: 1, // re-attach per scan, so the fault is actually hit
+        result_cache_bytes: 1 << 20,
+        on_volume_error: OnVolumeError::SkipAndReport,
+        retry_backoff: Duration::from_micros(50),
+        ..DbOptions::default()
+    };
+    let mut session = DbSession::new(&db, &cfg(), opts).unwrap();
+    let mut sink = CollectSink::new();
+    let (_, first) = session.run_query_reported(&query(), &mut sink).unwrap();
+    assert!(first.is_complete());
+
+    io.push(FaultRule::always(
+        "vol00001.oidx",
+        Fault::FlipByte {
+            offset: 64,
+            mask: 0xFF,
+        },
+    ));
+    // A query the cache has never seen scans, re-attaches, and trips the
+    // fault on volume 1 → quarantine + invalidation.
+    let other = bank(&[("q2", &format!("AA{CORE}CC"))]);
+    let mut sink = CollectSink::new();
+    let (_, degraded) = session.run_query_reported(&other, &mut sink).unwrap();
+    assert_eq!(degraded.skipped, vec![1]);
+
+    // The original query repeats: volumes 0, 2, 3… replay from cache,
+    // volume 1 is skipped — not served from its stale entries.
+    let mut sink = CollectSink::new();
+    let (_, repeat) = session.run_query_reported(&query(), &mut sink).unwrap();
+    assert_eq!(repeat.skipped, vec![1]);
+    assert!(!repeat.cache_hits.contains(&1));
+    assert!(!repeat.searched.contains(&1));
+    let surviving = render(sink);
+    assert!(!surviving.is_empty());
+    // And the surviving bytes equal a fresh cacheless degraded run.
+    let (expect, _) = run_once(
+        &dir,
+        Some(FaultyIo::with_rules([FaultRule::always(
+            "vol00001.oidx",
+            Fault::FlipByte {
+                offset: 64,
+                mask: 0xFF,
+            },
+        )])),
+        DbOptions {
+            window: 1,
+            on_volume_error: OnVolumeError::SkipAndReport,
+            retry_backoff: Duration::from_micros(50),
+            ..DbOptions::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(surviving, expect);
+}
+
+#[test]
+fn undersized_cache_stores_nothing_but_output_is_correct() {
+    // A cache too small for even one volume's records degrades to a
+    // no-op: zero insertions, zero hits, bytes identical to cacheless.
+    let dir = build_db("cache_tiny");
+    let db = Database::open(&dir).unwrap();
+    let opts = DbOptions {
+        result_cache_bytes: 1,
+        ..DbOptions::default()
+    };
+    let mut session = DbSession::new(&db, &cfg(), opts).unwrap();
+    let mut first = CollectSink::new();
+    session.run_query_reported(&query(), &mut first).unwrap();
+    let mut second = CollectSink::new();
+    let (_, report) = session.run_query_reported(&query(), &mut second).unwrap();
+    assert!(report.cache_hits.is_empty());
+    let counters = session.result_cache_counters();
+    assert_eq!((counters.insertions, counters.hits), (0, 0));
+    let (seq_records, _) = run_once(&dir, None, DbOptions::default()).unwrap();
+    assert_eq!(render(first), seq_records);
+    assert_eq!(render(second), seq_records);
+}
+
+#[test]
+fn parallel_and_cache_compose() {
+    // workers > 1 with the cache on: cold run parallel-searches, warm
+    // run replays — both byte-identical to the sequential cacheless walk.
+    let dir = build_db("parallel_cache");
+    let db = Database::open(&dir).unwrap();
+    let num = db.num_volumes();
+    let opts = DbOptions {
+        volume_workers: 4,
+        result_cache_bytes: 1 << 20,
+        ..DbOptions::default()
+    };
+    let mut session = DbSession::new(&db, &cfg(), opts).unwrap();
+    let mut cold = CollectSink::new();
+    session.run_query_reported(&query(), &mut cold).unwrap();
+    let mut warm = CollectSink::new();
+    let (_, report) = session.run_query_reported(&query(), &mut warm).unwrap();
+    assert_eq!(report.cache_hits.len(), num);
+    let (seq_records, _) = run_once(&dir, None, DbOptions::default()).unwrap();
+    assert_eq!(render(cold), seq_records);
+    assert_eq!(render(warm), seq_records);
+}

@@ -15,7 +15,8 @@
 //!   code in ascending code order and in **ascending position order**
 //!   within each group.
 //!
-//! What differs is how a seed code finds its row ([`RowIndex`]):
+//! What differs is how a seed code finds its row (the crate-private
+//! `RowIndex`):
 //!
 //! * **Dense** — `offsets[4^W + 1]` row boundaries: the occurrences of
 //!   seed `code` are `positions[offsets[code] .. offsets[code + 1]]`.

@@ -1,7 +1,8 @@
 //! Sharded-database ≡ single-bank, pinned at the workspace level.
 //!
 //! The database layer's central promise: searching a `makedb` database —
-//! any volume count, either attach mode, any window — produces records
+//! any volume count, either attach mode, any window, any
+//! `volume_workers` count, result cache on or off — produces records
 //! **byte-identical** to a single-bank session over the concatenated
 //! input, with e-values computed over the same database-wide effective
 //! search space. Random banks, volume budgets, strands and filters all
@@ -113,19 +114,45 @@ proptest! {
         let expected_bytes = render(&expected.alignments);
 
         for attach in [AttachMode::Mmap, AttachMode::HeapCopy] {
-            let window = if tiny_window { 1 } else { 0 };
-            let mut session =
-                DbSession::new(&db, &cfg, DbOptions { attach, window, ..DbOptions::default() }).unwrap();
+            for workers in [1usize, 2, 4] {
+                for cache_bytes in [0usize, 1 << 20] {
+                    // Parallel fan-out requires every volume resident, so
+                    // the bounded-window axis only composes with the
+                    // sequential walk.
+                    let window = if tiny_window && workers == 1 { 1 } else { 0 };
+                    let opts = DbOptions {
+                        attach,
+                        window,
+                        volume_workers: workers,
+                        result_cache_bytes: cache_bytes,
+                        ..DbOptions::default()
+                    };
+                    let mut session = DbSession::new(&db, &cfg, opts).unwrap();
 
-            // Collected records agree...
-            let collected = session.run_query(&query).unwrap();
-            prop_assert_eq!(&collected.alignments, &expected.alignments);
+                    if workers == 1 && cache_bytes == 0 {
+                        // Collected records agree...
+                        let collected = session.run_query(&query).unwrap();
+                        prop_assert_eq!(&collected.alignments, &expected.alignments);
+                    }
 
-            // ...and streamed bytes agree (the sink's single boundary
-            // sort really does merge the volumes).
-            let mut stream = StreamWriter::new(Vec::new());
-            session.run_query_into(&query, &mut stream).unwrap();
-            prop_assert_eq!(&stream.into_inner(), &expected_bytes);
+                    // ...and streamed bytes agree (the sink's single
+                    // boundary sort really does merge the volumes) — for
+                    // any worker count, cache on or off.
+                    let mut stream = StreamWriter::new(Vec::new());
+                    session.run_query_into(&query, &mut stream).unwrap();
+                    prop_assert_eq!(&stream.into_inner(), &expected_bytes);
+
+                    if cache_bytes > 0 {
+                        // The repeat is served from the cache and must
+                        // replay the exact same bytes.
+                        let mut stream = StreamWriter::new(Vec::new());
+                        let (_, report) =
+                            session.run_query_reported(&query, &mut stream).unwrap();
+                        prop_assert!(!report.cache_hits.is_empty());
+                        prop_assert_eq!(&stream.into_inner(), &expected_bytes);
+                    }
+                }
+            }
         }
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -189,21 +216,37 @@ proptest! {
         prop_assert!(nv >= 2);
         let bad = bad_sel % nv;
 
-        // Degraded run: volume `bad`'s index has a flipped magic byte.
-        let io = FaultyIo::with_rules([FaultRule::always(
-            &manifest.volumes[bad].index,
-            Fault::FlipByte { offset: 0, mask: 0xFF },
-        )]);
-        let db = Database::open_with_io(&dir, Arc::new(io)).unwrap();
-        let opts = DbOptions {
-            on_volume_error: OnVolumeError::SkipAndReport,
-            ..DbOptions::default()
-        };
-        let mut session = DbSession::new(&db, &cfg, opts).unwrap();
-        let mut sink = CollectSink::new();
-        let (_, report) = session.run_query_reported(&query, &mut sink).unwrap();
-        prop_assert_eq!(&report.skipped, &vec![bad]);
-        prop_assert_eq!(report.residues_searched, total - manifest.volumes[bad].residues);
+        // Degraded runs: volume `bad`'s index has a flipped magic byte.
+        // The quarantine decision, the report and the surviving bytes
+        // must be identical whatever the worker count, cache on or off
+        // (a failed volume's entries are invalidated, never served).
+        let mut degraded: Vec<(CollectSink, oris_db::SearchReport)> = Vec::new();
+        for (workers, cache_bytes) in [(1usize, 0usize), (2, 0), (4, 1 << 20)] {
+            let io = FaultyIo::with_rules([FaultRule::always(
+                &manifest.volumes[bad].index,
+                Fault::FlipByte { offset: 0, mask: 0xFF },
+            )]);
+            let db = Database::open_with_io(&dir, Arc::new(io)).unwrap();
+            let opts = DbOptions {
+                on_volume_error: OnVolumeError::SkipAndReport,
+                volume_workers: workers,
+                result_cache_bytes: cache_bytes,
+                ..DbOptions::default()
+            };
+            let mut session = DbSession::new(&db, &cfg, opts).unwrap();
+            let mut sink = CollectSink::new();
+            let (_, report) = session.run_query_reported(&query, &mut sink).unwrap();
+            prop_assert_eq!(&report.skipped, &vec![bad]);
+            prop_assert_eq!(report.residues_searched, total - manifest.volumes[bad].residues);
+            degraded.push((sink, report));
+        }
+        let (sink, report) = degraded.remove(0);
+        for (other_sink, other_report) in &degraded {
+            prop_assert_eq!(render(sink.records()), render(other_sink.records()));
+            prop_assert_eq!(&report.searched, &other_report.searched);
+            prop_assert_eq!(&report.skipped, &other_report.skipped);
+            prop_assert_eq!(report.retries, other_report.retries);
+        }
 
         // Reference: only the surviving sequences (volumes never split a
         // sequence, so manifest sequence counts give the partition), with

@@ -5,6 +5,15 @@
 //! `std::thread::scope`:
 //!
 //! * [`join`] — two-way fork-join;
+//! * [`scope`] / [`Scope::spawn`] — N-way scoped fork-join over **real OS
+//!   threads** (one `std::thread` per spawn, joined when the scope ends).
+//!   Spawned closures may borrow from the enclosing stack frame, exactly
+//!   like `std::thread::scope`. This is the primitive `oris-db` uses to fan
+//!   per-query volume searches across a worker pool: the caller spawns a
+//!   small fixed number of dispatch loops that pull work items from a
+//!   shared atomic cursor, so an early-exit signal (e.g. deadline expiry)
+//!   stops *dispatching* remaining items rather than computing and
+//!   discarding them;
 //! * [`ThreadPoolBuilder`] / [`ThreadPool::install`] — a *logical* pool: it
 //!   sets the worker count observed by [`current_num_threads`] and used by
 //!   parallel iterators for the duration of the closure (threads themselves
@@ -18,6 +27,20 @@
 //! rayon's work stealing, which is precisely why step 2 now partitions the
 //! seed-code space by estimated work before handing ranges to the pool (see
 //! `oris-core::step2`).
+//!
+//! Semantic deviations from real rayon, for anyone swapping the crates:
+//!
+//! * No global pool exists; [`ThreadPool`] is only a thread-local worker
+//!   *count*, and `install` does not move the closure onto pool threads.
+//! * [`scope`] spawns one OS thread per `Scope::spawn` call (real rayon
+//!   queues tasks onto pool workers) — callers should spawn O(workers)
+//!   dispatch loops, not O(items) tasks.
+//! * [`Scope`] carries two lifetimes (`'scope`, `'env`) like
+//!   `std::thread::Scope`; call sites that let inference pick the type
+//!   compile unchanged against real rayon's single-lifetime `Scope`.
+//! * A panicking spawned closure aborts the scope with a panic at the join
+//!   point, matching rayon's propagate-first-panic behaviour closely
+//!   enough for this workspace (which treats worker panics as fatal).
 
 use std::cell::Cell;
 
@@ -54,6 +77,56 @@ where
         });
         let ra = a();
         (ra, hb.join().expect("rayon::join worker panicked"))
+    })
+}
+
+/// A scoped task spawner mirroring `rayon::Scope`, backed by
+/// [`std::thread::Scope`]: every spawned closure runs on its own OS
+/// thread and is joined before [`scope`] returns, so closures may borrow
+/// anything that outlives the `scope` call.
+///
+/// Unlike real rayon there is no pool behind this — spawn a bounded
+/// number of worker loops (each pulling work from a shared queue/cursor),
+/// not one task per work item.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+    installed: Option<usize>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns `body` on a new scoped thread. The closure receives the
+    /// scope again (rayon's signature), so it can spawn further tasks.
+    pub fn spawn<F>(&self, body: F)
+    where
+        F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
+    {
+        let scope = Scope {
+            inner: self.inner,
+            installed: self.installed,
+        };
+        self.inner.spawn(move || {
+            // Propagate the logical pool's worker count into the new
+            // thread, matching `join`'s behaviour.
+            INSTALLED_THREADS.with(|c| c.set(scope.installed));
+            body(&scope)
+        });
+    }
+}
+
+/// Scoped N-way fork-join (the `rayon::scope` subset): runs `op` with a
+/// [`Scope`] whose spawned tasks all complete before `scope` returns.
+/// Tasks run on real OS threads and may borrow from the caller's frame.
+pub fn scope<'env, OP, R>(op: OP) -> R
+where
+    OP: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    let installed = INSTALLED_THREADS.with(|c| c.get());
+    std::thread::scope(|s| {
+        let scope = Scope {
+            inner: s,
+            installed,
+        };
+        op(&scope)
     })
 }
 
@@ -361,6 +434,48 @@ mod tests {
                 .collect()
         });
         assert_eq!(out, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn scope_joins_all_spawns_and_allows_borrows() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let sum = AtomicUsize::new(0);
+        let items: Vec<usize> = (1..=10).collect();
+        scope(|s| {
+            for _ in 0..3 {
+                s.spawn(|_| {
+                    // Worker loop over a shared cursor: the early-exit
+                    // dispatch pattern oris-db uses.
+                    static NEXT: AtomicUsize = AtomicUsize::new(0);
+                    loop {
+                        let i = NEXT.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        sum.fetch_add(items[i], Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 55);
+    }
+
+    #[test]
+    fn scope_propagates_installed_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(5).build().unwrap();
+        pool.install(|| {
+            scope(|s| {
+                s.spawn(|_| {
+                    assert_eq!(current_num_threads(), 5);
+                });
+            });
+        });
+    }
+
+    #[test]
+    fn scope_returns_op_result() {
+        let r = scope(|_| 42);
+        assert_eq!(r, 42);
     }
 
     #[test]
