@@ -32,9 +32,9 @@ fn main() {
             asymmetric,
             ..OrisConfig::default()
         };
-        let t0 = std::time::Instant::now();
+        let t0 = oris_obs::Stopwatch::start();
         let r = oris_core::compare_banks(&b1, &b2, &cfg);
-        let secs = t0.elapsed().as_secs_f64();
+        let secs = t0.elapsed_secs();
         counts.push(r.alignments.len());
         t.row(vec![
             label.to_string(),

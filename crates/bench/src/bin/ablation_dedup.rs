@@ -38,13 +38,13 @@ fn main() {
         let i1 = BankIndex::build(&b1, IndexConfig::full(cfg.w));
         let i2 = BankIndex::build(&b2, IndexConfig::full(cfg.w));
 
-        let t0 = std::time::Instant::now();
+        let t0 = oris_obs::Stopwatch::start();
         let (ordered, _) = step2::find_hsps(&b1, &i1, &b2, &i2, &cfg);
-        let ordered_secs = t0.elapsed().as_secs_f64();
+        let ordered_secs = t0.elapsed_secs();
 
-        let t0 = std::time::Instant::now();
+        let t0 = oris_obs::Stopwatch::start();
         let (dedup, stats) = find_hsps_unordered_dedup(&b1, &i1, &b2, &i2, &cfg);
-        let dedup_secs = t0.elapsed().as_secs_f64();
+        let dedup_secs = t0.elapsed_secs();
 
         let set_a: std::collections::HashSet<_> = ordered
             .iter()

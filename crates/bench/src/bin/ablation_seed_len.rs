@@ -28,9 +28,9 @@ fn main() {
             w,
             ..OrisConfig::default()
         };
-        let t0 = std::time::Instant::now();
+        let t0 = oris_obs::Stopwatch::start();
         let r = oris_core::compare_banks(&b1, &b2, &cfg);
-        let secs = t0.elapsed().as_secs_f64();
+        let secs = t0.elapsed_secs();
         t.row(vec![
             format!("{w}"),
             format!("{secs:.3}"),

@@ -32,8 +32,8 @@
 //! runs one repetition — the CI mode, keeping all the output-equality
 //! assertions hot without paying measurement time.
 
+use oris_obs::Stopwatch;
 use std::fmt::Write as _;
-use std::time::Instant;
 
 use oris_align::OrderGuard;
 use oris_bench::{find_hsps_linked_reference, half_masked_index, skewed_pair, CountingAlloc};
@@ -57,12 +57,12 @@ fn time2<RA, RB>(reps: usize, mut a: impl FnMut() -> RA, mut b: impl FnMut() -> 
     let mut sa = Vec::with_capacity(reps);
     let mut sb = Vec::with_capacity(reps);
     for _ in 0..reps.max(1) {
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         std::hint::black_box(a());
-        sa.push(t0.elapsed().as_secs_f64());
-        let t0 = Instant::now();
+        sa.push(t0.elapsed_secs());
+        let t0 = Stopwatch::start();
         std::hint::black_box(b());
-        sb.push(t0.elapsed().as_secs_f64());
+        sb.push(t0.elapsed_secs());
     }
     (
         oris_eval::timing::median_of(sa),
@@ -556,12 +556,12 @@ fn main() {
     let cold_query = &db_queries[0];
     let mut warm_session = oris_db::DbSession::new(&db, &db_cfg, oris_db::DbOptions::default())
         .expect("valid db config");
-    let t0 = Instant::now();
+    let t0 = Stopwatch::start();
     let cold = warm_session.run_query(cold_query).expect("cold query");
-    let t_db_cold = t0.elapsed().as_secs_f64();
-    let t0 = Instant::now();
+    let t_db_cold = t0.elapsed_secs();
+    let t0 = Stopwatch::start();
     let warm = warm_session.run_query(cold_query).expect("warm query");
-    let t_db_warm = t0.elapsed().as_secs_f64();
+    let t_db_warm = t0.elapsed_secs();
     assert_eq!(cold.alignments, warm.alignments);
     let db_attaches: u32 = warm_session.volume_costs().iter().map(|c| c.attaches).sum();
     assert_eq!(
@@ -650,16 +650,16 @@ fn main() {
         },
     )
     .expect("valid db config");
-    let t0 = Instant::now();
+    let t0 = Stopwatch::start();
     let cache_cold = cached_serve.run_query(cold_query).expect("cold query");
-    let t_cache_cold = t0.elapsed().as_secs_f64();
+    let t_cache_cold = t0.elapsed_secs();
     let cache_reps = reps.max(5);
-    let t0 = Instant::now();
+    let t0 = Stopwatch::start();
     let mut cache_warm = None;
     for _ in 0..cache_reps {
         cache_warm = Some(cached_serve.run_query(cold_query).expect("cached repeat"));
     }
-    let t_cache_warm = t0.elapsed().as_secs_f64() / cache_reps as f64;
+    let t_cache_warm = t0.elapsed_secs() / cache_reps as f64;
     assert_eq!(
         cache_cold.alignments,
         cache_warm.expect("ran at least once").alignments,
@@ -684,6 +684,43 @@ fn main() {
     }
     let serve_cache_hits = serve_counters.hits;
     let serve_cache_misses = serve_counters.misses;
+
+    // Observability overhead: the same warm query with the default
+    // disarmed Obs handle vs a fully armed registry (counters, gauges,
+    // histograms; no trace sink — that is I/O-bound by design),
+    // rep-paired on two warmed sessions. Armed instrumentation must be
+    // byte-invisible in the output and cost ≤1% wall-clock.
+    let mut obs_off_session = oris_db::DbSession::new(&db, &db_cfg, oris_db::DbOptions::default())
+        .expect("valid db config");
+    let mut obs_on_session = oris_db::DbSession::new(&db, &db_cfg, oris_db::DbOptions::default())
+        .expect("valid db config");
+    obs_on_session.set_obs(oris_obs::Obs::armed());
+    let obs_off_first = obs_off_session.run_query(cold_query).expect("obs warm-up");
+    let obs_on_first = obs_on_session.run_query(cold_query).expect("obs warm-up");
+    assert_eq!(
+        obs_off_first.alignments, obs_on_first.alignments,
+        "armed metrics must not change a single output byte"
+    );
+    let run_plain = |session: &mut oris_db::DbSession| {
+        session
+            .run_query(cold_query)
+            .expect("obs query")
+            .alignments
+            .len()
+    };
+    let (t_obs_off, t_obs_on) = time2(
+        reps.max(20),
+        || std::hint::black_box(run_plain(&mut obs_off_session)),
+        || std::hint::black_box(run_plain(&mut obs_on_session)),
+    );
+    let obs_overhead = t_obs_on / t_obs_off.max(1e-9);
+    if !test_mode {
+        assert!(
+            obs_overhead <= 1.01,
+            "armed metrics must cost ≤1% wall-clock on a warm query \
+             ({t_obs_on:.6}s vs {t_obs_off:.6}s, ratio {obs_overhead:.4})"
+        );
+    }
 
     let _ = std::fs::remove_dir_all(&db_dir);
     // Locals for the JSON block (all idents, so the giant format string
@@ -749,6 +786,9 @@ fn main() {
          \"cached_speedup\": {cached_speedup:.3},\n    \
          \"cache_hits\": {serve_cache_hits},\n    \
          \"cache_misses\": {serve_cache_misses},\n    \
+         \"obs_off_secs\": {t_obs_off:.6},\n    \
+         \"obs_on_secs\": {t_obs_on:.6},\n    \
+         \"obs_overhead\": {obs_overhead:.4},\n    \
          \"outputs_identical\": true\n  }},\n  \
          \"heap_bytes_est\": {{\n    \"linked_full\": {},\n    \
          \"csr_full\": {},\n    \"csr_asymmetric\": {}\n  }},\n  \

@@ -125,13 +125,13 @@ pub fn run_pair(name1: &str, name2: &str, scale: f64) -> PairOutcome {
 pub fn run_pair_banks(label: &str, b1: &Bank, b2: &Bank) -> PairOutcome {
     let (oris_cfg, blast_cfg) = standard_configs();
 
-    let t0 = std::time::Instant::now();
+    let t0 = oris_obs::Stopwatch::start();
     let oris = oris_core::compare_banks(b1, b2, &oris_cfg);
-    let scoris_secs = t0.elapsed().as_secs_f64();
+    let scoris_secs = t0.elapsed_secs();
 
-    let t0 = std::time::Instant::now();
+    let t0 = oris_obs::Stopwatch::start();
     let blast = oris_blast::compare_banks(b1, b2, &blast_cfg);
-    let blast_secs = t0.elapsed().as_secs_f64();
+    let blast_secs = t0.elapsed_secs();
 
     let miss = oris_eval::compare_outputs(&oris.alignments, &blast.alignments, 0.8);
     PairOutcome {

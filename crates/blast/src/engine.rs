@@ -7,12 +7,11 @@
 //! streamed ORIS path. [`compare_banks`] is the collect-everything
 //! wrapper.
 
-// oris-lint: allow-file(det-time) — stage timers feed BlastStats (lookup/scan/output
-// seconds) only; record content never depends on the clock
 use oris_core::sink::{CollectSink, RecordSink};
 use oris_dust::{DustMasker, EntropyMasker, Masker};
 use oris_eval::M8Record;
 use oris_index::{BankIndex, IndexConfig};
+use oris_obs::Stopwatch;
 use oris_seqio::Bank;
 
 use crate::config::BlastConfig;
@@ -128,12 +127,12 @@ fn run_batched(
     let full_query_residues = bank1.num_residues();
 
     // Subject mask computed once, reused across batches.
-    let t0 = std::time::Instant::now();
+    let t0 = Stopwatch::start();
     let mask2 = mask_for(cfg, bank2).map(|m| m.dilated_left(cfg.w));
-    stats.lookup_secs += t0.elapsed().as_secs_f64();
+    stats.lookup_secs += t0.elapsed_secs();
 
     for batch in query_batches(bank1, batch_nt) {
-        let t0 = std::time::Instant::now();
+        let t0 = Stopwatch::start();
         let m1 = mask_for(cfg, &batch);
         let lookup = match &m1 {
             Some(m) => {
@@ -142,9 +141,9 @@ fn run_batched(
             }
             None => BankIndex::build(&batch, IndexConfig::full(cfg.w)),
         };
-        stats.lookup_secs += t0.elapsed().as_secs_f64();
+        stats.lookup_secs += t0.elapsed_secs();
 
-        let t0 = std::time::Instant::now();
+        let t0 = Stopwatch::start();
         let (hsps, scan_stats) = scan_bank(&batch, &lookup, bank2, cfg, mask2.as_ref());
         stats.hsps += hsps.len();
         stats.scan = ScanStats {
@@ -154,7 +153,7 @@ fn run_batched(
             extensions: stats.scan.extensions + scan_stats.extensions,
             kept: stats.scan.kept + scan_stats.kept,
         };
-        stats.scan_secs += t0.elapsed().as_secs_f64();
+        stats.scan_secs += t0.elapsed_secs();
 
         // All batches stream into one sink; the single end_query sort in
         // `compare_banks_into` reproduces the old global cross-batch sort.
@@ -183,7 +182,7 @@ fn run_pipeline(
     let mut stats = BlastStats::default();
 
     // Lookup table over the query bank (+ masks for both banks).
-    let t0 = std::time::Instant::now();
+    let t0 = Stopwatch::start();
     let (lookup, mask2) = rayon::join(
         || {
             let m1 = mask_for(cfg, bank1);
@@ -201,14 +200,14 @@ fn run_pipeline(
         },
         || mask_for(cfg, bank2).map(|m| m.dilated_left(cfg.w)),
     );
-    stats.lookup_secs = t0.elapsed().as_secs_f64();
+    stats.lookup_secs = t0.elapsed_secs();
 
     // Subject scan.
-    let t0 = std::time::Instant::now();
+    let t0 = Stopwatch::start();
     let (hsps, scan_stats) = scan_bank(bank1, &lookup, bank2, cfg, mask2.as_ref());
     stats.hsps = hsps.len();
     stats.scan = scan_stats;
-    stats.scan_secs = t0.elapsed().as_secs_f64();
+    stats.scan_secs = t0.elapsed_secs();
 
     let oris_cfg = cfg.as_oris();
     gapped_stage_into(
@@ -248,9 +247,9 @@ pub fn compare_banks_into(
             pool.install(|| run_pipeline(bank1, bank2, cfg, sink))
         }
     };
-    let t0 = std::time::Instant::now();
+    let t0 = Stopwatch::start();
     sink.end_query()?;
-    stats.output_secs += t0.elapsed().as_secs_f64();
+    stats.output_secs += t0.elapsed_secs();
     Ok(stats)
 }
 

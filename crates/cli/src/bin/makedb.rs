@@ -89,8 +89,7 @@ fn run() -> Result<(), String> {
         return Err("--volume-size must be at least 1".into());
     }
 
-    // oris-lint: allow(det-time) — stats-only: build-time report line, volume content is clock-independent
-    let t0 = std::time::Instant::now();
+    let t0 = oris_obs::Stopwatch::start();
     // Banks are read (and dropped) one input file at a time; the volume
     // splitter holds at most one building volume beyond that.
     let sources = args.positional.iter().map(|p| {
@@ -119,7 +118,7 @@ fn run() -> Result<(), String> {
         manifest.w,
         manifest.stride,
         filter,
-        t0.elapsed().as_secs_f64(),
+        t0.elapsed_secs(),
     );
     Ok(())
 }

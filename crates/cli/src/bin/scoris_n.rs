@@ -59,18 +59,32 @@
 //!                       bank each) or a multi-FASTA file (one query bank
 //!                       per record). Peak memory stays at one query's
 //!                       working set.
-//!       --stats         print per-step timings to stderr
+//!       --stats         print per-step timings to stderr (one `key=value`
+//!                       line, same schema in plain/index/db/batch modes)
+//!       --trace FILE    write span-style trace events (attach, per-volume
+//!                       search, steps 2–4, cache lookup, merge) to FILE as
+//!                       JSON lines; see `oris-obs` for the event schema
+//!       --metrics-json FILE
+//!                       write the metrics registry (counters, gauges,
+//!                       latency histograms) to FILE as JSON on exit
+//!       --metrics-prom FILE
+//!                       write the metrics registry to FILE in the
+//!                       Prometheus text exposition format on exit
 //!   -o, --out FILE      write -m 8 records to FILE (buffered, written to a
 //!                       temporary sibling and atomically renamed on success;
 //!                       default stdout)
 //! ```
+//!
+//! Instrumentation is off the result path: any combination of `--trace`
+//! / `--metrics-*` leaves the `-m 8` bytes identical to a bare run.
 
 use std::io::Write;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use oris_cli::Args;
-use oris_core::{FilterKind, OrisConfig, PreparedBank, Session, StreamWriter};
+use oris_core::{FilterKind, OrisConfig, PipelineStats, PreparedBank, Session, StreamWriter};
+use oris_obs::{names, Obs, StatsBlock, Stopwatch};
 use oris_seqio::Bank;
 
 fn usage() -> &'static str {
@@ -80,7 +94,8 @@ fn usage() -> &'static str {
      \t[--both-strands] [--index bank2.oidx] [--batch dir-or-multi.fa]\n\
      \t[--db dir] [--attach mmap|copy] [--window n] [--workers n]\n\
      \t[--result-cache mb] [--dbsize n]\n\
-     \t[--deadline ms] [--skip-bad-volumes] [--stats] [-o out.m8]"
+     \t[--deadline ms] [--skip-bad-volumes] [--stats] [--trace f.jsonl]\n\
+     \t[--metrics-json f.json] [--metrics-prom f.prom] [-o out.m8]"
 }
 
 /// A CLI failure: the one-line stderr message plus the process exit
@@ -291,7 +306,7 @@ fn build_session<'a>(
     index: Option<&String>,
 ) -> Result<(Session<'a>, &'static str), String> {
     match index {
-        None => Ok((Session::new(bank2, cfg)?, "subject_built")),
+        None => Ok((Session::new(bank2, cfg)?, "built")),
         Some(path) => {
             let (idx, meta) =
                 oris_index::read_index_file(path).map_err(|e| format!("{path}: {e}"))?;
@@ -310,9 +325,86 @@ fn build_session<'a>(
                 PreparedBank::from_index(bank2, idx, &meta).map_err(|e| format!("{path}: {e}"))?;
             let session =
                 Session::with_subject(prepared, cfg).map_err(|e| format!("{path}: {e}"))?;
-            Ok((session, "subject_loaded"))
+            Ok((session, "loaded"))
         }
     }
+}
+
+/// The run's observability wiring: one [`Obs`] handle (armed when any of
+/// `--stats` / `--trace` / `--metrics-json` / `--metrics-prom` is given,
+/// disarmed — a single branch per instrumented operation — otherwise)
+/// plus the exposition paths to write when the run succeeds.
+struct ObsSetup {
+    obs: Obs,
+    metrics_json: Option<String>,
+    metrics_prom: Option<String>,
+}
+
+fn build_obs(args: &Args) -> Result<ObsSetup, String> {
+    let metrics_json = args.options.get("metrics-json").cloned();
+    let metrics_prom = args.options.get("metrics-prom").cloned();
+    let trace = args.options.get("trace");
+    let armed = args.has_flag("stats")
+        || trace.is_some()
+        || metrics_json.is_some()
+        || metrics_prom.is_some();
+    let obs = if armed {
+        let mut builder = Obs::builder();
+        if let Some(path) = trace {
+            let f = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
+            builder = builder.trace(Box::new(std::io::BufWriter::new(f)));
+        }
+        builder.build()
+    } else {
+        Obs::disarmed()
+    };
+    Ok(ObsSetup {
+        obs,
+        metrics_json,
+        metrics_prom,
+    })
+}
+
+/// Flushes the trace sink and writes the `--metrics-*` documents. Called
+/// on the success path only: a failed run keeps whatever trace lines made
+/// it out (useful for debugging the failure) but writes no metrics files.
+fn finish_obs(setup: &ObsSetup) -> Result<(), String> {
+    setup
+        .obs
+        .flush()
+        .map_err(|e| format!("flushing trace: {e}"))?;
+    if setup.metrics_json.is_none() && setup.metrics_prom.is_none() {
+        return Ok(());
+    }
+    let Some(snap) = setup.obs.snapshot() else {
+        return Ok(());
+    };
+    if let Some(path) = &setup.metrics_json {
+        std::fs::write(path, oris_obs::render_json(&snap)).map_err(|e| format!("{path}: {e}"))?;
+    }
+    if let Some(path) = &setup.metrics_prom {
+        std::fs::write(path, oris_obs::render_prometheus(&snap))
+            .map_err(|e| format!("{path}: {e}"))?;
+    }
+    Ok(())
+}
+
+/// The pipeline-stats fields every oris-engine mode shares, in one
+/// place so plain, db, and batch `--stats` lines keep the same schema.
+fn pipeline_fields(b: &mut StatsBlock, s: &PipelineStats) {
+    b.secs("index_secs", s.index_secs);
+    b.field("index_builds", s.index_builds);
+    b.secs("step2_secs", s.step2_secs);
+    b.secs("step3_secs", s.step3_secs);
+    b.secs("step4_secs", s.step4_secs);
+    b.field("hsps", s.hsps);
+    b.field("alignments", s.step4.emitted);
+    b.field("pairs", s.step2.pairs_examined);
+    b.field("aborted", s.step2.aborted);
+    b.field("below", s.step2.below_threshold);
+    b.field("kept", s.step2.kept);
+    b.field("masked1", format!("{:.4}", s.masked_fraction1));
+    b.field("masked2", format!("{:.4}", s.masked_fraction2));
 }
 
 fn run() -> Result<(), CliError> {
@@ -338,6 +430,9 @@ fn run() -> Result<(), CliError> {
             "result-cache",
             "dbsize",
             "deadline",
+            "trace",
+            "metrics-json",
+            "metrics-prom",
             "out",
         ],
         &[
@@ -460,11 +555,12 @@ fn run() -> Result<(), CliError> {
         return Err("--db is only supported by the oris engine".into());
     }
 
+    let obs = build_obs(&args)?;
     if db_mode {
-        return run_db(&args, &cfg, batch_mode);
+        return run_db(&args, &cfg, batch_mode, &obs);
     }
     if batch_mode {
-        return run_batch(&args, &cfg).map_err(CliError::from);
+        return run_batch(&args, &cfg, &obs).map_err(CliError::from);
     }
 
     let bank1 = oris_seqio::read_fasta_file(&args.positional[0])
@@ -476,41 +572,54 @@ fn run() -> Result<(), CliError> {
         "oris" => {
             // The subject (bank 2) is prepared once — built here, or
             // loaded from a `mkindex` file — and the per-run stats report
-            // the amortized cost: `index` covers only the query's build,
-            // the subject's one-time cost is its own field.
-            // oris-lint: allow(det-time) — stats-only: subject_secs is a report field, records are clock-independent
-            let t0 = std::time::Instant::now();
-            let (session, subject_source) = build_session(&bank2, &cfg, args.options.get("index"))?;
-            let subject_secs = t0.elapsed().as_secs_f64();
+            // the amortized cost: `index_secs` covers only the query's
+            // build, the subject's one-time cost is its own field.
+            let t0 = Stopwatch::start();
+            let (mut session, subject_source) =
+                build_session(&bank2, &cfg, args.options.get("index"))?;
+            let subject_secs = t0.elapsed_secs();
+            session.set_obs(obs.obs.clone());
             let subject = session.subject_stats();
+            let qt = Stopwatch::start();
             let r = session.run(&bank1);
+            obs.obs
+                .observe_secs(names::QUERY_SECONDS, qt.elapsed_secs());
             let s = r.stats;
-            (
-                r.alignments,
-                format!(
-                    "engine=oris {subject_source}={subject_secs:.3}s subject_builds={} index={:.3}s index_builds={} step2={:.3}s step3={:.3}s step4={:.3}s hsps={} alignments={} pairs={} aborted={} below={} kept={} masked1={:.4} masked2={:.4}",
-                    subject.builds,
-                    s.index_secs, s.index_builds, s.step2_secs, s.step3_secs, s.step4_secs, s.hsps, s.step4.emitted,
-                    s.step2.pairs_examined, s.step2.aborted, s.step2.below_threshold, s.step2.kept,
-                    s.masked_fraction1, s.masked_fraction2
-                ),
-            )
+            let mut b = StatsBlock::new("oris", "plain");
+            b.field("subject_source", subject_source);
+            b.secs("subject_secs", subject_secs);
+            b.field("subject_builds", subject.builds);
+            b.field("queries", 1);
+            b.field("records", r.alignments.len());
+            pipeline_fields(&mut b, &s);
+            (r.alignments, b)
         }
         "blast" => {
             let bcfg = oris_blast::BlastConfig::matched(&cfg);
+            let qt = Stopwatch::start();
             let r = oris_blast::compare_banks(&bank1, &bank2, &bcfg);
+            obs.obs
+                .observe_secs(names::QUERY_SECONDS, qt.elapsed_secs());
             let s = r.stats;
-            (
-                r.alignments,
-                format!(
-                    "engine=blast lookup={:.3}s scan={:.3}s gapped={:.3}s output={:.3}s hsps={} alignments={} probes={} hits={} suppressed={} extensions={}",
-                    s.lookup_secs, s.scan_secs, s.gapped_secs, s.output_secs, s.hsps, s.raw_alignments,
-                    s.scan.probes, s.scan.hits, s.scan.suppressed, s.scan.extensions
-                ),
-            )
+            let mut b = StatsBlock::new("blast", "plain");
+            b.field("queries", 1);
+            b.field("records", r.alignments.len());
+            b.secs("lookup_secs", s.lookup_secs);
+            b.secs("scan_secs", s.scan_secs);
+            b.secs("gapped_secs", s.gapped_secs);
+            b.secs("output_secs", s.output_secs);
+            b.field("hsps", s.hsps);
+            b.field("alignments", s.raw_alignments);
+            b.field("probes", s.scan.probes);
+            b.field("hits", s.scan.hits);
+            b.field("suppressed", s.scan.suppressed);
+            b.field("extensions", s.scan.extensions);
+            (r.alignments, b)
         }
         other => return Err(format!("unknown engine {other:?}").into()),
     };
+    obs.obs.count(names::QUERIES_TOTAL, 1);
+    obs.obs.count(names::RECORDS_TOTAL, records.len() as u64);
 
     let (mut w, out) = Output::open(args.options.get("out"))?;
     for r in &records {
@@ -522,8 +631,9 @@ fn run() -> Result<(), CliError> {
     out.finish(w)?;
 
     if args.has_flag("stats") {
-        eprintln!("{report}");
+        eprintln!("{}", report.render());
     }
+    finish_obs(&obs)?;
     Ok(())
 }
 
@@ -534,7 +644,7 @@ fn run() -> Result<(), CliError> {
 /// residue total from the manifest — so the output is byte-identical to
 /// a single-bank run over the concatenated input under `--dbsize
 /// <total>`. Composes with `--batch` for many-query runs.
-fn run_db(args: &Args, cfg: &OrisConfig, batch_mode: bool) -> Result<(), CliError> {
+fn run_db(args: &Args, cfg: &OrisConfig, batch_mode: bool, obs: &ObsSetup) -> Result<(), CliError> {
     let db_dir = args.options.get("db").expect("checked by caller");
     let attach = match args
         .options
@@ -569,8 +679,7 @@ fn run_db(args: &Args, cfg: &OrisConfig, batch_mode: bool) -> Result<(), CliErro
     // `open` covers the whole manifest read + validation + session
     // config checks — everything between "a directory name" and "ready
     // to attach volumes".
-    // oris-lint: allow(det-time) — stats-only: open_secs is a report field, records are clock-independent
-    let t0 = std::time::Instant::now();
+    let t0 = Stopwatch::start();
     let db = oris_db::Database::open(db_dir).map_err(|e| CliError {
         msg: format!("{db_dir}: {e}"),
         code: e.exit_code(),
@@ -588,7 +697,8 @@ fn run_db(args: &Args, cfg: &OrisConfig, batch_mode: bool) -> Result<(), CliErro
         msg: format!("{db_dir}: {e}"),
         code: e.exit_code(),
     })?;
-    let open_secs = t0.elapsed().as_secs_f64();
+    session.set_obs(obs.obs.clone());
+    let open_secs = t0.elapsed_secs();
 
     // Every input is opened BEFORE Output::open creates the .tmp.<pid>
     // sibling: a bad query path or batch directory must fail without
@@ -659,7 +769,6 @@ fn run_db(args: &Args, cfg: &OrisConfig, batch_mode: bool) -> Result<(), CliErro
 
     if args.has_flag("stats") {
         let costs = session.volume_costs();
-        let attaches: u32 = costs.iter().map(|c| c.attaches).sum();
         let attach_secs: f64 = costs.iter().map(|c| c.attach_secs).sum();
         let strand_secs: f64 = costs.iter().map(|c| c.strand_build_secs).sum();
         let mapped = costs.iter().filter(|c| c.mmap_backed).count();
@@ -668,44 +777,59 @@ fn run_db(args: &Args, cfg: &OrisConfig, batch_mode: bool) -> Result<(), CliErro
             oris_eval::SubjectSpace::PerSequence => 0,
         };
         let cache = session.result_cache_counters();
-        eprintln!(
-            "engine=oris db={db_dir} volumes={} db_residues={total} queries={queries_run} \
-             records={records} attach={attach:?} attaches={attaches} open_secs={open_secs:.3} \
-             attach_secs={attach_secs:.3} strand_build_secs={strand_secs:.3} mapped_volumes={mapped} \
-             workers={workers} cache_hits={} cache_misses={} cache_entries={} cache_bytes={} \
-             index={:.3}s index_builds={} step2={:.3}s step3={:.3}s step4={:.3}s hsps={} \
-             alignments={} pairs={} kept={}",
-            db.num_volumes(),
-            cache.hits,
-            cache.misses,
-            cache.entries,
-            cache.bytes,
-            per_query.index_secs,
-            per_query.index_builds,
-            per_query.step2_secs,
-            per_query.step3_secs,
-            per_query.step4_secs,
-            per_query.hsps,
-            per_query.step4.emitted,
-            per_query.step2.pairs_examined,
-            per_query.step2.kept,
+        // The counter fields render from the oris-obs metrics registry —
+        // --stats arms the handle, and the db_obs integration test pins
+        // these registry values equal to the ResultCache's own counters.
+        let o = &obs.obs;
+        let mut b = StatsBlock::new("oris", "db");
+        b.field("db", db_dir);
+        b.field("volumes", db.num_volumes());
+        b.field("db_residues", total);
+        b.field("queries", queries_run);
+        b.field("records", records);
+        b.field("attach", format!("{attach:?}"));
+        b.field("attaches", o.counter(names::VOLUME_ATTACHES_TOTAL));
+        b.secs("open_secs", open_secs);
+        b.secs("attach_secs", attach_secs);
+        b.secs("strand_build_secs", strand_secs);
+        b.field("mapped_volumes", mapped);
+        b.field("workers", workers);
+        b.field("dispatches", o.counter(names::WORKER_DISPATCH_TOTAL));
+        b.field("io_retries", o.counter(names::IO_RETRIES_TOTAL));
+        b.field("quarantines", o.counter(names::VOLUME_QUARANTINES_TOTAL));
+        b.field(
+            "deadline_expiries",
+            o.counter(names::DEADLINE_EXPIRIES_TOTAL),
         );
+        b.field("cache_hits", o.counter(names::CACHE_HITS_TOTAL));
+        b.field("cache_misses", o.counter(names::CACHE_MISSES_TOTAL));
+        b.field("cache_insertions", o.counter(names::CACHE_INSERTIONS_TOTAL));
+        b.field("cache_evictions", o.counter(names::CACHE_EVICTIONS_TOTAL));
+        b.field(
+            "cache_invalidations",
+            o.counter(names::CACHE_INVALIDATIONS_TOTAL),
+        );
+        b.field("cache_entries", cache.entries);
+        b.field("cache_bytes", cache.bytes);
+        pipeline_fields(&mut b, &per_query);
+        eprintln!("{}", b.render());
     }
+    finish_obs(obs)?;
     Ok(())
 }
 
 /// The `--batch` mode: one prepared subject, a stream of query banks,
 /// records leaving through a [`StreamWriter`] as each query finishes.
-fn run_batch(args: &Args, cfg: &OrisConfig) -> Result<(), String> {
+fn run_batch(args: &Args, cfg: &OrisConfig, obs: &ObsSetup) -> Result<(), String> {
     let batch_path = args.options.get("batch").expect("checked by caller");
     let mut queries = BatchQueries::open(batch_path)?;
     let bank2 = oris_seqio::read_fasta_file(&args.positional[0])
         .map_err(|e| format!("{}: {e}", args.positional[0]))?;
 
-    // oris-lint: allow(det-time) — stats-only: subject_secs is a report field, records are clock-independent
-    let t0 = std::time::Instant::now();
-    let (session, subject_source) = build_session(&bank2, cfg, args.options.get("index"))?;
-    let subject_secs = t0.elapsed().as_secs_f64();
+    let t0 = Stopwatch::start();
+    let (mut session, subject_source) = build_session(&bank2, cfg, args.options.get("index"))?;
+    let subject_secs = t0.elapsed_secs();
+    session.set_obs(obs.obs.clone());
 
     let (w, out) = Output::open(args.options.get("out"))?;
     let mut sink = StreamWriter::new(w);
@@ -725,25 +849,23 @@ fn run_batch(args: &Args, cfg: &OrisConfig) -> Result<(), String> {
     }
     let records = sink.records_written();
     out.finish(sink.into_inner())?;
+    obs.obs.count(names::QUERIES_TOTAL, batch.queries() as u64);
+    obs.obs.count(names::RECORDS_TOTAL, records);
 
     if args.has_flag("stats") {
         let t = batch.query_totals();
         let subject = &batch.subject;
-        eprintln!(
-            "engine=oris batch_queries={} {subject_source}={subject_secs:.3}s subject_builds={} records={records} total_index_builds={} index={:.3}s step2={:.3}s step3={:.3}s step4={:.3}s hsps={} alignments={} pairs={} kept={}",
-            batch.queries(),
-            subject.builds,
-            batch.total_index_builds(),
-            t.index_secs,
-            t.step2_secs,
-            t.step3_secs,
-            t.step4_secs,
-            t.hsps,
-            t.step4.emitted,
-            t.step2.pairs_examined,
-            t.step2.kept,
-        );
+        let mut b = StatsBlock::new("oris", "batch");
+        b.field("batch_queries", batch.queries());
+        b.field("subject_source", subject_source);
+        b.secs("subject_secs", subject_secs);
+        b.field("subject_builds", subject.builds);
+        b.field("records", records);
+        b.field("total_index_builds", batch.total_index_builds());
+        pipeline_fields(&mut b, &t);
+        eprintln!("{}", b.render());
     }
+    finish_obs(obs)?;
     Ok(())
 }
 

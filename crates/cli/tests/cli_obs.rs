@@ -1,0 +1,280 @@
+//! End-to-end tests for the observability flags: `--trace`,
+//! `--metrics-json`, `--metrics-prom`, and the unified `--stats` schema.
+//! The headline contract: arming every instrument at max verbosity
+//! leaves the `-m 8` bytes identical to a bare run, and the exported
+//! metrics document carries every documented instrument name.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn scoris_n() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_scoris_n"))
+}
+
+fn scratch(test: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("oris_cli_obs")
+        .join(format!("{}_{test}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+const CORE: &str = "ATGGCGTACGTTAGCCTAGGCTTAACGGATCGATCCGGTAAGCTACCGGTATTGACCGTA\
+                    GGCATTACGGATCCATTGGCCAATTGGCACGTACGTAACGGTTAACCGGATTACGCTAGG";
+
+fn write_fixture(dir: &Path) -> (PathBuf, PathBuf) {
+    let mut fasta = String::new();
+    for i in 0..5 {
+        let seq = format!("CCGGAATTAT{CORE}GGTTAACCGG{}", "ACGT".repeat(4 + i));
+        fasta.push_str(&format!(">subj{i}\n{seq}\n"));
+    }
+    let subject = dir.join("subject.fa");
+    std::fs::write(&subject, fasta).unwrap();
+    let query = dir.join("query.fa");
+    std::fs::write(&query, format!(">q homolog\nTTGACCGTAA{CORE}CCGGTAAGCT\n")).unwrap();
+    (subject, query)
+}
+
+/// Builds a small sharded database via makedb; returns its directory.
+fn build_db(dir: &Path, subject: &Path) -> PathBuf {
+    let db = dir.join("db");
+    let out = Command::new(env!("CARGO_BIN_EXE_makedb"))
+        .arg(subject)
+        .arg("-o")
+        .arg(&db)
+        .args(["--volume-size", "200", "-W", "8"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    db
+}
+
+#[test]
+fn armed_instrumentation_is_byte_invisible_end_to_end() {
+    let dir = scratch("byte_identity");
+    let (subject, query) = write_fixture(&dir);
+    let db = build_db(&dir, &subject);
+    let run = |extra: &[&str]| {
+        let out = scoris_n()
+            .arg(&query)
+            .args(["--db", db.to_str().unwrap(), "-W", "8"])
+            .args(extra)
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        out.stdout
+    };
+    let bare = run(&[]);
+    assert!(!bare.is_empty(), "workload must produce records");
+    let trace = dir.join("trace.jsonl");
+    let mjson = dir.join("metrics.json");
+    let mprom = dir.join("metrics.prom");
+    let armed = run(&[
+        "--stats",
+        "--trace",
+        trace.to_str().unwrap(),
+        "--metrics-json",
+        mjson.to_str().unwrap(),
+        "--metrics-prom",
+        mprom.to_str().unwrap(),
+    ]);
+    assert_eq!(armed, bare, "armed instrumentation changed output bytes");
+}
+
+#[test]
+fn metrics_json_parses_and_contains_every_documented_name() {
+    let dir = scratch("schema");
+    let (subject, query) = write_fixture(&dir);
+    let db = build_db(&dir, &subject);
+    let mjson = dir.join("metrics.json");
+    let out = scoris_n()
+        .arg(&query)
+        .args(["--db", db.to_str().unwrap(), "-W", "8"])
+        .args(["--metrics-json", mjson.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let doc = std::fs::read_to_string(&mjson).unwrap();
+    // Minimal well-formedness: one object, balanced brackets, the three
+    // documented sections in order.
+    assert!(
+        doc.starts_with('{') && doc.trim_end().ends_with('}'),
+        "{doc}"
+    );
+    assert_eq!(
+        doc.matches(['{', '[']).count(),
+        doc.matches(['}', ']']).count(),
+        "unbalanced JSON: {doc}"
+    );
+    for section in ["\"counters\":{", "\"gauges\":{", "\"histograms\":{"] {
+        assert!(doc.contains(section), "missing {section} in {doc}");
+    }
+    // Every documented instrument appears, touched or not.
+    for name in oris_obs::names::ALL {
+        assert!(
+            doc.contains(&format!("\"{name}\":")),
+            "missing {name} in {doc}"
+        );
+    }
+    // And the run actually counted itself.
+    assert!(doc.contains("\"queries_total\":1"), "{doc}");
+    assert!(!doc.contains("\"records_total\":0"), "{doc}");
+}
+
+#[test]
+fn trace_is_json_lines_with_balanced_spans() {
+    let dir = scratch("trace");
+    let (subject, query) = write_fixture(&dir);
+    let db = build_db(&dir, &subject);
+    let trace = dir.join("trace.jsonl");
+    // --result-cache so the cache_lookup span has a cache to probe.
+    let out = scoris_n()
+        .arg(&query)
+        .args([
+            "--db",
+            db.to_str().unwrap(),
+            "-W",
+            "8",
+            "--result-cache",
+            "1",
+        ])
+        .args(["--trace", trace.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&trace).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(!lines.is_empty(), "trace must not be empty");
+    for l in &lines {
+        assert!(
+            l.starts_with("{\"seq\":") && l.ends_with('}'),
+            "bad line: {l}"
+        );
+        assert_eq!(
+            l.matches('{').count(),
+            l.matches('}').count(),
+            "unbalanced: {l}"
+        );
+    }
+    let begins = lines
+        .iter()
+        .filter(|l| l.contains("\"ev\":\"begin\""))
+        .count();
+    let ends = lines
+        .iter()
+        .filter(|l| l.contains("\"ev\":\"end\""))
+        .count();
+    assert_eq!(begins, ends, "every span must close:\n{text}");
+    for span in [
+        "\"span\":\"query\"",
+        "\"span\":\"attach\"",
+        "\"span\":\"volume_search\"",
+        "\"span\":\"merge\"",
+        "\"span\":\"cache_lookup\"",
+        "\"span\":\"step2\"",
+        "\"span\":\"step3\"",
+    ] {
+        assert!(text.contains(span), "missing {span} in trace:\n{text}");
+    }
+}
+
+#[test]
+fn prometheus_exposition_has_typed_instruments() {
+    let dir = scratch("prom");
+    let (subject, query) = write_fixture(&dir);
+    let db = build_db(&dir, &subject);
+    let mprom = dir.join("metrics.prom");
+    let out = scoris_n()
+        .arg(&query)
+        .args(["--db", db.to_str().unwrap(), "-W", "8"])
+        .args(["--metrics-prom", mprom.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&mprom).unwrap();
+    assert!(text.contains("# TYPE oris_queries_total counter"), "{text}");
+    assert!(text.contains("# TYPE oris_cache_bytes gauge"), "{text}");
+    assert!(
+        text.contains("# TYPE oris_query_seconds histogram"),
+        "{text}"
+    );
+    assert!(
+        text.contains("oris_query_seconds_bucket{le=\"+Inf\"} 1"),
+        "{text}"
+    );
+    assert!(text.contains("oris_queries_total 1"), "{text}");
+}
+
+#[test]
+fn stats_schema_is_unified_across_modes() {
+    let dir = scratch("stats_schema");
+    let (subject, query) = write_fixture(&dir);
+    let db = build_db(&dir, &subject);
+    let shared = [
+        "engine=oris",
+        "mode=",
+        "index_secs=",
+        "step2_secs=",
+        "step3_secs=",
+        "step4_secs=",
+        "hsps=",
+        "alignments=",
+        "pairs=",
+        "kept=",
+    ];
+    // Plain two-bank mode.
+    let out = scoris_n()
+        .args([query.to_str().unwrap(), subject.to_str().unwrap()])
+        .args(["-W", "8", "--stats"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let plain = String::from_utf8_lossy(&out.stderr);
+    assert!(plain.contains("mode=plain"), "{plain}");
+    assert!(plain.contains("subject_source=built"), "{plain}");
+    for key in shared {
+        assert!(plain.contains(key), "plain stats missing {key}: {plain}");
+    }
+    // Database mode: same shared schema plus registry-backed fields.
+    let out = scoris_n()
+        .arg(&query)
+        .args(["--db", db.to_str().unwrap(), "-W", "8", "--stats"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let dbs = String::from_utf8_lossy(&out.stderr);
+    assert!(dbs.contains("mode=db"), "{dbs}");
+    for key in shared {
+        assert!(dbs.contains(key), "db stats missing {key}: {dbs}");
+    }
+    for key in [
+        "cache_hits=",
+        "cache_misses=",
+        "attaches=",
+        "dispatches=",
+        "quarantines=0",
+    ] {
+        assert!(dbs.contains(key), "db stats missing {key}: {dbs}");
+    }
+}

@@ -30,7 +30,9 @@
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
+
+use oris_obs::monotonic_now;
 
 /// The error a deadline-guarded computation returns when its [`Deadline`]
 /// expires or is cancelled. Carries no payload: the caller that armed the
@@ -48,8 +50,9 @@ impl std::error::Error for DeadlineExceeded {}
 
 #[derive(Debug)]
 struct Inner {
-    /// Wall-clock expiry; `None` for a pure cancel token.
-    expires: Option<Instant>,
+    /// Expiry as an offset from the `oris-obs` monotonic epoch;
+    /// `None` for a pure cancel token.
+    expires: Option<Duration>,
     /// Set by [`Deadline::cancel`] from any clone.
     cancelled: AtomicBool,
 }
@@ -76,14 +79,15 @@ impl Deadline {
     /// clock's representable range can never be reached, so it degrades
     /// to a pure cancel token instead of panicking.
     pub fn after(budget: Duration) -> Deadline {
-        match Instant::now().checked_add(budget) {
+        match monotonic_now().checked_add(budget) {
             Some(t) => Deadline::at(t),
             None => Deadline::cancellable(),
         }
     }
 
-    /// A deadline expiring at `t`.
-    pub fn at(t: Instant) -> Deadline {
+    /// A deadline expiring at `t`, an offset from the
+    /// [`oris_obs::monotonic_now`] epoch (the workspace's one clock).
+    pub fn at(t: Duration) -> Deadline {
         Deadline {
             inner: Some(Arc::new(Inner {
                 expires: Some(t),
@@ -127,7 +131,7 @@ impl Deadline {
             None => false,
             Some(inner) => {
                 inner.cancelled.load(Ordering::Relaxed)
-                    || inner.expires.is_some_and(|t| Instant::now() >= t)
+                    || inner.expires.is_some_and(|t| monotonic_now() >= t)
             }
         }
     }
@@ -189,8 +193,8 @@ mod tests {
     }
 
     #[test]
-    fn past_instant_is_expired() {
-        let d = Deadline::at(Instant::now() - Duration::from_millis(1));
+    fn past_offset_is_expired() {
+        let d = Deadline::at(monotonic_now().saturating_sub(Duration::from_millis(1)));
         assert!(d.expired());
     }
 

@@ -24,10 +24,10 @@
 //! [`Session::subject_stats`]).
 
 use std::borrow::Cow;
-use std::time::Instant;
 
 use oris_dust::{DustMasker, EntropyMasker, Masker};
 use oris_index::{BankIndex, IndexConfig};
+use oris_obs::{Obs, Stopwatch};
 use oris_seqio::Bank;
 
 use crate::config::{FilterKind, OrisConfig};
@@ -101,12 +101,11 @@ impl<'a> PreparedBank<'a> {
     }
 
     fn prepare_cow(bank: Cow<'a, Bank>, filter: FilterKind, icfg: IndexConfig) -> PreparedBank<'a> {
-        // oris-lint: allow(det-time) — stats-only: PrepareStats metering, prepared bank is clock-independent
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         let mask = mask_for(filter, &bank);
         let index = build_index(&bank, icfg, &mask);
         let stats = PrepareStats {
-            build_secs: t0.elapsed().as_secs_f64(),
+            build_secs: t0.elapsed_secs(),
             masked_fraction: mask.as_ref().map_or(0.0, |m| m.masked_fraction()),
             index_bytes: index.heap_bytes(),
             builds: 1,
@@ -258,6 +257,7 @@ pub struct Session<'a> {
     plus: PreparedBank<'a>,
     minus: Option<PreparedBank<'static>>,
     pool: Option<rayon::ThreadPool>,
+    obs: Obs,
 }
 
 impl<'a> Session<'a> {
@@ -276,6 +276,7 @@ impl<'a> Session<'a> {
             plus,
             minus,
             pool,
+            obs: Obs::disarmed(),
         })
     }
 
@@ -306,6 +307,7 @@ impl<'a> Session<'a> {
                 plus,
                 minus,
                 pool,
+                obs: Obs::disarmed(),
             },
             prepared_query,
         ))
@@ -363,7 +365,16 @@ impl<'a> Session<'a> {
             plus: subject,
             minus,
             pool,
+            obs: Obs::disarmed(),
         })
+    }
+
+    /// Installs an observability handle: subsequent runs emit
+    /// step-2/3/4 spans and metrics through it. Instrumentation is off
+    /// the result path — records and stats are identical armed or
+    /// disarmed (pinned by the `db_equivalence` proptests).
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     /// Step 1 for a subject bank: the plus strand, and — concurrently —
@@ -564,6 +575,7 @@ impl<'a> Session<'a> {
                 SubjectStrand::Plus,
                 &mut push,
                 deadline,
+                &self.obs,
             )?;
             match &self.minus {
                 None => Ok(plus),
@@ -576,6 +588,7 @@ impl<'a> Session<'a> {
                         SubjectStrand::Minus,
                         &mut push,
                         deadline,
+                        &self.obs,
                     )?))
                 }
             }

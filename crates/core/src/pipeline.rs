@@ -12,6 +12,7 @@
 //! property.
 
 use oris_eval::M8Record;
+use oris_obs::{Field, Obs, Stopwatch};
 use oris_seqio::Bank;
 
 use crate::config::OrisConfig;
@@ -147,12 +148,10 @@ pub fn gapped_stage_into(
     flip_subject: bool,
     push: &mut dyn FnMut(M8Record),
 ) -> GappedStageReport {
-    // oris-lint: allow(det-time) — stats-only: GappedStageReport seconds, emitted records are clock-independent
-    let t0 = std::time::Instant::now();
+    let t0 = Stopwatch::start();
     let mut report = GappedStageReport::default();
     let mut emit = |alns: Vec<GappedAlignment>| {
-        // oris-lint: allow(det-time) — stats-only: GappedStageReport seconds, emitted records are clock-independent
-        let t4 = std::time::Instant::now();
+        let t4 = Stopwatch::start();
         report.raw_alignments += alns.len();
         step4::emit_records(
             bank1,
@@ -164,10 +163,10 @@ pub fn gapped_stage_into(
             &mut report.step4,
             push,
         );
-        report.step4_secs += t4.elapsed().as_secs_f64();
+        report.step4_secs += t4.elapsed_secs();
     };
     report.step3 = step3::gapped_alignments_into(bank1, bank2, hsps, cfg, &mut emit);
-    report.step3_secs = (t0.elapsed().as_secs_f64() - report.step4_secs).max(0.0);
+    report.step3_secs = (t0.elapsed_secs() - report.step4_secs).max(0.0);
     report
 }
 
@@ -183,6 +182,11 @@ pub fn gapped_stage_into(
 /// the gapped stage pushes anything further. Disarmed
 /// ([`Deadline::none`]) it costs one dead branch and the run is
 /// infallible.
+///
+/// `obs` emits `step2`/`step3` spans and a `step4` point event (steps
+/// 3+4 are fused — step 4 runs inside step 3's group callback, so its
+/// time is a derived quantity, not a span of its own). Disarmed, each
+/// emission is one branch.
 pub(crate) fn run_prepared_pipeline_into(
     query: &PreparedBank<'_>,
     subject: &PreparedBank<'_>,
@@ -190,6 +194,7 @@ pub(crate) fn run_prepared_pipeline_into(
     strand: SubjectStrand,
     push: &mut dyn FnMut(M8Record),
     deadline: &Deadline,
+    obs: &Obs,
 ) -> Result<PipelineStats, DeadlineExceeded> {
     let mut stats = PipelineStats::default();
     let (bank1, idx1) = (query.bank(), query.index());
@@ -199,8 +204,8 @@ pub(crate) fn run_prepared_pipeline_into(
     stats.index_bytes = idx1.heap_bytes() + idx2.heap_bytes();
 
     // ---- Step 2: ordered hit extension ----------------------------------
-    // oris-lint: allow(det-time) — stats-only: stage metering for CompareStats, results are clock-independent
-    let t0 = std::time::Instant::now();
+    let t0 = Stopwatch::start();
+    let step2_span = obs.span("step2");
     let (hsps, s2) = step2::find_hsps_deadline(
         bank1,
         idx1,
@@ -211,11 +216,13 @@ pub(crate) fn run_prepared_pipeline_into(
         step2::PartitionStrategy::default(),
         deadline,
     )?;
+    drop(step2_span);
     stats.hsps = hsps.len();
     stats.step2 = s2;
-    stats.step2_secs = t0.elapsed().as_secs_f64();
+    stats.step2_secs = t0.elapsed_secs();
 
     // ---- Steps 3+4, fused per group --------------------------------------
+    let step3_span = obs.span("step3");
     let r = gapped_stage_into(
         bank1,
         bank2,
@@ -224,6 +231,14 @@ pub(crate) fn run_prepared_pipeline_into(
         bank1.num_residues(),
         matches!(strand, SubjectStrand::Minus),
         push,
+    );
+    drop(step3_span);
+    obs.point(
+        "step4",
+        &[
+            Field::F64("secs", r.step4_secs),
+            Field::U64("records", r.step4.emitted),
+        ],
     );
     stats.raw_alignments = r.raw_alignments;
     stats.step3 = r.step3;

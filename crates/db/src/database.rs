@@ -2,11 +2,11 @@
 
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
-use std::time::Instant;
 
 use oris_core::PreparedBank;
 use oris_index::persist::fnv1a;
 use oris_index::{AttachMode, IndexMeta};
+use oris_obs::Stopwatch;
 
 use crate::io::{RealIo, VolumeIo};
 use crate::manifest::{Manifest, VolumeMeta, MANIFEST_FILE};
@@ -152,8 +152,7 @@ impl Database {
         mode: AttachMode,
     ) -> Result<(PreparedBank<'static>, AttachedVolumeStats), DbError> {
         let meta = self.volume(i);
-        // oris-lint: allow(det-time) — stats-only: AttachedVolumeStats metering, attached bank is clock-independent
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         let fasta_path = self.dir.join(&meta.fasta);
         let fasta_bytes = self
             .io
@@ -228,7 +227,7 @@ impl Database {
         Ok((
             prepared,
             AttachedVolumeStats {
-                attach_secs: t0.elapsed().as_secs_f64(),
+                attach_secs: t0.elapsed_secs(),
                 index_heap_bytes,
                 mmap_backed,
             },

@@ -29,6 +29,7 @@ use oris_core::{
 };
 use oris_eval::{M8Record, SubjectSpace};
 use oris_index::AttachMode;
+use oris_obs::{names, Field, Obs};
 use oris_seqio::Bank;
 
 use crate::cache::{self, CacheCounters, CacheKey, ResultCache};
@@ -262,6 +263,10 @@ pub struct DbSession<'d> {
     /// [`cache::config_fingerprint`] of the effective configuration,
     /// computed once (the config is immutable for the session).
     config_fp: u64,
+    /// Observability handle ([`Obs::disarmed`] by default). Strictly
+    /// off the result path: armed or not, records and reports are
+    /// identical (pinned by the `db_equivalence` proptests).
+    obs: Obs,
 }
 
 /// Attached volume sessions. The unbounded form is a dense slot table
@@ -356,7 +361,28 @@ impl<'d> DbSession<'d> {
             quarantined: (0..db.num_volumes()).map(|_| None).collect(),
             results,
             config_fp,
+            obs: Obs::disarmed(),
         })
+    }
+
+    /// Installs an observability handle. Volume sessions attached so
+    /// far (and every future attach) share it, so their step-level
+    /// spans land in the same trace. Instrumentation never changes
+    /// what a query computes — only what gets recorded about it.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
+        match &mut self.cache {
+            VolumeCache::All(slots) => {
+                for s in slots.iter_mut().flatten() {
+                    s.set_obs(self.obs.clone());
+                }
+            }
+            VolumeCache::Window(entries) => {
+                for (_, s) in entries.iter_mut() {
+                    s.set_obs(self.obs.clone());
+                }
+            }
+        }
     }
 
     /// The effective configuration (with the database-wide
@@ -428,6 +454,11 @@ impl<'d> DbSession<'d> {
                 entries.remove(evict);
             }
         }
+        let span = self.obs.timed_span_with(
+            "attach",
+            names::VOLUME_ATTACH_SECONDS,
+            &[Field::U64("volume", v as u64)],
+        );
         let mut attempt = 0u32;
         let (prepared, attach) = loop {
             match self.db.attach_volume(v, self.opts.attach) {
@@ -442,12 +473,16 @@ impl<'d> DbSession<'d> {
                     attempt += 1;
                     *retries += 1;
                     self.costs[v].retries += 1;
+                    self.obs.count(names::IO_RETRIES_TOTAL, 1);
                 }
                 Err(e) => return Err(e),
             }
         };
         let bank_bytes = prepared.bank().heap_bytes();
-        let session = Session::with_subject(prepared, &self.cfg).map_err(DbError::Config)?;
+        let mut session = Session::with_subject(prepared, &self.cfg).map_err(DbError::Config)?;
+        session.set_obs(self.obs.clone());
+        self.obs.count(names::VOLUME_ATTACHES_TOTAL, 1);
+        drop(span);
         let cost = &mut self.costs[v];
         cost.attaches += 1;
         cost.attach_secs += attach.attach_secs;
@@ -471,6 +506,9 @@ impl<'d> DbSession<'d> {
         match (self.opts.on_volume_error, &e) {
             (OnVolumeError::SkipAndReport, DbError::Volume(_)) => {
                 self.quarantined[v] = Some(e);
+                self.obs.count(names::VOLUME_QUARANTINES_TOTAL, 1);
+                self.obs
+                    .point("quarantine", &[Field::U64("volume", v as u64)]);
                 if let Some(results) = self.results.as_mut() {
                     results.invalidate_volume(v);
                 }
@@ -478,6 +516,13 @@ impl<'d> DbSession<'d> {
             }
             _ => Err(e),
         }
+    }
+
+    /// Converts a tripped deadline into the query's error, counting the
+    /// expiry on the way out.
+    fn deadline_exceeded(&self) -> DbError {
+        self.obs.count(names::DEADLINE_EXPIRIES_TOTAL, 1);
+        DbError::from(DeadlineExceeded)
     }
 
     /// Runs one query bank across every volume, streaming all volumes'
@@ -558,6 +603,7 @@ impl<'d> DbSession<'d> {
         deadline: &Deadline,
     ) -> Result<(PipelineStats, SearchReport), DbError> {
         let num = self.db.num_volumes();
+        let query_span = self.obs.timed_span("query", names::QUERY_SECONDS);
         let mut report = SearchReport {
             volumes_total: num,
             residues_total: self.db.total_residues(),
@@ -574,6 +620,7 @@ impl<'d> DbSession<'d> {
             .map(|_| cache::bank_fingerprint(query));
         let mut hits: Vec<Option<crate::cache::CachedVolume>> = (0..num).map(|_| None).collect();
         if let (Some(results), Some(qfp)) = (self.results.as_mut(), query_fp) {
+            let lookup_span = self.obs.span("cache_lookup");
             for (v, hit) in hits.iter_mut().enumerate() {
                 if self.quarantined[v].is_some() {
                     continue;
@@ -585,7 +632,16 @@ impl<'d> DbSession<'d> {
                     config: self.config_fp,
                 };
                 *hit = results.lookup(&key).cloned();
+                self.obs.count(
+                    if hit.is_some() {
+                        names::CACHE_HITS_TOTAL
+                    } else {
+                        names::CACHE_MISSES_TOTAL
+                    },
+                    1,
+                );
             }
+            drop(lookup_span);
         }
         if self.opts.window == 0 || self.opts.window >= num {
             // Attach-ahead: cached sessions make this a no-op after the
@@ -594,7 +650,7 @@ impl<'d> DbSession<'d> {
             // a hit is served without touching the volume's files (the
             // same staleness contract an already-attached volume has).
             for (v, hit) in hits.iter().enumerate() {
-                deadline.check().map_err(DbError::from)?;
+                deadline.check().map_err(|_| self.deadline_exceeded())?;
                 if self.quarantined[v].is_some() || hit.is_some() || self.is_attached(v) {
                     continue;
                 }
@@ -621,16 +677,22 @@ impl<'d> DbSession<'d> {
                 if self.quarantined[v].is_some() || hits[v].is_some() {
                     continue;
                 }
-                deadline.check().map_err(DbError::from)?;
+                deadline.check().map_err(|_| self.deadline_exceeded())?;
                 if let Err(e) = self.attach_if_needed(v, &mut report.retries) {
                     self.quarantine_or_fail(v, e)?;
                     continue;
                 }
+                self.obs.count(names::WORKER_DISPATCH_TOTAL, 1);
+                let vspan = self.obs.timed_span_with(
+                    "volume_search",
+                    names::VOLUME_SEARCH_SECONDS,
+                    &[Field::U64("volume", v as u64)],
+                );
                 let session = self.cache.get(v);
                 if direct {
                     let stats = session
                         .run_prepared_streaming_deadline(&prep, sink, deadline)
-                        .map_err(DbError::from)?;
+                        .map_err(|_| self.deadline_exceeded())?;
                     direct_stats = Some(match direct_stats.take() {
                         None => stats,
                         Some(m) => m.merge(&stats),
@@ -641,9 +703,10 @@ impl<'d> DbSession<'d> {
                     let mut buf = CollectSink::new();
                     let stats = session
                         .run_prepared_streaming_deadline(&prep, &mut buf, deadline)
-                        .map_err(DbError::from)?;
+                        .map_err(|_| self.deadline_exceeded())?;
                     fresh[v] = Some((buf.into_records(), stats));
                 }
+                drop(vspan);
             }
         } else {
             // Parallel fan-out. Attach (and with it every retry and
@@ -661,6 +724,7 @@ impl<'d> DbSession<'d> {
             let cursor = AtomicUsize::new(0);
             let stop = AtomicBool::new(false);
             let spawned = workers.min(pending.len());
+            let obs = &self.obs;
             rayon::scope(|s| {
                 for _ in 0..spawned {
                     s.spawn(|_| {
@@ -677,6 +741,12 @@ impl<'d> DbSession<'d> {
                             if i >= pending.len() {
                                 break;
                             }
+                            obs.count(names::WORKER_DISPATCH_TOTAL, 1);
+                            let vspan = obs.timed_span_with(
+                                "volume_search",
+                                names::VOLUME_SEARCH_SECONDS,
+                                &[Field::U64("volume", pending[i] as u64)],
+                            );
                             let mut buf = CollectSink::new();
                             match sessions[i]
                                 .run_prepared_streaming_deadline(&prep, &mut buf, deadline)
@@ -687,9 +757,11 @@ impl<'d> DbSession<'d> {
                                 }
                                 Err(DeadlineExceeded) => {
                                     stop.store(true, Ordering::Relaxed);
+                                    drop(vspan);
                                     break;
                                 }
                             }
+                            drop(vspan);
                         }
                     });
                 }
@@ -700,7 +772,7 @@ impl<'d> DbSession<'d> {
                     // The only way a slot stays empty is expiry (claimed
                     // and aborted, or never dispatched). The sink is
                     // untouched: every record is still staged.
-                    None => return Err(DbError::from(DeadlineExceeded)),
+                    None => return Err(self.deadline_exceeded()),
                 }
             }
         }
@@ -708,6 +780,7 @@ impl<'d> DbSession<'d> {
         // accumulate exactly as the sequential walk's and the report's
         // lists come out sorted. Record arrival order into the sink is
         // irrelevant: its boundary sort below is a strict total order.
+        let merge_span = self.obs.span("merge");
         let mut merged = direct_stats;
         for v in 0..num {
             let (records, stats, hit) = if let Some(cached) = hits[v].take() {
@@ -726,6 +799,7 @@ impl<'d> DbSession<'d> {
                         config: self.config_fp,
                     };
                     results.insert(key, records.clone(), stats);
+                    self.obs.count(names::CACHE_INSERTIONS_TOTAL, 1);
                 }
                 (records, stats, false)
             } else if self.quarantined[v].is_some() {
@@ -754,9 +828,26 @@ impl<'d> DbSession<'d> {
         // problem — attribute it to the sink, never to the (read-only)
         // database directory.
         sink.end_query().map_err(DbError::Sink)?;
+        drop(merge_span);
         let mut stats = merged.unwrap_or_default();
         stats.index_secs += prep.stats().build_secs;
         stats.index_builds += prep.stats().builds;
+        self.obs.count(names::QUERIES_TOTAL, 1);
+        self.obs.count(names::RECORDS_TOTAL, stats.step4.emitted);
+        // Residency and eviction counts live inside the ResultCache;
+        // sync them as absolutes (hits/misses/insertions are counted at
+        // their call sites above — the obs_metrics integration test
+        // pins both views equal).
+        if self.results.is_some() {
+            let c = self.result_cache_counters();
+            self.obs
+                .set_counter(names::CACHE_EVICTIONS_TOTAL, c.evictions);
+            self.obs
+                .set_counter(names::CACHE_INVALIDATIONS_TOTAL, c.invalidations);
+            self.obs.set_gauge(names::CACHE_ENTRIES, c.entries as f64);
+            self.obs.set_gauge(names::CACHE_BYTES, c.bytes as f64);
+        }
+        drop(query_span);
         Ok((stats, report))
     }
 

@@ -7,13 +7,13 @@
 //! configuration (the paper ran on a quiet machine; medians serve the
 //! same purpose here).
 
-use std::time::Instant;
+use oris_obs::Stopwatch;
 
 /// Times one invocation of `f` in seconds, returning the result too.
 pub fn time_secs<T>(f: impl FnOnce() -> T) -> (f64, T) {
-    let start = Instant::now();
+    let sw = Stopwatch::start();
     let out = f();
-    (start.elapsed().as_secs_f64(), out)
+    (sw.elapsed_secs(), out)
 }
 
 /// Runs `f` `runs` times and returns the median wall-clock seconds.
@@ -24,9 +24,9 @@ pub fn median_secs(runs: usize, mut f: impl FnMut()) -> f64 {
     assert!(runs > 0);
     let times: Vec<f64> = (0..runs)
         .map(|_| {
-            let start = Instant::now();
+            let sw = Stopwatch::start();
             f();
-            start.elapsed().as_secs_f64()
+            sw.elapsed_secs()
         })
         .collect();
     median_of(times)

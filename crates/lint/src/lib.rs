@@ -12,7 +12,7 @@
 //! | `unsafe-safety` | every `unsafe` block/impl carries a `// SAFETY:` comment | PR 5's mmap layer set the convention |
 //! | `unsafe-budget` | per-crate `unsafe` counts match `crates/lint/unsafe_budget.txt` exactly | unsafe must not grow (or shrink) without an explicit, reviewed budget edit |
 //! | `det-hash` | no `HashMap`/`HashSet` in result-path crates without a sorting justification | PR 4: output is byte-identical for any thread count |
-//! | `det-time` | no `Instant::now`/`SystemTime::now` outside `deadline.rs`/`timing.rs` without a stats-only justification | PR 4/PR 6: results must not depend on wall clock |
+//! | `det-time` | no `Instant::now`/`SystemTime::now` outside the `oris-obs` crate (the one sanctioned clock) | PR 4/PR 6: results must not depend on wall clock |
 //! | `narrow-cast` | no narrowing `as` on length/offset/residue arithmetic in `oris-index`/`oris-db`; use `try_from` or justify the guard | PR 5: a database residue total truncated at 32 bits |
 //!
 //! Scoped escapes: `// oris-lint: allow(<rule>) — <reason>` (covers its

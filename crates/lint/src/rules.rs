@@ -55,13 +55,13 @@ const HASH_SCOPE: &[&str] = &[
     "oris-cli",
 ];
 
-/// det-time: crates exempt wholesale. `oris-bench` exists to read the
-/// wall clock; everything else must justify each read.
-const TIME_EXEMPT_CRATES: &[&str] = &["oris-bench"];
-
-/// det-time: the two modules whose *job* is time — the cooperative
-/// deadline token and the paper's wall-clock measurement helpers.
-const TIME_EXEMPT_FILES: &[&str] = &["deadline.rs", "timing.rs"];
+/// det-time: the one crate allowed to touch `Instant`/`SystemTime`.
+/// `oris-obs` owns the process clock (the monotonic epoch behind
+/// `monotonic_now`, `Stopwatch`, and the `Clock` trait); every other
+/// crate — bench and the old deadline/timing modules included — must go
+/// through it, so a wall-clock read anywhere else is a bug, not a
+/// style choice.
+const TIME_EXEMPT_CRATES: &[&str] = &["oris-obs"];
 
 /// io-seam applies only inside the database crate…
 const IO_SEAM_CRATE: &str = "oris-db";
@@ -243,8 +243,7 @@ pub fn check_file(ctx: &FileCtx, src: &str) -> FileReport {
 
     let t = |k: usize| lx.toks.get(k).map(|x| x.text.as_str()).unwrap_or("");
     let in_hash_scope = HASH_SCOPE.contains(&ctx.crate_name);
-    let in_time_scope = !TIME_EXEMPT_CRATES.contains(&ctx.crate_name)
-        && !TIME_EXEMPT_FILES.contains(&ctx.file_name);
+    let in_time_scope = !TIME_EXEMPT_CRATES.contains(&ctx.crate_name);
     let in_io_scope =
         ctx.crate_name == IO_SEAM_CRATE && !IO_SEAM_EXEMPT_FILES.contains(&ctx.file_name);
     let in_narrow_scope = NARROW_SCOPE.contains(&ctx.crate_name);
@@ -336,7 +335,7 @@ pub fn check_file(ctx: &FileCtx, src: &str) -> FileReport {
             }
         }
 
-        // det-time — wall-clock reads outside the two time modules.
+        // det-time — wall-clock reads outside the clock-owning crate.
         if in_time_scope
             && (tx == "Instant" || tx == "SystemTime")
             && t(i + 1) == "::"
@@ -345,9 +344,9 @@ pub fn check_file(ctx: &FileCtx, src: &str) -> FileReport {
             raw.push((
                 line,
                 "det-time",
-                "wall-clock read outside `Deadline`/`timing`: results must not depend on \
-                 time — meter through `oris_eval::timing`, or allow with the stats-only \
-                 justification"
+                "wall-clock read outside `oris-obs`: results must not depend on time — \
+                 use `oris_obs::Stopwatch` / `monotonic_now` (the one sanctioned clock), \
+                 or allow with a justification for why this read cannot go through it"
                     .to_string(),
             ));
         }
@@ -522,10 +521,33 @@ unsafe impl Sync for X {}
     }
 
     #[test]
-    fn bench_crate_is_exempt_from_det_time_and_det_hash() {
+    fn obs_crate_owns_the_clock() {
+        // oris-obs is the one crate that may read the wall clock.
+        let src = "fn f() { let t = Instant::now(); }";
+        let r = check_file(&ctx("oris-obs", "clock.rs"), src);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn bench_crate_keeps_det_hash_exemption_but_not_det_time() {
+        // oris-bench lost its det-time blanket when the clock moved into
+        // oris-obs: its timing goes through `Stopwatch` like everyone
+        // else's. Hash iteration in the harness stays fine (its outputs
+        // are timing tables, not result records).
         let src = "fn f() { let t = Instant::now(); let h: HashMap<u8,u8> = HashMap::new(); }";
         let r = check_file(&ctx("oris-bench", "lib.rs"), src);
-        assert!(r.findings.is_empty(), "{:?}", r.findings);
+        assert_eq!(rules_of(&r), vec!["det-time"]);
+    }
+
+    #[test]
+    fn formerly_exempt_time_modules_are_in_scope() {
+        // deadline.rs and timing.rs had file-level exemptions before the
+        // clock was centralised; a raw read there is now a finding.
+        let src = "fn f() { let t = Instant::now(); }";
+        for (krate, file) in [("oris-core", "deadline.rs"), ("oris-eval", "timing.rs")] {
+            let r = check_file(&ctx(krate, file), src);
+            assert_eq!(rules_of(&r), vec!["det-time"], "{krate}/{file}");
+        }
     }
 
     #[test]

@@ -110,6 +110,22 @@ fn unsafe_bad_fixture_flags_exactly_the_uncommented_sites() {
 }
 
 #[test]
+fn det_time_applies_to_formerly_exempt_time_modules() {
+    // deadline.rs / timing.rs carried file-level exemptions until the
+    // clock centralised in oris-obs; this pair pins that the tightened
+    // rule fires there and that the escape hatch still works.
+    for (krate, file) in [("oris-eval", "timing.rs"), ("oris-core", "deadline.rs")] {
+        let r = check("det_time_timing_bad.rs", krate, file);
+        assert_eq!(rules_of(&r), vec!["det-time"], "{krate}/{file}");
+        let r = check("det_time_timing_allow.rs", krate, file);
+        assert!(r.findings.is_empty(), "{krate}/{file}: {:?}", r.findings);
+    }
+    // The same source inside oris-obs is clean without any allow.
+    let r = check("det_time_timing_bad.rs", "oris-obs", "clock.rs");
+    assert!(r.findings.is_empty(), "{:?}", r.findings);
+}
+
+#[test]
 fn io_seam_bad_fixture_catches_read_and_existence_probe() {
     let r = check("io_seam_bad.rs", "oris-db", "session.rs");
     assert_eq!(r.findings.len(), 2, "{:?}", r.findings);

@@ -1,0 +1,130 @@
+//! Wall-clock reads, fenced into one module.
+//!
+//! This file is the only place in the workspace where
+//! `Instant::now`/`SystemTime::now` may appear (oris-lint `det-time`
+//! exempts the `oris-obs` crate and nothing else). Everything is
+//! expressed as a [`Duration`] since a process-global monotonic epoch,
+//! so clock values compose with [`ManualClock`] in tests and never leak
+//! absolute wall time into output.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Time elapsed since the process-global monotonic epoch (the first
+/// call in this process). This is the one sanctioned wall-clock read:
+/// `Deadline` budgets and every [`Stopwatch`] are measured against it.
+pub fn monotonic_now() -> Duration {
+    EPOCH.get_or_init(Instant::now).elapsed()
+}
+
+/// A monotonic time source. `&self` receivers and `Send + Sync` bounds
+/// let one clock be shared across worker threads.
+pub trait Clock: Send + Sync {
+    /// Time elapsed since this clock's epoch.
+    fn now(&self) -> Duration;
+}
+
+/// Production clock: reads the process-global monotonic epoch.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct MonotonicClock;
+
+impl Clock for MonotonicClock {
+    fn now(&self) -> Duration {
+        monotonic_now()
+    }
+}
+
+/// Test clock: time advances only when told to. Keep an
+/// `Arc<ManualClock>` on the test side and hand a clone to
+/// [`crate::ObsBuilder::clock`]; histograms and trace timestamps then
+/// become exact, not approximate.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    nanos: AtomicU64,
+}
+
+impl ManualClock {
+    /// A clock frozen at its epoch.
+    pub fn new() -> ManualClock {
+        ManualClock::default()
+    }
+
+    /// Advance the clock by `d`.
+    pub fn advance(&self, d: Duration) {
+        let add = u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+        self.nanos.fetch_add(add, Ordering::SeqCst);
+    }
+
+    /// Jump the clock to an absolute offset from its epoch.
+    pub fn set(&self, d: Duration) {
+        let v = u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+        self.nanos.store(v, Ordering::SeqCst);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now(&self) -> Duration {
+        Duration::from_nanos(self.nanos.load(Ordering::SeqCst))
+    }
+}
+
+/// Drop-in replacement for the `let t = Instant::now(); ...
+/// t.elapsed()` idiom, metering through the global monotonic epoch so
+/// call sites stay det-time clean.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start: Duration,
+}
+
+impl Stopwatch {
+    /// Start timing now.
+    pub fn start() -> Stopwatch {
+        Stopwatch {
+            start: monotonic_now(),
+        }
+    }
+
+    /// Time elapsed since [`Stopwatch::start`].
+    pub fn elapsed(&self) -> Duration {
+        monotonic_now().saturating_sub(self.start)
+    }
+
+    /// Elapsed time in seconds, the unit every stats struct records.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.elapsed().as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic_now_is_monotone() {
+        let a = monotonic_now();
+        let b = monotonic_now();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn manual_clock_advances_exactly() {
+        let c = ManualClock::new();
+        assert_eq!(c.now(), Duration::ZERO);
+        c.advance(Duration::from_millis(5));
+        assert_eq!(c.now(), Duration::from_millis(5));
+        c.advance(Duration::from_micros(250));
+        assert_eq!(c.now(), Duration::from_micros(5250));
+        c.set(Duration::from_secs(1));
+        assert_eq!(c.now(), Duration::from_secs(1));
+    }
+
+    #[test]
+    fn stopwatch_measures_nonnegative() {
+        let sw = Stopwatch::start();
+        assert!(sw.elapsed_secs() >= 0.0);
+        assert!(sw.elapsed() <= monotonic_now());
+    }
+}

@@ -1,0 +1,193 @@
+//! Span-style trace events as JSON lines.
+//!
+//! One event per line, schema:
+//!
+//! ```json
+//! {"seq":12,"t_us":48211,"ev":"begin","span":"volume_search","volume":3}
+//! {"seq":13,"t_us":50090,"ev":"end","span":"volume_search","volume":3,"dur_us":1879}
+//! ```
+//!
+//! `seq` is a process-wide monotone sequence number (allocation order,
+//! stable under concurrent writers), `t_us` is microseconds since the
+//! clock epoch, `ev` is `begin`/`end`/`point`, and any extra fields are
+//! flattened into the object. Writes go through one mutex so lines
+//! never interleave.
+
+use std::io::Write;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// One extra key/value on a trace event.
+#[derive(Debug, Clone, Copy)]
+pub enum Field<'a> {
+    /// Unsigned integer field.
+    U64(&'static str, u64),
+    /// Float field (rendered as a JSON number).
+    F64(&'static str, f64),
+    /// String field (JSON-escaped).
+    Str(&'static str, &'a str),
+}
+
+pub(crate) struct TraceSink {
+    writer: Mutex<Box<dyn Write + Send>>,
+}
+
+impl std::fmt::Debug for TraceSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceSink").finish_non_exhaustive()
+    }
+}
+
+impl TraceSink {
+    pub(crate) fn new(writer: Box<dyn Write + Send>) -> TraceSink {
+        TraceSink {
+            writer: Mutex::new(writer),
+        }
+    }
+
+    /// Append one event line. I/O errors are swallowed: tracing is off
+    /// the result path and must never fail a search.
+    pub(crate) fn emit(&self, seq: u64, t: Duration, ev: &str, span: &str, fields: &[Field<'_>]) {
+        let mut line = String::with_capacity(96);
+        line.push_str("{\"seq\":");
+        line.push_str(&seq.to_string());
+        line.push_str(",\"t_us\":");
+        line.push_str(&micros(t).to_string());
+        line.push_str(",\"ev\":\"");
+        line.push_str(ev);
+        line.push_str("\",\"span\":\"");
+        push_escaped(&mut line, span);
+        line.push('"');
+        for f in fields {
+            line.push(',');
+            match *f {
+                Field::U64(k, v) => {
+                    push_key(&mut line, k);
+                    line.push_str(&v.to_string());
+                }
+                Field::F64(k, v) => {
+                    push_key(&mut line, k);
+                    push_json_f64(&mut line, v);
+                }
+                Field::Str(k, v) => {
+                    push_key(&mut line, k);
+                    line.push('"');
+                    push_escaped(&mut line, v);
+                    line.push('"');
+                }
+            }
+        }
+        line.push_str("}\n");
+        let mut w = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        let _ = w.write_all(line.as_bytes());
+    }
+
+    pub(crate) fn flush(&self) -> std::io::Result<()> {
+        self.writer
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .flush()
+    }
+}
+
+pub(crate) fn micros(d: Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+}
+
+fn push_key(out: &mut String, k: &str) {
+    out.push('"');
+    push_escaped(out, k);
+    out.push_str("\":");
+}
+
+/// Minimal JSON string escaping: quotes, backslashes, control bytes.
+pub(crate) fn push_escaped(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Render an f64 as a valid JSON number. `{:?}` on a finite f64 always
+/// yields a JSON-parseable literal (`0.5`, `1e-6`); non-finite values
+/// have no JSON spelling, so they degrade to null.
+pub(crate) fn push_json_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&format!("{v:?}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn emits_one_json_object_per_line() {
+        let buf = SharedBuf::default();
+        let sink = TraceSink::new(Box::new(buf.clone()));
+        sink.emit(
+            1,
+            Duration::from_micros(42),
+            "begin",
+            "attach",
+            &[Field::U64("volume", 3)],
+        );
+        sink.emit(
+            2,
+            Duration::from_micros(99),
+            "end",
+            "attach",
+            &[Field::U64("volume", 3), Field::U64("dur_us", 57)],
+        );
+        let bytes = buf.0.lock().unwrap().clone();
+        let text = String::from_utf8(bytes).unwrap();
+        assert_eq!(
+            text,
+            "{\"seq\":1,\"t_us\":42,\"ev\":\"begin\",\"span\":\"attach\",\"volume\":3}\n\
+             {\"seq\":2,\"t_us\":99,\"ev\":\"end\",\"span\":\"attach\",\"volume\":3,\"dur_us\":57}\n"
+        );
+    }
+
+    #[test]
+    fn escapes_strings_and_degrades_nonfinite_floats() {
+        let buf = SharedBuf::default();
+        let sink = TraceSink::new(Box::new(buf.clone()));
+        sink.emit(
+            1,
+            Duration::ZERO,
+            "point",
+            "q\"\\",
+            &[Field::Str("note", "a\nb"), Field::F64("x", f64::INFINITY)],
+        );
+        let bytes = buf.0.lock().unwrap().clone();
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.contains("\"span\":\"q\\\"\\\\\""), "{text}");
+        assert!(text.contains("\"note\":\"a\\nb\""), "{text}");
+        assert!(text.contains("\"x\":null"), "{text}");
+    }
+}

@@ -24,6 +24,7 @@ pub use oris_core as core;
 pub use oris_dust as dust;
 pub use oris_eval as eval;
 pub use oris_index as index;
+pub use oris_obs as obs;
 pub use oris_seqio as seqio;
 pub use oris_simulate as simulate;
 pub use oris_stats as stats;
